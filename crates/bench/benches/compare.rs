@@ -1,0 +1,45 @@
+//! E4 — causality verification cost: the paper's O(1) dotted comparison
+//! against the O(n) version-vector scan, the ordered-VV fast path, and
+//! exact causal-history inclusion, swept over the number of actors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvv_bench::{dvv_pair, history_pair, ordered_pair, vv_pair};
+use std::hint::black_box;
+
+fn bench_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("causality_check");
+    for n in [2usize, 8, 32, 128, 512, 2048] {
+        let (da, db) = dvv_pair(n);
+        group.bench_with_input(BenchmarkId::new("dvv_precedes", n), &n, |b, _| {
+            b.iter(|| black_box(&da).precedes(black_box(&db)))
+        });
+        let (va, vb) = vv_pair(n);
+        group.bench_with_input(BenchmarkId::new("vv_dominates", n), &n, |b, _| {
+            b.iter(|| black_box(&vb).dominates(black_box(&va)))
+        });
+        group.bench_with_input(BenchmarkId::new("vv_causal_cmp", n), &n, |b, _| {
+            b.iter(|| black_box(&va).causal_cmp(black_box(&vb)))
+        });
+        let (oa, ob) = ordered_pair(n);
+        group.bench_with_input(BenchmarkId::new("ordered_vv_fast", n), &n, |b, _| {
+            b.iter(|| black_box(&oa).fast_dominated_by(black_box(&ob)))
+        });
+        if n <= 512 {
+            let (ha, hb) = history_pair(n);
+            group.bench_with_input(BenchmarkId::new("history_subset", n), &n, |b, _| {
+                b.iter(|| black_box(&ha).is_subset(black_box(&hb)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+        .sample_size(30)
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_compare);
+criterion_main!(benches);

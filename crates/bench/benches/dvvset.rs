@@ -1,0 +1,64 @@
+//! E9 — the DVVSet ablation: one clock per sibling (list of DVVs) versus
+//! one clock per sibling *set*, on update and sync.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvv::server;
+use dvv::{ClientId, ReplicaId};
+use dvv_bench::sibling_fixtures;
+use kvstore::{StampedValue, WriteId};
+use std::hint::black_box;
+
+fn bench_representations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dvvset_vs_list");
+    for siblings in [1usize, 4, 16, 64] {
+        let (tagged, set) = sibling_fixtures(siblings);
+        let ctx = server::context(&tagged);
+        let value = StampedValue::new(WriteId::new(ClientId(9999), 1), vec![0u8; 16]);
+
+        group.bench_with_input(
+            BenchmarkId::new("list_update", siblings),
+            &siblings,
+            |b, _| {
+                b.iter(|| {
+                    let mut st = tagged.clone();
+                    server::update(&mut st, black_box(&ctx), ReplicaId(1), value.clone());
+                    black_box(st)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("set_update", siblings),
+            &siblings,
+            |b, _| {
+                b.iter(|| {
+                    let mut st = set.clone();
+                    st.update(black_box(&ctx), ReplicaId(1), value.clone());
+                    black_box(st)
+                })
+            },
+        );
+
+        let (tagged2, set2) = sibling_fixtures(siblings / 2 + 1);
+        group.bench_with_input(
+            BenchmarkId::new("list_sync", siblings),
+            &siblings,
+            |b, _| b.iter(|| black_box(server::sync(black_box(&tagged), black_box(&tagged2)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("set_sync", siblings),
+            &siblings,
+            |b, _| b.iter(|| black_box(black_box(&set).sync(black_box(&set2)))),
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+        .sample_size(30)
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_representations);
+criterion_main!(benches);

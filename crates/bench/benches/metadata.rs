@@ -1,0 +1,71 @@
+//! E5 companion — the CPU side of metadata handling: encoding clocks and
+//! computing read contexts as the number of entries grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvv::encode::{to_bytes, Encode};
+use dvv::server;
+use dvv::{ClientId, VersionVector};
+use dvv_bench::{dvv_pair, sibling_fixtures, vv_pair};
+use std::hint::black_box;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clock_encode");
+    for n in [2usize, 8, 32, 128, 512] {
+        let (_, vv) = vv_pair(n);
+        group.bench_with_input(BenchmarkId::new("vv", n), &n, |b, _| {
+            b.iter(|| to_bytes(black_box(&vv)))
+        });
+        let (_, dvv) = dvv_pair(n);
+        group.bench_with_input(BenchmarkId::new("dvv", n), &n, |b, _| {
+            b.iter(|| to_bytes(black_box(&dvv)))
+        });
+        group.bench_with_input(BenchmarkId::new("vv_encoded_len", n), &n, |b, _| {
+            b.iter(|| black_box(&vv).encoded_len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_context(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_context");
+    for siblings in [1usize, 2, 4, 8, 16, 32] {
+        let (tagged, set) = sibling_fixtures(siblings);
+        group.bench_with_input(
+            BenchmarkId::new("dvv_list_context", siblings),
+            &siblings,
+            |b, _| b.iter(|| server::context(black_box(&tagged))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dvvset_context", siblings),
+            &siblings,
+            |b, _| b.iter(|| black_box(&set).context()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_client_vv_growth(c: &mut Criterion) {
+    // the comparison cost a per-client VV store pays as vectors grow
+    let mut group = c.benchmark_group("per_client_vv_dominance");
+    for clients in [4usize, 32, 256, 2048] {
+        let big: VersionVector<ClientId> = (0..clients as u64)
+            .map(|i| (ClientId(i), 3u64))
+            .collect();
+        let mut bigger = big.clone();
+        bigger.set(ClientId(0), 4);
+        group.bench_with_input(BenchmarkId::new("dominates", clients), &clients, |b, _| {
+            b.iter(|| black_box(&bigger).dominates(black_box(&big)))
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+        .sample_size(30)
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_encode, bench_context, bench_client_vv_growth);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E7 companion — end-to-end simulated store runs per mechanism: wall
+//! time of a whole deterministic workload (the simulator is CPU-bound, so
+//! this measures the mechanism's total computational overhead in situ).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvv::mechanisms::{DvvMechanism, DvvSetMechanism, Mechanism, VvClientMechanism};
+use kvstore::cluster::{Cluster, ClusterConfig};
+use kvstore::config::ClientConfig;
+use kvstore::StampedValue;
+use simnet::Duration;
+use std::hint::black_box;
+
+fn workload() -> ClusterConfig {
+    ClusterConfig {
+        servers: 3,
+        clients: 8,
+        cycles_per_client: 10,
+        client: ClientConfig {
+            key_count: 4,
+            think_time: Duration::from_micros(300),
+            ..ClientConfig::default()
+        },
+        ..ClusterConfig::default()
+    }
+}
+
+fn run_once<M: Mechanism<StampedValue>>(mech: M, seed: u64) -> u64 {
+    let mut c = Cluster::new(seed, mech, workload());
+    c.run();
+    c.sim().network().stats().delivered
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_run");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("mechanism", "dvv"), &0, |b, _| {
+        b.iter(|| black_box(run_once(DvvMechanism, 3)))
+    });
+    group.bench_with_input(BenchmarkId::new("mechanism", "dvvset"), &0, |b, _| {
+        b.iter(|| black_box(run_once(DvvSetMechanism, 3)))
+    });
+    group.bench_with_input(BenchmarkId::new("mechanism", "vv-client"), &0, |b, _| {
+        b.iter(|| black_box(run_once(VvClientMechanism::unbounded(), 3)))
+    });
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+        .sample_size(30)
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_store);
+criterion_main!(benches);

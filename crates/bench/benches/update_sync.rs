@@ -1,0 +1,64 @@
+//! Server-side operation cost: `update` (coordinate a write) and `sync`
+//! (merge replica states) as the sibling set grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvv::server;
+use dvv::{ClientId, ReplicaId, VersionVector};
+use dvv_bench::sibling_fixtures;
+use kvstore::{StampedValue, WriteId};
+use std::hint::black_box;
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_update");
+    for siblings in [0usize, 1, 4, 16, 64] {
+        let (tagged, _) = sibling_fixtures(siblings);
+        let ctx = server::context(&tagged);
+        let value = StampedValue::new(WriteId::new(ClientId(9999), 1), vec![0u8; 16]);
+        group.bench_with_input(
+            BenchmarkId::new("resolving_write", siblings),
+            &siblings,
+            |b, _| {
+                b.iter(|| {
+                    let mut st = tagged.clone();
+                    server::update(&mut st, black_box(&ctx), ReplicaId(1), value.clone());
+                    black_box(st)
+                })
+            },
+        );
+        let empty = VersionVector::new();
+        group.bench_with_input(
+            BenchmarkId::new("blind_write", siblings),
+            &siblings,
+            |b, _| {
+                b.iter(|| {
+                    let mut st = tagged.clone();
+                    server::update(&mut st, black_box(&empty), ReplicaId(1), value.clone());
+                    black_box(st)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_sync");
+    for siblings in [1usize, 4, 16, 64] {
+        let (a, _) = sibling_fixtures(siblings);
+        let (b_state, _) = sibling_fixtures(siblings / 2 + 1);
+        group.bench_with_input(BenchmarkId::new("sync", siblings), &siblings, |b, _| {
+            b.iter(|| black_box(server::sync(black_box(&a), black_box(&b_state))))
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+        .sample_size(30)
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_update, bench_sync);
+criterion_main!(benches);

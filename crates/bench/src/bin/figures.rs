@@ -1,0 +1,79 @@
+//! Regenerates every table/figure of the reproduction (DESIGN.md §5).
+//!
+//! Run with `cargo run --release -p dvv-bench --bin figures` (optionally
+//! `-- --e4` etc. to select a single experiment). The captured output of
+//! one run is recorded in `EXPERIMENTS.md`.
+
+use dvv_bench::{
+    a1_repair_ablation, a2_read_repair_ablation, e1_e3_figure1, e4_compare, e5_metadata, e6_pruning, e7_latency,
+    e8_anomalies, e9_dvvset,
+};
+
+fn want(args: &[String], flag: &str) -> bool {
+    args.is_empty() || args.iter().any(|a| a == flag)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if want(&args, "--e1") || args.iter().any(|a| a == "--figure1") {
+        println!("== E1–E3 · Figure 1: two servers, three clients, three representations ==");
+        println!("{}", e1_e3_figure1().render());
+        println!("1b loses v2 at step v3@A; 1a and 1c keep v2 ∥ v3.\n");
+    }
+
+    if want(&args, "--e4") {
+        println!("== E4 · causality verification cost (ns/op) vs number of actors ==");
+        println!("{}", e4_compare(&[2, 8, 32, 128, 512, 2048], 200_000).render());
+        println!("dvv is flat (one lookup); vv scales with n; histories scale with events.\n");
+    }
+
+    if want(&args, "--e5") {
+        println!("== E5 · per-version causal metadata (bytes) vs concurrent clients ==");
+        println!("(3 replica servers, 1 hot key, read-modify-write sessions)");
+        println!("{}", e5_metadata(&[2, 4, 8, 16, 32, 64]).render());
+        println!("dvv/dvvset: bounded by replication degree; vv-client: grows with clients;");
+        println!("vv-server: small but UNSAFE (loses concurrent updates — see E8).\n");
+    }
+
+    if want(&args, "--e6") {
+        println!("== E6 · optimistic pruning is unsafe (16 clients, 5 seeds) ==");
+        println!("{}", e6_pruning(&[1, 2, 4, 8]).render());
+        println!("pruning bounds the vector only by introducing anomalies; dvv is both");
+        println!("small and clean.\n");
+    }
+
+    if want(&args, "--e7") {
+        println!("== E7 · request latency on a bandwidth-limited network (µs) ==");
+        println!("(1 MB/s links: every metadata byte costs 1 µs on the wire)");
+        println!("{}", e7_latency(&[4, 16, 64]).render());
+        println!("vv-client latency grows with the client population (bigger clocks on");
+        println!("the wire); dvv stays flat — the paper's Riak latency result.\n");
+    }
+
+    if want(&args, "--e8") {
+        println!("== E8 · causal correctness per mechanism (5 seeds, contended) ==");
+        println!("{}", e8_anomalies().render());
+        println!("only the mechanisms that decouple id from past (or track exact");
+        println!("histories) are anomaly-free with bounded metadata.\n");
+    }
+
+    if want(&args, "--e9") {
+        println!("== E9 · DVVSet ablation: one clock per sibling vs one per set ==");
+        println!("{}", e9_dvvset(&[1, 2, 4, 8, 16, 32], 20_000).render());
+        println!("dvvset metadata is O(servers) per *set* instead of per sibling.\n");
+    }
+
+    if want(&args, "--a1") {
+        println!("== A1 · ablation: anti-entropy interval vs post-heal convergence ==");
+        println!("{}", a1_repair_ablation(&[20, 50, 100, 500, 2000]).render());
+        println!("convergence latency tracks the anti-entropy period.\n");
+    }
+
+    if want(&args, "--a2") {
+        println!("== A2 · ablation: read repair with anti-entropy disabled ==");
+        println!("{}", a2_read_repair_ablation(&[1, 2, 3, 4, 5]).render());
+        println!("read repair opportunistically fixes keys that keep being read;");
+        println!("neither knob affects causal correctness, only freshness.\n");
+    }
+}

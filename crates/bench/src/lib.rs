@@ -1,0 +1,16 @@
+//! # dvv-bench — experiment runners behind every table and figure
+//!
+//! Each `eN_*` function regenerates one row set of the paper
+//! reproduction's experiment index (see `DESIGN.md` §5). The `figures`
+//! binary prints them; `EXPERIMENTS.md` records a captured run; the
+//! Criterion benches in `benches/` measure the hot operations with
+//! statistical rigour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Table;

@@ -1,0 +1,45 @@
+//! The [`Actor`] trait: identities that can own events.
+//!
+//! Every clock in this crate is generic over the type used to identify the
+//! entity that creates events — replica servers in the DVV design, clients
+//! in the per-client version-vector baseline, or plain strings in examples
+//! and the paper's figures.
+
+use core::fmt::Debug;
+use core::hash::Hash;
+
+/// An identity that can own events in a logical clock.
+///
+/// This is a blanket-implemented alias for the bounds every clock needs:
+/// cloneable, totally ordered (so clocks have a canonical iteration order
+/// and `Display` output is deterministic), hashable and debuggable.
+///
+/// # Examples
+///
+/// ```
+/// fn assert_actor<A: dvv::Actor>() {}
+/// assert_actor::<&str>();
+/// assert_actor::<String>();
+/// assert_actor::<u64>();
+/// assert_actor::<dvv::ReplicaId>();
+/// ```
+pub trait Actor: Clone + Eq + Ord + Hash + Debug {}
+
+impl<T: Clone + Eq + Ord + Hash + Debug> Actor for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::Actor;
+
+    fn takes_actor<A: Actor>(a: A) -> A {
+        a
+    }
+
+    #[test]
+    fn common_types_are_actors() {
+        assert_eq!(takes_actor("A"), "A");
+        assert_eq!(takes_actor(7u32), 7u32);
+        assert_eq!(takes_actor(String::from("srv")), "srv");
+        assert_eq!(takes_actor((1u8, 2u64)), (1, 2));
+    }
+}

@@ -1,0 +1,723 @@
+//! Compact binary encoding for clocks — the measurement instrument behind
+//! the paper's *metadata size* claims.
+//!
+//! The evaluation compares how much causal metadata each mechanism ships on
+//! the wire and stores per key. To keep that comparison honest and
+//! dependency-free, every clock type implements [`Encode`]: a simple
+//! LEB128-varint format (counters and lengths are varints, actors encode
+//! themselves). [`Encode::encoded_len`] gives the exact size in bytes
+//! without allocating.
+//!
+//! # Examples
+//!
+//! ```
+//! use dvv::encode::{Encode, Decoder};
+//! use dvv::VersionVector;
+//!
+//! let mut vv = VersionVector::new();
+//! vv.set(3u32, 100);
+//! let bytes = dvv::encode::to_bytes(&vv);
+//! assert_eq!(bytes.len(), vv.encoded_len());
+//! let back: VersionVector<u32> = dvv::encode::from_bytes(&bytes)?;
+//! assert_eq!(back, vv);
+//! # Ok::<(), dvv::DecodeError>(())
+//! ```
+
+use crate::actor::Actor;
+use crate::causal_history::CausalHistory;
+use crate::dot::Dot;
+use crate::dotted::Dvv;
+use crate::dvvset::DvvSet;
+use crate::error::DecodeError;
+use crate::ids::{ClientId, ReplicaId, WriterId};
+use crate::version_vector::VersionVector;
+use crate::vve::Vve;
+
+/// A cursor over input bytes for decoding.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder reading from `input`.
+    #[must_use]
+    pub fn new(input: &'a [u8]) -> Self {
+        Decoder { input, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEnd`] if the input is exhausted.
+    pub fn byte(&mut self) -> Result<u8, DecodeError> {
+        let b = self
+            .input
+            .get(self.pos)
+            .copied()
+            .ok_or(DecodeError::UnexpectedEnd { context: "byte" })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEnd`] if fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEnd { context: "bytes" });
+        }
+        let out = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEnd`] on truncation,
+    /// [`DecodeError::VarintOverflow`] past 10 bytes.
+    pub fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut out: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte().map_err(|_| DecodeError::UnexpectedEnd {
+                context: "varint",
+            })?;
+            if shift == 63 && b > 1 {
+                return Err(DecodeError::VarintOverflow);
+            }
+            out |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(DecodeError::VarintOverflow);
+            }
+        }
+    }
+}
+
+/// Appends a LEB128 varint to `buf`.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Number of bytes [`put_varint`] writes for `v`.
+#[must_use]
+pub fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        return 1;
+    }
+    (64 - v.leading_zeros() as usize).div_ceil(7)
+}
+
+/// Types with a canonical compact binary encoding.
+///
+/// Implementations must round-trip: `decode(encode(x)) == x`, and
+/// [`Encode::encoded_len`] must equal the number of bytes
+/// [`Encode::encode`] appends.
+pub trait Encode: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Exact size of the encoding in bytes.
+    fn encoded_len(&self) -> usize;
+
+    /// Reads a value back from `d`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] on malformed input.
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError>;
+}
+
+/// Encodes `value` into a fresh buffer.
+#[must_use]
+pub fn to_bytes<T: Encode>(value: &T) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(value.encoded_len());
+    value.encode(&mut buf);
+    buf
+}
+
+/// Decodes a value from `bytes`, requiring all input to be consumed.
+///
+/// # Errors
+///
+/// Any [`DecodeError`] on malformed input, or
+/// [`DecodeError::TrailingBytes`] if input remains after the value.
+pub fn from_bytes<T: Encode>(bytes: &[u8]) -> Result<T, DecodeError> {
+    let mut d = Decoder::new(bytes);
+    let v = T::decode(&mut d)?;
+    if d.remaining() > 0 {
+        return Err(DecodeError::TrailingBytes {
+            remaining: d.remaining(),
+        });
+    }
+    Ok(v)
+}
+
+impl Encode for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, *self);
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint_len(*self)
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        d.varint()
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, u64::from(*self));
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint_len(u64::from(*self))
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let v = d.varint()?;
+        u32::try_from(v).map_err(|_| DecodeError::InvalidValue {
+            reason: "u32 out of range",
+        })
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.len() as u64);
+        buf.extend_from_slice(self.as_bytes());
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = d.varint()? as usize;
+        let bytes = d.bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::InvalidUtf8)
+    }
+}
+
+impl Encode for Vec<u8> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.len() as u64);
+        buf.extend_from_slice(self);
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = d.varint()? as usize;
+        Ok(d.bytes(len)?.to_vec())
+    }
+}
+
+impl Encode for ReplicaId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(ReplicaId(u32::decode(d)?))
+    }
+}
+
+impl Encode for ClientId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(ClientId(u64::decode(d)?))
+    }
+}
+
+impl Encode for WriterId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            WriterId::Replica(r) => {
+                buf.push(0);
+                r.encode(buf);
+            }
+            WriterId::Client(c) => {
+                buf.push(1);
+                c.encode(buf);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            WriterId::Replica(r) => r.encoded_len(),
+            WriterId::Client(c) => c.encoded_len(),
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match d.byte()? {
+            0 => Ok(WriterId::Replica(ReplicaId::decode(d)?)),
+            1 => Ok(WriterId::Client(ClientId::decode(d)?)),
+            _ => Err(DecodeError::InvalidValue {
+                reason: "unknown writer-id tag",
+            }),
+        }
+    }
+}
+
+impl<A: Actor + Encode> Encode for Dot<A> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.actor().encode(buf);
+        put_varint(buf, self.counter());
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.actor().encoded_len() + varint_len(self.counter())
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let actor = A::decode(d)?;
+        let counter = d.varint()?;
+        if counter == 0 {
+            return Err(DecodeError::InvalidValue {
+                reason: "dot counter must be non-zero",
+            });
+        }
+        Ok(Dot::new(actor, counter))
+    }
+}
+
+impl<A: Actor + Encode> Encode for VersionVector<A> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.len() as u64);
+        for (a, c) in self.iter() {
+            a.encode(buf);
+            put_varint(buf, c);
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64)
+            + self
+                .iter()
+                .map(|(a, c)| a.encoded_len() + varint_len(c))
+                .sum::<usize>()
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let n = d.varint()? as usize;
+        let mut vv = VersionVector::new();
+        for _ in 0..n {
+            let a = A::decode(d)?;
+            let c = d.varint()?;
+            if c == 0 {
+                return Err(DecodeError::InvalidValue {
+                    reason: "version vector entries must be non-zero",
+                });
+            }
+            vv.set(a, c);
+        }
+        Ok(vv)
+    }
+}
+
+impl<A: Actor + Encode> Encode for Dvv<A> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.dot().encode(buf);
+        self.past().encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.dot().encoded_len() + self.past().encoded_len()
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let dot = Dot::decode(d)?;
+        let vv = VersionVector::decode(d)?;
+        if vv.contains(&dot) {
+            return Err(DecodeError::InvalidValue {
+                reason: "dvv past contains its own dot",
+            });
+        }
+        Ok(Dvv::new(dot, vv))
+    }
+}
+
+impl<A: Actor + Encode> Encode for CausalHistory<A> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.len() as u64);
+        for dot in self.iter() {
+            dot.encode(buf);
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.iter().map(Encode::encoded_len).sum::<usize>()
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let n = d.varint()? as usize;
+        let mut h = CausalHistory::new();
+        for _ in 0..n {
+            h.insert(Dot::decode(d)?);
+        }
+        Ok(h)
+    }
+}
+
+impl<A: Actor + Encode, V: Encode + Clone> Encode for DvvSet<A, V> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        // context entries, then per live value: (dot, value)
+        self.context().encode(buf);
+        put_varint(buf, self.sibling_count() as u64);
+        for (dot, v) in self.dotted_values() {
+            dot.encode(buf);
+            v.encode(buf);
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.context().encoded_len()
+            + varint_len(self.sibling_count() as u64)
+            + self
+                .dotted_values()
+                .map(|(dot, v)| dot.encoded_len() + v.encoded_len())
+                .sum::<usize>()
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let ctx = VersionVector::<A>::decode(d)?;
+        let n = d.varint()? as usize;
+        // never trust a length prefix for pre-allocation: a malformed input
+        // could claim exabytes. Each pair consumes at least 3 input bytes.
+        let mut pairs = Vec::with_capacity(n.min(d.remaining() / 3 + 1));
+        for _ in 0..n {
+            let dot = Dot::<A>::decode(d)?;
+            let v = V::decode(d)?;
+            pairs.push((dot, v));
+        }
+        rebuild_dvvset(&ctx, pairs)
+    }
+}
+
+/// Reconstructs a [`DvvSet`] from its context and live `(dot, value)`
+/// pairs. Fails if the pairs are inconsistent with the context (a live dot
+/// above the known counter, a gap, or duplicate dots).
+fn rebuild_dvvset<A: Actor, V>(
+    ctx: &VersionVector<A>,
+    pairs: Vec<(Dot<A>, V)>,
+) -> Result<DvvSet<A, V>, DecodeError> {
+    let mut by_actor: std::collections::BTreeMap<A, Vec<(u64, V)>> =
+        std::collections::BTreeMap::new();
+    for (dot, v) in pairs {
+        let (a, c) = dot.into_parts();
+        by_actor.entry(a).or_default().push((c, v));
+    }
+    let mut out = DvvSet::new();
+    for (actor, counter) in ctx.iter() {
+        // Live dots per actor must be the topmost counters, contiguous from
+        // the context's counter downward (newest first after sorting).
+        let mut items = by_actor.remove(actor).unwrap_or_default();
+        items.sort_by(|(a, _), (b, _)| b.cmp(a));
+        let contiguous_topmost = items
+            .iter()
+            .enumerate()
+            .all(|(i, (c, _))| *c == counter - i as u64 && *c > 0);
+        if !contiguous_topmost || items.len() as u64 > counter {
+            return Err(DecodeError::InvalidValue {
+                reason: "dvvset live dots must be the topmost contiguous counters",
+            });
+        }
+        let values: Vec<V> = items.into_iter().map(|(_, v)| v).collect();
+        out.insert_entry(actor.clone(), counter, values);
+    }
+    if !by_actor.is_empty() {
+        return Err(DecodeError::InvalidValue {
+            reason: "dvvset live dot for an actor missing from the context",
+        });
+    }
+    Ok(out)
+}
+
+impl<A: Actor + Encode> Encode for Vve<A> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let base = self.to_version_vector();
+        base.encode(buf);
+        let exceptions: Vec<Dot<A>> = collect_exceptions(self);
+        put_varint(buf, exceptions.len() as u64);
+        for e in &exceptions {
+            e.encode(buf);
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        let base = self.to_version_vector();
+        let exceptions: Vec<Dot<A>> = collect_exceptions(self);
+        base.encoded_len()
+            + varint_len(exceptions.len() as u64)
+            + exceptions.iter().map(Encode::encoded_len).sum::<usize>()
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let base = VersionVector::<A>::decode(d)?;
+        let n = d.varint()? as usize;
+        let mut v = Vve::from_version_vector(&base);
+        for _ in 0..n {
+            let e = Dot::<A>::decode(d)?;
+            if !v.except(&e) {
+                return Err(DecodeError::InvalidValue {
+                    reason: "vve exception above the actor's base counter",
+                });
+            }
+        }
+        Ok(v)
+    }
+}
+
+fn collect_exceptions<A: Actor>(v: &Vve<A>) -> Vec<Dot<A>> {
+    let base = v.to_version_vector();
+    let mut out = Vec::new();
+    for (actor, counter) in base.iter() {
+        for c in 1..=counter {
+            let dot = Dot::new(actor.clone(), c);
+            if !v.contains(&dot) {
+                out.push(dot);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "len mismatch for {v}");
+            let mut d = Decoder::new(&buf);
+            assert_eq!(d.varint().unwrap(), v);
+            assert_eq!(d.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overflow() {
+        let eleven = [0xffu8; 11];
+        let mut d = Decoder::new(&eleven);
+        assert_eq!(d.varint(), Err(DecodeError::VarintOverflow));
+        // 10 bytes encoding something ≥ 2^64
+        let too_big = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        let mut d = Decoder::new(&too_big);
+        assert_eq!(d.varint(), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut d = Decoder::new(&[0x80]);
+        assert!(matches!(
+            d.varint(),
+            Err(DecodeError::UnexpectedEnd { .. })
+        ));
+        let mut d = Decoder::new(&[]);
+        assert!(d.byte().is_err());
+        let mut d = Decoder::new(&[1, 2]);
+        assert!(d.bytes(3).is_err());
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        let s = String::from("hello");
+        let back: String = from_bytes(&to_bytes(&s)).unwrap();
+        assert_eq!(back, s);
+
+        let v: Vec<u8> = vec![1, 2, 3];
+        let back: Vec<u8> = from_bytes(&to_bytes(&v)).unwrap();
+        assert_eq!(back, v);
+
+        let r = ReplicaId(300);
+        let back: ReplicaId = from_bytes(&to_bytes(&r)).unwrap();
+        assert_eq!(back, r);
+
+        let c = ClientId(1 << 40);
+        let back: ClientId = from_bytes(&to_bytes(&c)).unwrap();
+        assert_eq!(back, c);
+
+        for w in [WriterId::from(ReplicaId(1)), WriterId::from(ClientId(2))] {
+            let back: WriterId = from_bytes(&to_bytes(&w)).unwrap();
+            assert_eq!(back, w);
+        }
+    }
+
+    #[test]
+    fn writer_id_bad_tag_rejected() {
+        let r: Result<WriterId, _> = from_bytes(&[9, 0]);
+        assert!(matches!(r, Err(DecodeError::InvalidValue { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&ReplicaId(1));
+        bytes.push(0);
+        let r: Result<ReplicaId, _> = from_bytes(&bytes);
+        assert_eq!(r, Err(DecodeError::TrailingBytes { remaining: 1 }));
+    }
+
+    #[test]
+    fn dot_roundtrip_and_zero_counter_rejected() {
+        let d = Dot::new(ReplicaId(2), 77);
+        let back: Dot<ReplicaId> = from_bytes(&to_bytes(&d)).unwrap();
+        assert_eq!(back, d);
+
+        let bad = to_bytes(&ReplicaId(2))
+            .into_iter()
+            .chain([0u8])
+            .collect::<Vec<_>>();
+        let r: Result<Dot<ReplicaId>, _> = from_bytes(&bad);
+        assert!(matches!(r, Err(DecodeError::InvalidValue { .. })));
+    }
+
+    #[test]
+    fn version_vector_roundtrip() {
+        let mut vv: VersionVector<ReplicaId> = VersionVector::new();
+        vv.set(ReplicaId(0), 5);
+        vv.set(ReplicaId(9), 1_000_000);
+        let bytes = to_bytes(&vv);
+        assert_eq!(bytes.len(), vv.encoded_len());
+        let back: VersionVector<ReplicaId> = from_bytes(&bytes).unwrap();
+        assert_eq!(back, vv);
+    }
+
+    #[test]
+    fn dvv_roundtrip_and_invalid_past_rejected() {
+        let mut past: VersionVector<ReplicaId> = VersionVector::new();
+        past.set(ReplicaId(0), 1);
+        let d = Dvv::new(Dot::new(ReplicaId(0), 3), past);
+        let bytes = to_bytes(&d);
+        assert_eq!(bytes.len(), d.encoded_len());
+        let back: Dvv<ReplicaId> = from_bytes(&bytes).unwrap();
+        assert_eq!(back, d);
+
+        // handcraft: dot (0,1) with past containing (0,1)
+        let mut bad = Vec::new();
+        ReplicaId(0).encode(&mut bad);
+        put_varint(&mut bad, 1); // dot counter
+        put_varint(&mut bad, 1); // one vv entry
+        ReplicaId(0).encode(&mut bad);
+        put_varint(&mut bad, 1); // counter covering the dot
+        let r: Result<Dvv<ReplicaId>, _> = from_bytes(&bad);
+        assert!(matches!(r, Err(DecodeError::InvalidValue { .. })));
+    }
+
+    #[test]
+    fn causal_history_roundtrip() {
+        let h: CausalHistory<ReplicaId> = [
+            Dot::new(ReplicaId(0), 1),
+            Dot::new(ReplicaId(0), 3),
+            Dot::new(ReplicaId(1), 2),
+        ]
+        .into_iter()
+        .collect();
+        let bytes = to_bytes(&h);
+        assert_eq!(bytes.len(), h.encoded_len());
+        let back: CausalHistory<ReplicaId> = from_bytes(&bytes).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn dvvset_roundtrip_simple() {
+        let mut s: DvvSet<ReplicaId, Vec<u8>> = DvvSet::new();
+        s.update(&VersionVector::new(), ReplicaId(0), vec![1]);
+        s.update(&VersionVector::new(), ReplicaId(0), vec![2]);
+        s.update(&VersionVector::new(), ReplicaId(1), vec![3]);
+        let bytes = to_bytes(&s);
+        assert_eq!(bytes.len(), s.encoded_len());
+        let back: DvvSet<ReplicaId, Vec<u8>> = from_bytes(&bytes).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn dvvset_roundtrip_with_obsolete_knowledge() {
+        let mut s: DvvSet<ReplicaId, Vec<u8>> = DvvSet::new();
+        s.update(&VersionVector::new(), ReplicaId(0), vec![1]);
+        let ctx = s.context();
+        s.update(&ctx, ReplicaId(0), vec![2]); // (0,1) obsolete, (0,2) live
+        let back: DvvSet<ReplicaId, Vec<u8>> = from_bytes(&to_bytes(&s)).unwrap();
+        assert_eq!(back, s);
+        assert!(back.contains(&Dot::new(ReplicaId(0), 1)));
+    }
+
+    #[test]
+    fn vve_roundtrip_with_exceptions() {
+        let v: Vve<ReplicaId> = [
+            Dot::new(ReplicaId(0), 1),
+            Dot::new(ReplicaId(0), 4),
+            Dot::new(ReplicaId(1), 1),
+        ]
+        .into_iter()
+        .collect();
+        let bytes = to_bytes(&v);
+        assert_eq!(bytes.len(), v.encoded_len());
+        let back: Vve<ReplicaId> = from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn dvv_is_smaller_than_equivalent_causal_history() {
+        // Size claim sanity: a long history costs O(1) entries as a DVV.
+        let mut past: VersionVector<ReplicaId> = VersionVector::new();
+        past.set(ReplicaId(0), 1000);
+        let d = Dvv::new(Dot::new(ReplicaId(0), 1001), past);
+        let h = d.to_causal_history();
+        assert!(d.encoded_len() < h.encoded_len() / 50);
+    }
+}

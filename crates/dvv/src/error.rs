@@ -1,0 +1,81 @@
+//! Error types for the `dvv` crate.
+
+use core::fmt;
+
+/// Error returned when decoding a clock from its binary encoding fails.
+///
+/// # Examples
+///
+/// ```
+/// use dvv::encode::{Decoder, Encode};
+/// let mut d = Decoder::new(&[0x80]); // truncated varint
+/// assert!(u64::decode(&mut d).is_err());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    UnexpectedEnd {
+        /// What was being decoded when the input ran out.
+        context: &'static str,
+    },
+    /// A varint was longer than the maximum 10 bytes for a `u64`.
+    VarintOverflow,
+    /// A length prefix or counter had a value that violates an invariant
+    /// (e.g. a zero dot counter).
+    InvalidValue {
+        /// Description of the violated invariant.
+        reason: &'static str,
+    },
+    /// Bytes claimed to be UTF-8 were not.
+    InvalidUtf8,
+    /// Decoding finished but input bytes remain (strict decoding only).
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd { context } => {
+                write!(f, "unexpected end of input while decoding {context}")
+            }
+            DecodeError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            DecodeError::InvalidValue { reason } => write!(f, "invalid value: {reason}"),
+            DecodeError::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = DecodeError::UnexpectedEnd { context: "dot" };
+        assert_eq!(e.to_string(), "unexpected end of input while decoding dot");
+        assert_eq!(DecodeError::VarintOverflow.to_string(), "varint exceeds 64 bits");
+        assert_eq!(
+            DecodeError::TrailingBytes { remaining: 3 }.to_string(),
+            "3 trailing bytes after value"
+        );
+        assert_eq!(DecodeError::InvalidUtf8.to_string(), "invalid UTF-8 in string");
+        assert_eq!(
+            DecodeError::InvalidValue { reason: "zero dot" }.to_string(),
+            "invalid value: zero dot"
+        );
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<DecodeError>();
+    }
+}

@@ -1,0 +1,437 @@
+//! [`ClientNode`]: a closed-loop client session issuing read-modify-write
+//! cycles, with timeouts, retries, and the observation log the oracle
+//! needs.
+
+use std::collections::BTreeMap;
+
+use dvv::mechanisms::Mechanism;
+use dvv::{ClientId, ReplicaId};
+use ring::{HashRing, Membership};
+use simnet::{NodeId, ProcessCtx, SimTime, TimerId};
+use workloads::{Histogram, KeySpace, Popularity};
+
+use crate::config::ClientConfig;
+use crate::messages::{Msg, ReqId};
+use crate::value::{Key, StampedValue, WriteId};
+
+/// One logged write: what the client wrote and what it had observed —
+/// the raw material for ground-truth causality reconstruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WriteLogEntry {
+    /// Key written.
+    pub key: Key,
+    /// Identity of the write.
+    pub id: WriteId,
+    /// Writes whose values this client had observed (from its latest read
+    /// of the key) when it issued this write.
+    pub observed: Vec<WriteId>,
+    /// Whether the store acknowledged the write.
+    pub acked: bool,
+}
+
+/// Latency and outcome counters for one client.
+#[derive(Clone, Debug, Default)]
+pub struct ClientStats {
+    /// GET round-trip latencies (µs).
+    pub get_latency: Histogram,
+    /// PUT round-trip latencies (µs).
+    pub put_latency: Histogram,
+    /// Cycles abandoned after exhausting retries.
+    pub failed_cycles: u64,
+    /// Individual request retries.
+    pub retries: u64,
+}
+
+#[derive(Debug)]
+enum Kind<M: Mechanism<StampedValue>> {
+    Get,
+    Put { value: StampedValue, ctx: M::Context },
+}
+
+#[derive(Debug)]
+struct InFlight<M: Mechanism<StampedValue>> {
+    req: ReqId,
+    key: Key,
+    kind: Kind<M>,
+    sent_at: SimTime,
+    retries: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClientTimer {
+    Think,
+    Timeout(ReqId),
+}
+
+/// A closed-loop client process: `GET key → PUT key (with context) →
+/// think → repeat`, over a Zipf-popular key space.
+#[derive(Debug)]
+pub struct ClientNode<M: Mechanism<StampedValue>> {
+    client: ClientId,
+    node_index: u32,
+    mech: M,
+    config: ClientConfig,
+    replication: usize,
+    header_bytes: usize,
+    ring: HashRing<ReplicaId>,
+    membership: Membership<ReplicaId>,
+    keyspace: KeySpace,
+    contexts: BTreeMap<Key, M::Context>,
+    observed: BTreeMap<Key, Vec<WriteId>>,
+    write_seq: u64,
+    cycles_done: u32,
+    next_req: u64,
+    current: Option<InFlight<M>>,
+    timers: BTreeMap<TimerId, ClientTimer>,
+    /// Public write log for the oracle.
+    write_log: Vec<WriteLogEntry>,
+    stats: ClientStats,
+    done: bool,
+}
+
+impl<M: Mechanism<StampedValue>> ClientNode<M> {
+    /// Creates a client. `node_index` is its simulation node id (servers
+    /// occupy `0..server_count`); `replication` is the store's N.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        client: ClientId,
+        node_index: u32,
+        mech: M,
+        config: ClientConfig,
+        replication: usize,
+        header_bytes: usize,
+        ring: HashRing<ReplicaId>,
+        membership: Membership<ReplicaId>,
+    ) -> Self {
+        let keyspace = KeySpace::new(
+            "key",
+            config.key_count,
+            if config.zipf_alpha > 0.0 {
+                Popularity::Zipf(config.zipf_alpha)
+            } else {
+                Popularity::Uniform
+            },
+        );
+        ClientNode {
+            client,
+            node_index,
+            mech,
+            config,
+            replication,
+            header_bytes,
+            ring,
+            membership,
+            keyspace,
+            contexts: BTreeMap::new(),
+            observed: BTreeMap::new(),
+            write_seq: 0,
+            cycles_done: 0,
+            next_req: 0,
+            current: None,
+            timers: BTreeMap::new(),
+            write_log: Vec::new(),
+            stats: ClientStats::default(),
+            done: false,
+        }
+    }
+
+    /// Whether the session has completed all its cycles.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Completed cycles so far.
+    pub fn cycles_done(&self) -> u32 {
+        self.cycles_done
+    }
+
+    /// This session's client id.
+    pub fn client_id(&self) -> ClientId {
+        self.client
+    }
+
+    /// The observation log for the oracle.
+    pub fn write_log(&self) -> &[WriteLogEntry] {
+        &self.write_log
+    }
+
+    /// Latency/outcome counters.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// Marks a replica up/down in this client's routing view.
+    pub fn set_peer_status(&mut self, peer: ReplicaId, up: bool) {
+        if up {
+            self.membership.mark_up(&peer);
+        } else {
+            self.membership.mark_down(&peer);
+        }
+    }
+
+    fn fresh_req(&mut self) -> ReqId {
+        self.next_req += 1;
+        (u64::from(self.node_index) << 32) | self.next_req
+    }
+
+    fn send(&self, ctx: &mut ProcessCtx<'_, Msg<M>>, to: NodeId, msg: Msg<M>) {
+        let bytes = msg.wire_size(&self.mech) + self.header_bytes;
+        ctx.send(to, msg, bytes);
+    }
+
+    fn pick_coordinator(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, key: &[u8]) -> Option<NodeId> {
+        let (active, _) =
+            self.membership
+                .sloppy_preference_list(&self.ring, key, self.replication);
+        if active.is_empty() {
+            return None;
+        }
+        let pick = ctx.rng().range_u64(0, active.len() as u64) as usize;
+        Some(NodeId(active[pick].0))
+    }
+
+    fn arm_timeout(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, req: ReqId) {
+        let t = ctx.set_timer(self.config.request_timeout);
+        self.timers.insert(t, ClientTimer::Timeout(req));
+    }
+
+    fn begin_cycle(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+        if self.cycles_done >= self.config.cycles {
+            self.done = true;
+            return;
+        }
+        let u = ctx.rng().unit_f64();
+        let key = self.keyspace.sample_key(u);
+        self.issue_get(ctx, key, 0);
+    }
+
+    fn issue_get(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, key: Key, retries: u32) {
+        let req = self.fresh_req();
+        let Some(coord) = self.pick_coordinator(ctx, &key) else {
+            self.abandon_cycle(ctx);
+            return;
+        };
+        self.current = Some(InFlight {
+            req,
+            key: key.clone(),
+            kind: Kind::Get,
+            sent_at: ctx.now(),
+            retries,
+        });
+        self.send(ctx, coord, Msg::ClientGet { req, key });
+        self.arm_timeout(ctx, req);
+    }
+
+    fn issue_put(
+        &mut self,
+        ctx: &mut ProcessCtx<'_, Msg<M>>,
+        key: Key,
+        value: StampedValue,
+        put_ctx: M::Context,
+        retries: u32,
+    ) {
+        let req = self.fresh_req();
+        let Some(coord) = self.pick_coordinator(ctx, &key) else {
+            self.abandon_cycle(ctx);
+            return;
+        };
+        self.current = Some(InFlight {
+            req,
+            key: key.clone(),
+            kind: Kind::Put {
+                value: value.clone(),
+                ctx: put_ctx.clone(),
+            },
+            sent_at: ctx.now(),
+            retries,
+        });
+        self.send(
+            ctx,
+            coord,
+            Msg::ClientPut {
+                req,
+                key,
+                value,
+                ctx: put_ctx,
+            },
+        );
+        self.arm_timeout(ctx, req);
+    }
+
+    fn abandon_cycle(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+        self.stats.failed_cycles += 1;
+        self.current = None;
+        self.cycles_done += 1; // the cycle is spent even though it failed
+        self.think_then_continue(ctx);
+    }
+
+    fn think_then_continue(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+        if self.cycles_done >= self.config.cycles {
+            self.done = true;
+            return;
+        }
+        let t = ctx.set_timer(self.config.think_time);
+        self.timers.insert(t, ClientTimer::Think);
+    }
+
+    fn record_observation(&mut self, key: &Key, values: &[StampedValue], read_ctx: M::Context) {
+        // Session causality: contexts and observations *accumulate* — a
+        // later quorum read may return less than an earlier one saw, and
+        // replacing would regress the session (and could make this
+        // client's next write falsely concurrent with its own past).
+        match self.contexts.get_mut(key) {
+            Some(existing) => self.mech.merge_contexts(existing, &read_ctx),
+            None => {
+                self.contexts.insert(key.clone(), read_ctx);
+            }
+        }
+        let observed = self.observed.entry(key.clone()).or_default();
+        for v in values {
+            if !observed.contains(&v.id) {
+                observed.push(v.id);
+            }
+        }
+    }
+
+    fn retry_or_abandon(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, flight: InFlight<M>) {
+        if flight.retries >= self.config.max_retries {
+            self.abandon_cycle(ctx);
+            return;
+        }
+        self.stats.retries += 1;
+        match flight.kind {
+            Kind::Get => self.issue_get(ctx, flight.key, flight.retries + 1),
+            Kind::Put { ctx: put_ctx, value } => {
+                // A retried PUT is a *new physical write*: the first
+                // attempt may have been applied before its ack was lost,
+                // in which case the two attempts are genuinely concurrent
+                // versions (at-least-once delivery). Give the retry a
+                // fresh identity and its own log entry so the oracle
+                // models exactly that.
+                let value = self.stamp_new_write(&flight.key, value.tombstone);
+                self.issue_put(ctx, flight.key, value, put_ctx, flight.retries + 1)
+            }
+        }
+    }
+
+    /// Mints a fresh stamped value (or tombstone) for `key` and logs the
+    /// write against the client's current observations of that key.
+    fn stamp_new_write(&mut self, key: &Key, tombstone: bool) -> StampedValue {
+        self.write_seq += 1;
+        let id = WriteId::new(self.client, self.write_seq);
+        self.write_log.push(WriteLogEntry {
+            key: key.clone(),
+            id,
+            observed: self.observed.get(key).cloned().unwrap_or_default(),
+            acked: false,
+        });
+        if tombstone {
+            StampedValue::tombstone(id)
+        } else {
+            let mut payload = self.write_seq.to_le_bytes().to_vec();
+            payload.resize(self.config.value_size.max(8), 0xA5);
+            StampedValue::new(id, payload)
+        }
+    }
+
+    /// Entry point: dispatches one message.
+    pub fn on_message(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, _from: NodeId, msg: Msg<M>) {
+        match msg {
+            Msg::ClientGetResp { req, ok, values, ctx: read_ctx } => {
+                let Some(flight) = self.current.take() else { return };
+                if flight.req != req || !matches!(flight.kind, Kind::Get) {
+                    self.current = Some(flight); // stale response
+                    return;
+                }
+                if !ok {
+                    self.retry_or_abandon(ctx, flight);
+                    return;
+                }
+                self.stats
+                    .get_latency
+                    .record((ctx.now() - flight.sent_at).as_micros());
+                self.record_observation(&flight.key, &values, read_ctx);
+
+                // per the workload mix, some cycles are read-only
+                if self.config.read_only_fraction > 0.0
+                    && ctx.rng().chance(self.config.read_only_fraction)
+                {
+                    self.cycles_done += 1;
+                    self.think_then_continue(ctx);
+                    return;
+                }
+
+                // read-modify-write: issue the put (or, per the workload
+                // mix, a causal delete) under the fresh context
+                let tombstone = self.config.delete_fraction > 0.0
+                    && ctx.rng().chance(self.config.delete_fraction);
+                let value = self.stamp_new_write(&flight.key, tombstone);
+                let put_ctx = self
+                    .contexts
+                    .get(&flight.key)
+                    .cloned()
+                    .unwrap_or_default();
+                self.issue_put(ctx, flight.key, value, put_ctx, 0);
+            }
+            Msg::ClientPutResp { req, ok, values, ctx: read_ctx } => {
+                let Some(flight) = self.current.take() else { return };
+                if flight.req != req || !matches!(flight.kind, Kind::Put { .. }) {
+                    self.current = Some(flight);
+                    return;
+                }
+                if !ok {
+                    self.retry_or_abandon(ctx, flight);
+                    return;
+                }
+                self.stats
+                    .put_latency
+                    .record((ctx.now() - flight.sent_at).as_micros());
+                if let Kind::Put { value, .. } = &flight.kind {
+                    let id = value.id;
+                    if let Some(entry) = self
+                        .write_log
+                        .iter_mut()
+                        .rev()
+                        .find(|e| e.id == id)
+                    {
+                        entry.acked = true;
+                    }
+                }
+                // return_body: refresh context and observations
+                self.record_observation(&flight.key, &values, read_ctx);
+                self.cycles_done += 1;
+                self.think_then_continue(ctx);
+            }
+            // clients receive nothing else
+            _ => {}
+        }
+    }
+
+    /// Entry point: kicks off the first cycle.
+    pub fn on_start(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+        // Stagger session starts a little so clients do not phase-lock.
+        let jitter = simnet::Duration::from_micros(ctx.rng().range_u64(0, 500));
+        let t = ctx.set_timer(jitter);
+        self.timers.insert(t, ClientTimer::Think);
+    }
+
+    /// Entry point: dispatches one timer.
+    pub fn on_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, timer: TimerId) {
+        match self.timers.remove(&timer) {
+            Some(ClientTimer::Think) if self.current.is_none() && !self.done => {
+                self.begin_cycle(ctx);
+            }
+            Some(ClientTimer::Think) => {}
+            Some(ClientTimer::Timeout(req)) => {
+                if let Some(flight) = self.current.take() {
+                    if flight.req == req {
+                        self.retry_or_abandon(ctx, flight);
+                    } else {
+                        self.current = Some(flight);
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+}

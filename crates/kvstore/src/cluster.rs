@@ -1,0 +1,482 @@
+//! [`Cluster`]: wires servers and clients into a simulation and provides
+//! the measurement surface used by tests, examples and benchmarks.
+
+use std::collections::BTreeSet;
+
+use dvv::mechanisms::Mechanism;
+use dvv::{ClientId, ReplicaId};
+use ring::{HashRing, Membership};
+use simnet::{
+    Duration, NetworkConfig, NodeId, Process, ProcessCtx, SimTime, Simulation, TimerId,
+};
+use workloads::Histogram;
+
+use crate::client::ClientNode;
+use crate::config::{ClientConfig, StoreConfig};
+use crate::messages::Msg;
+use crate::node::StoreNode;
+use crate::oracle::{AnomalyReport, Oracle};
+use crate::value::{StampedValue, WriteId};
+
+/// A simulation process: either a replica server or a client session.
+///
+/// The variants differ in size but each node holds exactly one for the
+/// whole run, so boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum StoreProc<M: Mechanism<StampedValue>> {
+    /// Replica server.
+    Server(StoreNode<M>),
+    /// Client session.
+    Client(ClientNode<M>),
+}
+
+impl<M: Mechanism<StampedValue>> Process for StoreProc<M> {
+    type Msg = Msg<M>;
+
+    fn on_start(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+        match self {
+            StoreProc::Server(s) => s.on_start(ctx),
+            StoreProc::Client(c) => c.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, from: NodeId, msg: Msg<M>) {
+        match self {
+            StoreProc::Server(s) => s.on_message(ctx, from, msg),
+            StoreProc::Client(c) => c.on_message(ctx, from, msg),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, timer: TimerId) {
+        match self {
+            StoreProc::Server(s) => s.on_timer(ctx, timer),
+            StoreProc::Client(c) => c.on_timer(ctx, timer),
+        }
+    }
+}
+
+/// Complete experiment configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of replica servers.
+    pub servers: usize,
+    /// Number of client sessions.
+    pub clients: usize,
+    /// Read-modify-write cycles per client.
+    pub cycles_per_client: u32,
+    /// Store protocol parameters.
+    pub store: StoreConfig,
+    /// Client session parameters (its `cycles` field is overridden by
+    /// `cycles_per_client`).
+    pub client: ClientConfig,
+    /// Network characteristics.
+    pub network: NetworkConfig,
+    /// Hard stop on virtual time (guards against misconfigured runs).
+    pub deadline: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            servers: 3,
+            clients: 4,
+            cycles_per_client: 20,
+            store: StoreConfig::default(),
+            client: ClientConfig::default(),
+            network: NetworkConfig::default(),
+            deadline: Duration::from_secs(600),
+        }
+    }
+}
+
+/// Aggregated client latency statistics.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyReport {
+    /// All GET latencies (µs).
+    pub get: Histogram,
+    /// All PUT latencies (µs).
+    pub put: Histogram,
+    /// Cycles abandoned after retries.
+    pub failed_cycles: u64,
+    /// Request retries.
+    pub retries: u64,
+}
+
+/// Metadata-size statistics over the converged store.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MetadataReport {
+    /// Total causal-metadata bytes across replicas and keys.
+    pub total_bytes: usize,
+    /// Mean metadata bytes per key per replica.
+    pub mean_bytes_per_key: f64,
+    /// Largest per-key metadata at any replica.
+    pub max_bytes_per_key: usize,
+    /// Mean sibling count per key.
+    pub mean_siblings: f64,
+    /// Largest sibling set.
+    pub max_siblings: usize,
+}
+
+/// A running store cluster: `servers` replica nodes and `clients`
+/// session nodes on a simulated network.
+#[derive(Debug)]
+pub struct Cluster<M: Mechanism<StampedValue>> {
+    sim: Simulation<StoreProc<M>>,
+    mech: M,
+    servers: usize,
+    clients: usize,
+    deadline: SimTime,
+}
+
+impl<M: Mechanism<StampedValue>> Cluster<M> {
+    /// Builds a cluster. All randomness derives from `seed`.
+    pub fn new(seed: u64, mech: M, config: ClusterConfig) -> Self {
+        assert!(config.servers > 0, "need at least one server");
+        config.store.validate();
+        assert!(
+            config.store.n <= config.servers,
+            "replication factor exceeds server count"
+        );
+        let replicas: Vec<ReplicaId> = (0..config.servers as u32).map(ReplicaId).collect();
+        let ring = HashRing::with_vnodes(replicas.iter().copied(), 32);
+        let membership = Membership::new(replicas.iter().copied());
+
+        let mut procs: Vec<StoreProc<M>> = Vec::with_capacity(config.servers + config.clients);
+        for r in &replicas {
+            procs.push(StoreProc::Server(StoreNode::new(
+                *r,
+                mech.clone(),
+                config.store,
+                ring.clone(),
+                membership.clone(),
+            )));
+        }
+        for j in 0..config.clients {
+            let node_index = (config.servers + j) as u32;
+            let mut client_cfg = config.client.clone();
+            client_cfg.cycles = config.cycles_per_client;
+            procs.push(StoreProc::Client(ClientNode::new(
+                ClientId(j as u64),
+                node_index,
+                mech.clone(),
+                client_cfg,
+                config.store.n,
+                config.store.header_bytes,
+                ring.clone(),
+                membership.clone(),
+            )));
+        }
+        Cluster {
+            sim: Simulation::new(seed, config.network, procs),
+            mech,
+            servers: config.servers,
+            clients: config.clients,
+            deadline: SimTime::ZERO + config.deadline,
+        }
+    }
+
+    /// The underlying simulation (for partitions, traces, time).
+    pub fn sim(&self) -> &Simulation<StoreProc<M>> {
+        &self.sim
+    }
+
+    /// Mutable access to the simulation (partitions, fault injection).
+    pub fn sim_mut(&mut self) -> &mut Simulation<StoreProc<M>> {
+        &mut self.sim
+    }
+
+    /// Read access to server `i`'s store node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a server index.
+    pub fn server(&self, i: usize) -> &StoreNode<M> {
+        match self.sim.process(i) {
+            StoreProc::Server(s) => s,
+            StoreProc::Client(_) => panic!("node {i} is a client"),
+        }
+    }
+
+    /// Read access to client `j`'s session node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is not a client index.
+    pub fn client(&self, j: usize) -> &ClientNode<M> {
+        match self.sim.process(self.servers + j) {
+            StoreProc::Client(c) => c,
+            StoreProc::Server(_) => panic!("node {j} is a server"),
+        }
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers
+    }
+
+    /// Number of clients.
+    pub fn client_count(&self) -> usize {
+        self.clients
+    }
+
+    /// Marks `replica` down (or up) in every node's failure-detector view
+    /// — a global, instantaneous detector, keeping experiments
+    /// deterministic.
+    pub fn set_replica_status(&mut self, replica: ReplicaId, up: bool) {
+        for i in 0..(self.servers + self.clients) {
+            match self.sim.process_mut(i) {
+                StoreProc::Server(s) => s.set_peer_status(replica, up),
+                StoreProc::Client(c) => c.set_peer_status(replica, up),
+            }
+        }
+    }
+
+    /// Runs until every client finishes its session (or the deadline).
+    /// Returns whether all clients finished.
+    pub fn run(&mut self) -> bool {
+        loop {
+            let all_done = (0..self.clients).all(|j| self.client(j).is_done());
+            if all_done {
+                return true;
+            }
+            if self.sim.now() >= self.deadline {
+                return false;
+            }
+            let next = self.sim.now() + Duration::from_millis(100);
+            self.sim.run_until(next.min(self.deadline));
+        }
+    }
+
+    /// Runs the simulation for `span` of virtual time (e.g. to let AAE
+    /// converge replicas through the protocol itself).
+    pub fn run_for(&mut self, span: Duration) {
+        let target = self.sim.now() + span;
+        self.sim.run_until(target);
+    }
+
+    /// Deterministically merges every key across all servers until a
+    /// fixpoint — the "infinite anti-entropy" end state the audits are
+    /// defined against. Bypasses the network (test-harness operation).
+    pub fn converge(&mut self) {
+        loop {
+            let mut changed = false;
+            // gather the global merge of every key
+            let mut global: std::collections::BTreeMap<crate::value::Key, M::State> =
+                std::collections::BTreeMap::new();
+            for i in 0..self.servers {
+                let StoreProc::Server(s) = self.sim.process(i) else { continue };
+                for (k, st) in s.data() {
+                    let entry = global.entry(k.clone()).or_default();
+                    self.mech.merge(entry, st);
+                }
+            }
+            for i in 0..self.servers {
+                let StoreProc::Server(s) = self.sim.process_mut(i) else { continue };
+                for (k, st) in &global {
+                    let before = s.data().get(k).cloned();
+                    s.merge_state_direct(k, st);
+                    if s.data().get(k) != before.as_ref() {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    /// Builds the ground-truth oracle from all client logs.
+    pub fn oracle(&self) -> Oracle {
+        let logs = (0..self.clients).flat_map(|j| self.client(j).write_log().iter());
+        Oracle::from_logs(logs)
+    }
+
+    /// The surviving write ids for `key` at server `i` (tombstones
+    /// included — they are writes).
+    pub fn surviving_at(&self, i: usize, key: &[u8]) -> BTreeSet<WriteId> {
+        let s = self.server(i);
+        match s.data().get(key) {
+            None => BTreeSet::new(),
+            Some(st) => {
+                let (values, _) = self.mech.read(st);
+                values.into_iter().map(|v| v.id).collect()
+            }
+        }
+    }
+
+    /// The application-visible (non-tombstone) values for `key` at
+    /// server `i`.
+    pub fn live_values_at(&self, i: usize, key: &[u8]) -> Vec<StampedValue> {
+        let s = self.server(i);
+        match s.data().get(key) {
+            None => Vec::new(),
+            Some(st) => {
+                let (values, _) = self.mech.read(st);
+                values.into_iter().filter(StampedValue::is_live).collect()
+            }
+        }
+    }
+
+    /// Reclaims fully-deleted keys on every server. Call only after
+    /// [`Cluster::converge`]: premature collection would let anti-entropy
+    /// resurrect deleted data. Returns keys reclaimed per server.
+    pub fn collect_garbage(&mut self) -> Vec<usize> {
+        (0..self.servers)
+            .map(|i| match self.sim.process_mut(i) {
+                StoreProc::Server(s) => s.collect_garbage(),
+                StoreProc::Client(_) => 0,
+            })
+            .collect()
+    }
+
+    /// Audits the converged store against the oracle. Call after
+    /// [`Cluster::run`] + [`Cluster::converge`].
+    pub fn anomaly_report(&self) -> AnomalyReport {
+        let oracle = self.oracle();
+        let mut report = AnomalyReport::default();
+        for j in 0..self.clients {
+            for e in self.client(j).write_log() {
+                report.total_writes += 1;
+                if e.acked {
+                    report.acked_writes += 1;
+                }
+            }
+        }
+        for key in oracle.keys() {
+            report.keys += 1;
+            let surviving = self.surviving_at(0, &key);
+            report.surviving_values += surviving.len() as u64;
+            let (lost, fc) = oracle.audit_key(&key, &surviving);
+            report.lost_updates += lost;
+            report.false_concurrency += fc;
+        }
+        report
+    }
+
+    /// Aggregates all clients' latency statistics.
+    pub fn latency_report(&self) -> LatencyReport {
+        let mut out = LatencyReport::default();
+        for j in 0..self.clients {
+            let s = self.client(j).stats();
+            out.get.merge(&s.get_latency);
+            out.put.merge(&s.put_latency);
+            out.failed_cycles += s.failed_cycles;
+            out.retries += s.retries;
+        }
+        out
+    }
+
+    /// Measures causal metadata across the (ideally converged) store.
+    pub fn metadata_report(&self) -> MetadataReport {
+        let mut out = MetadataReport::default();
+        let mut key_instances = 0usize;
+        for i in 0..self.servers {
+            let s = self.server(i);
+            for st in s.data().values() {
+                let bytes = self.mech.metadata_size(st);
+                let siblings = self.mech.sibling_count(st);
+                out.total_bytes += bytes;
+                out.max_bytes_per_key = out.max_bytes_per_key.max(bytes);
+                out.max_siblings = out.max_siblings.max(siblings);
+                out.mean_siblings += siblings as f64;
+                key_instances += 1;
+            }
+        }
+        if key_instances > 0 {
+            out.mean_bytes_per_key = out.total_bytes as f64 / key_instances as f64;
+            out.mean_siblings /= key_instances as f64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvv::mechanisms::DvvMechanism;
+
+    fn small() -> ClusterConfig {
+        ClusterConfig {
+            servers: 3,
+            clients: 3,
+            cycles_per_client: 5,
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn cluster_runs_to_completion() {
+        let mut c = Cluster::new(1, DvvMechanism, small());
+        assert!(c.run(), "all clients finish");
+        assert!(c.sim().now() > SimTime::ZERO);
+        for j in 0..3 {
+            assert_eq!(c.client(j).cycles_done(), 5);
+        }
+    }
+
+    #[test]
+    fn dvv_cluster_is_anomaly_free() {
+        let mut c = Cluster::new(2, DvvMechanism, small());
+        assert!(c.run());
+        c.converge();
+        let report = c.anomaly_report();
+        assert_eq!(report.total_writes, 15);
+        assert!(report.is_clean(), "{report:?}");
+        assert!(report.surviving_values >= report.keys, "at least one value per key");
+    }
+
+    #[test]
+    fn converge_is_idempotent_and_equalizes_servers() {
+        let mut c = Cluster::new(3, DvvMechanism, small());
+        c.run();
+        c.converge();
+        for key in c.oracle().keys() {
+            let s0 = c.surviving_at(0, &key);
+            for i in 1..c.server_count() {
+                assert_eq!(s0, c.surviving_at(i, &key), "server {i} differs");
+            }
+        }
+    }
+
+    #[test]
+    fn latency_and_metadata_reports_have_data() {
+        let mut c = Cluster::new(4, DvvMechanism, small());
+        c.run();
+        c.converge();
+        let lat = c.latency_report();
+        assert!(lat.get.count() > 0);
+        assert!(lat.put.count() > 0);
+        assert!(lat.get.mean() > 0.0);
+        let meta = c.metadata_report();
+        assert!(meta.total_bytes > 0);
+        assert!(meta.mean_siblings >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut c = Cluster::new(seed, DvvMechanism, small());
+            c.run();
+            c.converge();
+            (
+                c.sim().now(),
+                c.anomaly_report(),
+                c.sim().network().stats().delivered,
+            )
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor exceeds")]
+    fn n_larger_than_servers_rejected() {
+        let cfg = ClusterConfig {
+            servers: 2,
+            ..ClusterConfig::default()
+        };
+        let _ = Cluster::new(0, DvvMechanism, cfg);
+    }
+}

@@ -1,0 +1,186 @@
+//! A Merkle summary of a replica's keyspace, used by anti-entropy to
+//! detect divergence cheaply before exchanging any state.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use crate::value::Key;
+
+/// Hashes any `Hash` state deterministically (fixed-key SipHash).
+#[must_use]
+pub fn fingerprint<T: Hash>(value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// A two-level Merkle summary: per-key leaf hashes combined into a root.
+///
+/// Anti-entropy first exchanges roots (8 bytes); only on mismatch are the
+/// leaf hashes exchanged (12–40 bytes per key), and only for keys whose
+/// leaves differ is actual state shipped. This mirrors Riak's AAE trees,
+/// flattened to two levels — sufficient for the simulated scale while
+/// keeping message sizes honest.
+///
+/// # Examples
+///
+/// ```
+/// use kvstore::merkle::MerkleSummary;
+/// let mut a = MerkleSummary::new();
+/// a.set(b"k1".to_vec(), 11);
+/// let mut b = a.clone();
+/// assert_eq!(a.root(), b.root());
+/// b.set(b"k2".to_vec(), 22);
+/// assert_ne!(a.root(), b.root());
+/// assert_eq!(a.diff(&b), vec![b"k2".to_vec()]);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MerkleSummary {
+    leaves: BTreeMap<Key, u64>,
+}
+
+impl MerkleSummary {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        MerkleSummary {
+            leaves: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the leaf hash for `key`.
+    pub fn set(&mut self, key: Key, leaf_hash: u64) {
+        self.leaves.insert(key, leaf_hash);
+    }
+
+    /// Removes a key's leaf.
+    pub fn remove(&mut self, key: &[u8]) {
+        self.leaves.remove(key);
+    }
+
+    /// The root hash over all leaves (order-independent by construction:
+    /// leaves are combined in key order from the sorted map).
+    #[must_use]
+    pub fn root(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for (k, v) in &self.leaves {
+            k.hash(&mut h);
+            v.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Number of keys summarised.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Whether no keys are summarised.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// The `(key, leaf)` pairs in key order.
+    #[must_use]
+    pub fn leaves(&self) -> Vec<(Key, u64)> {
+        self.leaves.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Keys whose leaf differs from or is missing relative to `other` —
+    /// i.e. keys where *other* has data we lack or disagree with.
+    #[must_use]
+    pub fn diff(&self, other: &MerkleSummary) -> Vec<Key> {
+        let mut out = Vec::new();
+        for (k, theirs) in &other.leaves {
+            if self.leaves.get(k) != Some(theirs) {
+                out.push(k.clone());
+            }
+        }
+        out
+    }
+
+    /// Wire size of a leaf exchange: 8 bytes of hash plus the key bytes
+    /// and a small length prefix per key.
+    #[must_use]
+    pub fn leaves_wire_size(&self) -> usize {
+        self.leaves.keys().map(|k| k.len() + 10).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_reflects_content() {
+        let mut a = MerkleSummary::new();
+        assert!(a.is_empty());
+        let empty_root = a.root();
+        a.set(b"x".to_vec(), 1);
+        assert_ne!(a.root(), empty_root);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn identical_summaries_share_root() {
+        let mut a = MerkleSummary::new();
+        let mut b = MerkleSummary::new();
+        for i in 0..10u8 {
+            a.set(vec![i], u64::from(i) * 7);
+            b.set(vec![i], u64::from(i) * 7);
+        }
+        assert_eq!(a.root(), b.root());
+        assert!(a.diff(&b).is_empty());
+    }
+
+    #[test]
+    fn diff_is_directional() {
+        let mut a = MerkleSummary::new();
+        a.set(b"both".to_vec(), 1);
+        a.set(b"only-a".to_vec(), 2);
+        let mut b = MerkleSummary::new();
+        b.set(b"both".to_vec(), 1);
+        b.set(b"only-b".to_vec(), 3);
+        assert_eq!(a.diff(&b), vec![b"only-b".to_vec()]);
+        assert_eq!(b.diff(&a), vec![b"only-a".to_vec()]);
+    }
+
+    #[test]
+    fn diff_detects_divergent_values() {
+        let mut a = MerkleSummary::new();
+        a.set(b"k".to_vec(), 1);
+        let mut b = MerkleSummary::new();
+        b.set(b"k".to_vec(), 2);
+        assert_eq!(a.diff(&b), vec![b"k".to_vec()]);
+    }
+
+    #[test]
+    fn remove_restores_agreement() {
+        let mut a = MerkleSummary::new();
+        let mut b = a.clone();
+        b.set(b"extra".to_vec(), 9);
+        assert_ne!(a.root(), b.root());
+        b.remove(b"extra");
+        assert_eq!(a.root(), b.root());
+        a.remove(b"never-there"); // no-op
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_discriminating() {
+        assert_eq!(fingerprint(&42u64), fingerprint(&42u64));
+        assert_ne!(fingerprint(&42u64), fingerprint(&43u64));
+        assert_eq!(fingerprint(&vec![1u8, 2]), fingerprint(&vec![1u8, 2]));
+    }
+
+    #[test]
+    fn leaves_wire_size_scales_with_keys() {
+        let mut a = MerkleSummary::new();
+        a.set(b"abc".to_vec(), 1);
+        let one = a.leaves_wire_size();
+        a.set(b"defg".to_vec(), 2);
+        assert!(a.leaves_wire_size() > one);
+    }
+}

@@ -1,0 +1,615 @@
+//! [`StoreNode`]: a replica server — request coordination, replication,
+//! read repair, anti-entropy and hinted handoff.
+
+use std::collections::BTreeMap;
+
+use dvv::mechanisms::{Mechanism, WriteOrigin};
+use dvv::{ClientId, ReplicaId};
+use ring::{HashRing, Membership};
+use simnet::{NodeId, ProcessCtx, TimerId};
+
+use crate::config::StoreConfig;
+use crate::merkle::{fingerprint, MerkleSummary};
+use crate::messages::{Msg, ReqId};
+use crate::value::{Key, StampedValue};
+
+/// Counters a server maintains for reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// GETs coordinated to success.
+    pub gets_ok: u64,
+    /// PUTs coordinated to success.
+    pub puts_ok: u64,
+    /// Requests that timed out waiting for a quorum.
+    pub quorum_timeouts: u64,
+    /// Read repairs pushed.
+    pub read_repairs: u64,
+    /// Anti-entropy exchanges initiated.
+    pub aae_rounds: u64,
+    /// Anti-entropy exchanges that found divergence.
+    pub aae_divergent: u64,
+    /// Hinted states handed off to their intended owner.
+    pub handoffs: u64,
+}
+
+/// Coordinator-side bookkeeping for one in-flight request.
+#[derive(Debug)]
+enum Pending<M: Mechanism<StampedValue>> {
+    Get {
+        key: Key,
+        client: NodeId,
+        acc: M::State,
+        responses: usize,
+        expected: usize,
+        replied: bool,
+        /// replica → fingerprint of the state it returned (for repair)
+        seen: Vec<(ReplicaId, u64)>,
+    },
+    Put {
+        key: Key,
+        client: NodeId,
+        acks: usize,
+        expected: usize,
+        replied: bool,
+    },
+}
+
+/// What a firing timer means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TimerKind {
+    Request(ReqId),
+    AntiEntropy,
+    Handoff,
+}
+
+/// A replica server process.
+///
+/// Node `i` of the simulation hosts replica `ReplicaId(i)`; clients live
+/// on higher node ids. All request coordination follows the Dynamo/Riak
+/// pattern; the causality mechanism `M` is the only pluggable part.
+#[derive(Debug)]
+pub struct StoreNode<M: Mechanism<StampedValue>> {
+    replica: ReplicaId,
+    mech: M,
+    config: StoreConfig,
+    ring: HashRing<ReplicaId>,
+    membership: Membership<ReplicaId>,
+    data: BTreeMap<Key, M::State>,
+    /// Hinted states held for down replicas: `(key, intended) → ()` —
+    /// the state itself lives in `data`; this records the obligation.
+    hints: BTreeMap<(Key, ReplicaId), ()>,
+    pending: BTreeMap<ReqId, Pending<M>>,
+    timers: BTreeMap<TimerId, TimerKind>,
+    stats: NodeStats,
+}
+
+impl<M: Mechanism<StampedValue>> StoreNode<M> {
+    /// Creates the replica server for `replica`.
+    pub fn new(
+        replica: ReplicaId,
+        mech: M,
+        config: StoreConfig,
+        ring: HashRing<ReplicaId>,
+        membership: Membership<ReplicaId>,
+    ) -> Self {
+        config.validate();
+        StoreNode {
+            replica,
+            mech,
+            config,
+            ring,
+            membership,
+            data: BTreeMap::new(),
+            hints: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            timers: BTreeMap::new(),
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// This server's replica id.
+    pub fn replica(&self) -> ReplicaId {
+        self.replica
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    /// The per-key states this replica currently holds.
+    pub fn data(&self) -> &BTreeMap<Key, M::State> {
+        &self.data
+    }
+
+    /// Direct state merge — used by the test harness's `converge()`, not
+    /// by the protocol.
+    pub fn merge_state_direct(&mut self, key: &[u8], state: &M::State) {
+        let local = self.data.entry(key.to_vec()).or_default();
+        self.mech.merge(local, state);
+    }
+
+    /// Marks a peer down/up in this node's failure-detector view.
+    pub fn set_peer_status(&mut self, peer: ReplicaId, up: bool) {
+        if up {
+            self.membership.mark_up(&peer);
+        } else {
+            self.membership.mark_down(&peer);
+        }
+    }
+
+    /// Number of hint obligations currently held.
+    pub fn hint_count(&self) -> usize {
+        self.hints.len()
+    }
+
+    /// Total causal-metadata bytes across all keys at this replica.
+    pub fn metadata_bytes(&self) -> usize {
+        self.data.values().map(|s| self.mech.metadata_size(s)).sum()
+    }
+
+    /// Removes keys whose every surviving sibling is a tombstone,
+    /// returning how many keys were reclaimed.
+    ///
+    /// Dropping a tombstone is only safe once it has reached every
+    /// replica (otherwise anti-entropy would resurrect the deleted data
+    /// from a replica that never saw the delete) — the caller is
+    /// responsible for invoking this after convergence, as
+    /// [`crate::cluster::Cluster::collect_garbage`] does.
+    pub fn collect_garbage(&mut self) -> usize {
+        let dead: Vec<Key> = self
+            .data
+            .iter()
+            .filter(|(_, st)| {
+                let (values, _) = self.mech.read(st);
+                !values.is_empty() && values.iter().all(|v| v.tombstone)
+            })
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &dead {
+            self.data.remove(k);
+        }
+        dead.len()
+    }
+
+    /// Mean sibling count across keys (0 when no keys).
+    pub fn mean_siblings(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.data.values().map(|s| self.mech.sibling_count(s)).sum();
+        total as f64 / self.data.len() as f64
+    }
+
+    fn merkle_summary(&self) -> MerkleSummary {
+        let mut m = MerkleSummary::new();
+        for (k, s) in &self.data {
+            m.set(k.clone(), fingerprint(s));
+        }
+        m
+    }
+
+    fn send(&self, ctx: &mut ProcessCtx<'_, Msg<M>>, to: NodeId, msg: Msg<M>) {
+        let bytes = msg.wire_size(&self.mech) + self.config.header_bytes;
+        ctx.send(to, msg, bytes);
+    }
+
+    fn active_replicas(&self, key: &[u8]) -> (Vec<ReplicaId>, Vec<(ReplicaId, ReplicaId)>) {
+        self.membership
+            .sloppy_preference_list(&self.ring, key, self.config.n)
+    }
+
+    fn arm_request_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, req: ReqId) {
+        let t = ctx.set_timer(self.config.request_timeout);
+        self.timers.insert(t, TimerKind::Request(req));
+    }
+
+    fn handle_client_get(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, from: NodeId, req: ReqId, key: Key) {
+        let (active, _) = self.active_replicas(&key);
+        let local = self.data.get(&key).cloned().unwrap_or_default();
+        self.pending.insert(
+            req,
+            Pending::Get {
+                key: key.clone(),
+                client: from,
+                acc: local,
+                responses: 1,
+                expected: active.len(),
+                replied: false,
+                seen: Vec::new(),
+            },
+        );
+        for peer in &active {
+            if *peer != self.replica {
+                self.send(ctx, NodeId(peer.0), Msg::RepGet { req, key: key.clone() });
+            }
+        }
+        self.arm_request_timer(ctx, req);
+        self.try_complete_get(ctx, req);
+    }
+
+    fn try_complete_get(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, req: ReqId) {
+        // phase 1: reply to the client as soon as R responses are in
+        let mut reply: Option<(NodeId, Vec<StampedValue>, M::Context)> = None;
+        if let Some(Pending::Get { client, acc, responses, expected, replied, .. }) =
+            self.pending.get_mut(&req)
+        {
+            if !*replied && *responses >= self.config.r.min(*expected) {
+                *replied = true;
+                let (values, read_ctx) = self.mech.read(acc);
+                reply = Some((*client, values, read_ctx));
+            }
+        }
+        if let Some((client, values, read_ctx)) = reply {
+            self.stats.gets_ok += 1;
+            self.send(
+                ctx,
+                client,
+                Msg::ClientGetResp {
+                    req,
+                    ok: true,
+                    values,
+                    ctx: read_ctx,
+                },
+            );
+        }
+        // phase 2: once every replica answered, retire and read-repair
+        let done = matches!(
+            self.pending.get(&req),
+            Some(Pending::Get { responses, expected, replied, .. })
+                if *responses >= *expected && *replied
+        );
+        if done {
+            let Some(Pending::Get { key, acc, seen, .. }) = self.pending.remove(&req) else {
+                return;
+            };
+            self.finish_read_repair(ctx, &key, acc, &seen);
+        }
+    }
+
+    fn finish_read_repair(
+        &mut self,
+        ctx: &mut ProcessCtx<'_, Msg<M>>,
+        key: &[u8],
+        merged: M::State,
+        seen: &[(ReplicaId, u64)],
+    ) {
+        // fold into local state first
+        let local = self.data.entry(key.to_vec()).or_default();
+        self.mech.merge(local, &merged);
+        let canonical = self.data.get(key).cloned().unwrap_or_default();
+        if !self.config.read_repair {
+            return;
+        }
+        let target_fp = fingerprint(&canonical);
+        for (peer, fp) in seen {
+            if *peer != self.replica && *fp != target_fp {
+                self.stats.read_repairs += 1;
+                self.send(
+                    ctx,
+                    NodeId(peer.0),
+                    Msg::ReadRepair {
+                        key: key.to_vec(),
+                        state: canonical.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_client_put(
+        &mut self,
+        ctx: &mut ProcessCtx<'_, Msg<M>>,
+        from: NodeId,
+        req: ReqId,
+        key: Key,
+        value: StampedValue,
+        put_ctx: M::Context,
+    ) {
+        let client = ClientId(value.id.client.0);
+        let state = self.data.entry(key.clone()).or_default();
+        self.mech.write(
+            state,
+            WriteOrigin::new(self.replica, client),
+            &put_ctx,
+            value,
+        );
+        let state = state.clone();
+        let (active, substitutions) = self.active_replicas(&key);
+        let expected = active.len();
+        self.pending.insert(
+            req,
+            Pending::Put {
+                key: key.clone(),
+                client: from,
+                acks: 1,
+                expected,
+                replied: false,
+            },
+        );
+        for peer in &active {
+            if *peer == self.replica {
+                continue;
+            }
+            let hint = substitutions
+                .iter()
+                .find(|(_, fallback)| fallback == peer)
+                .map(|(intended, _)| *intended);
+            self.send(
+                ctx,
+                NodeId(peer.0),
+                Msg::RepPut {
+                    req,
+                    key: key.clone(),
+                    state: state.clone(),
+                    hint,
+                },
+            );
+        }
+        self.arm_request_timer(ctx, req);
+        self.try_complete_put(ctx, req);
+    }
+
+    fn try_complete_put(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, req: ReqId) {
+        let Some(Pending::Put { key, client, acks, expected, replied }) =
+            self.pending.get_mut(&req)
+        else {
+            return;
+        };
+        if !*replied && *acks >= self.config.w.min(*expected) {
+            *replied = true;
+            let key = key.clone();
+            let client = *client;
+            let state = self.data.get(&key).cloned().unwrap_or_default();
+            let (values, read_ctx) = self.mech.read(&state);
+            self.stats.puts_ok += 1;
+            self.send(
+                ctx,
+                client,
+                Msg::ClientPutResp {
+                    req,
+                    ok: true,
+                    values,
+                    ctx: read_ctx,
+                },
+            );
+        }
+        if let Some(Pending::Put { acks, expected, replied, .. }) = self.pending.get(&req) {
+            if *acks >= *expected && *replied {
+                self.pending.remove(&req);
+            }
+        }
+    }
+
+    fn handle_request_timeout(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, req: ReqId) {
+        let Some(p) = self.pending.get(&req) else { return };
+        match p {
+            Pending::Get { client, replied, key, acc, seen, .. } => {
+                let client = *client;
+                let replied = *replied;
+                let key = key.clone();
+                let merged = acc.clone();
+                let seen = seen.clone();
+                self.pending.remove(&req);
+                if replied {
+                    // reply already sent; late repair with what arrived
+                    self.finish_read_repair(ctx, &key, merged, &seen);
+                } else {
+                    self.stats.quorum_timeouts += 1;
+                    self.send(
+                        ctx,
+                        client,
+                        Msg::ClientGetResp {
+                            req,
+                            ok: false,
+                            values: Vec::new(),
+                            ctx: M::Context::default(),
+                        },
+                    );
+                }
+            }
+            Pending::Put { client, replied, .. } => {
+                let client = *client;
+                let replied = *replied;
+                self.pending.remove(&req);
+                if !replied {
+                    self.stats.quorum_timeouts += 1;
+                    self.send(
+                        ctx,
+                        client,
+                        Msg::ClientPutResp {
+                            req,
+                            ok: false,
+                            values: Vec::new(),
+                            ctx: M::Context::default(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_aae_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+        // pick a random up peer and start an exchange
+        let peers: Vec<ReplicaId> = self
+            .membership
+            .up_nodes()
+            .into_iter()
+            .filter(|p| *p != self.replica)
+            .collect();
+        if !peers.is_empty() {
+            let peer = *ctx.rng().pick(&peers);
+            self.stats.aae_rounds += 1;
+            let root = self.merkle_summary().root();
+            self.send(ctx, NodeId(peer.0), Msg::AaeRoot { root });
+        }
+        // re-arm
+        if self.config.anti_entropy_interval > simnet::Duration::ZERO {
+            let t = ctx.set_timer(self.config.anti_entropy_interval);
+            self.timers.insert(t, TimerKind::AntiEntropy);
+        }
+    }
+
+    fn handle_handoff_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+        let due: Vec<(Key, ReplicaId)> = self
+            .hints
+            .keys()
+            .filter(|(_, intended)| self.membership.is_up(intended))
+            .cloned()
+            .collect();
+        for (key, intended) in due {
+            if let Some(state) = self.data.get(&key) {
+                self.send(
+                    ctx,
+                    NodeId(intended.0),
+                    Msg::Handoff {
+                        key: key.clone(),
+                        state: state.clone(),
+                    },
+                );
+            }
+        }
+        if self.config.handoff_interval > simnet::Duration::ZERO {
+            let t = ctx.set_timer(self.config.handoff_interval);
+            self.timers.insert(t, TimerKind::Handoff);
+        }
+    }
+
+    /// Entry point: dispatches one message.
+    pub fn on_message(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, from: NodeId, msg: Msg<M>) {
+        match msg {
+            Msg::ClientGet { req, key } => self.handle_client_get(ctx, from, req, key),
+            Msg::ClientPut { req, key, value, ctx: put_ctx } => {
+                self.handle_client_put(ctx, from, req, key, value, put_ctx)
+            }
+            Msg::RepGet { req, key } => {
+                let state = self.data.get(&key).cloned().unwrap_or_default();
+                self.send(ctx, from, Msg::RepGetResp { req, key, state });
+            }
+            Msg::RepGetResp { req, key: _, state } => {
+                if let Some(Pending::Get { acc, responses, seen, .. }) = self.pending.get_mut(&req)
+                {
+                    let fp = fingerprint(&state);
+                    seen.push((ReplicaId(from.0), fp));
+                    self.mech.merge(acc, &state);
+                    *responses += 1;
+                    self.try_complete_get(ctx, req);
+                }
+            }
+            Msg::RepPut { req, key, state, hint } => {
+                let local = self.data.entry(key.clone()).or_default();
+                self.mech.merge(local, &state);
+                if let Some(intended) = hint {
+                    self.hints.insert((key, intended), ());
+                }
+                self.send(ctx, from, Msg::RepPutAck { req });
+            }
+            Msg::RepPutAck { req } => {
+                if let Some(Pending::Put { acks, .. }) = self.pending.get_mut(&req) {
+                    *acks += 1;
+                    self.try_complete_put(ctx, req);
+                }
+            }
+            Msg::ReadRepair { key, state } => {
+                let local = self.data.entry(key).or_default();
+                self.mech.merge(local, &state);
+            }
+            Msg::AaeRoot { root } => {
+                let mine = self.merkle_summary();
+                if mine.root() != root {
+                    self.send(
+                        ctx,
+                        from,
+                        Msg::AaeLeaves {
+                            leaves: mine.leaves(),
+                        },
+                    );
+                }
+            }
+            Msg::AaeLeaves { leaves } => {
+                self.stats.aae_divergent += 1;
+                let mine = self.merkle_summary();
+                let mut theirs = MerkleSummary::new();
+                for (k, h) in leaves {
+                    theirs.set(k, h);
+                }
+                // keys where we differ in either direction
+                let mut keys = mine.diff(&theirs); // they have, we differ/lack
+                for k in theirs.diff(&mine) {
+                    if !keys.contains(&k) {
+                        keys.push(k);
+                    }
+                }
+                let states: Vec<(Key, M::State)> = keys
+                    .iter()
+                    .filter_map(|k| self.data.get(k).map(|s| (k.clone(), s.clone())))
+                    .collect();
+                self.send(
+                    ctx,
+                    from,
+                    Msg::AaeStates {
+                        states,
+                        want: keys,
+                    },
+                );
+            }
+            Msg::AaeStates { states, want } => {
+                for (k, s) in states {
+                    let local = self.data.entry(k).or_default();
+                    self.mech.merge(local, &s);
+                }
+                let back: Vec<(Key, M::State)> = want
+                    .iter()
+                    .filter_map(|k| self.data.get(k).map(|s| (k.clone(), s.clone())))
+                    .collect();
+                self.send(ctx, from, Msg::AaeStatesResp { states: back });
+            }
+            Msg::AaeStatesResp { states } => {
+                for (k, s) in states {
+                    let local = self.data.entry(k).or_default();
+                    self.mech.merge(local, &s);
+                }
+            }
+            Msg::Handoff { key, state } => {
+                let local = self.data.entry(key.clone()).or_default();
+                self.mech.merge(local, &state);
+                self.send(ctx, from, Msg::HandoffAck { key });
+            }
+            Msg::HandoffAck { key } => {
+                let intended = ReplicaId(from.0);
+                if self.hints.remove(&(key, intended)).is_some() {
+                    self.stats.handoffs += 1;
+                }
+            }
+            // client-facing responses never arrive at servers
+            Msg::ClientGetResp { .. } | Msg::ClientPutResp { .. } => {}
+        }
+    }
+
+    /// Entry point: starts periodic timers.
+    pub fn on_start(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+        if self.config.anti_entropy_interval > simnet::Duration::ZERO {
+            // stagger first AAE by replica id to avoid thundering herd
+            let first = simnet::Duration::from_micros(
+                self.config.anti_entropy_interval.as_micros()
+                    + u64::from(self.replica.0) * 1_000,
+            );
+            let t = ctx.set_timer(first);
+            self.timers.insert(t, TimerKind::AntiEntropy);
+        }
+        if self.config.handoff_interval > simnet::Duration::ZERO {
+            let t = ctx.set_timer(self.config.handoff_interval);
+            self.timers.insert(t, TimerKind::Handoff);
+        }
+    }
+
+    /// Entry point: dispatches one timer.
+    pub fn on_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, timer: TimerId) {
+        match self.timers.remove(&timer) {
+            Some(TimerKind::Request(req)) => self.handle_request_timeout(ctx, req),
+            Some(TimerKind::AntiEntropy) => self.handle_aae_timer(ctx),
+            Some(TimerKind::Handoff) => self.handle_handoff_timer(ctx),
+            None => {}
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Ground-truth causality reconstruction and anomaly accounting.
+//!
+//! Clients log every write together with the set of writes whose values
+//! they had observed. Observation is the *definition* of causal
+//! dependency, independent of any clock mechanism — so from these logs
+//! the oracle rebuilds the true causal partial order and audits what the
+//! store kept:
+//!
+//! * a **lost update** is an acknowledged write that no other surviving
+//!   write causally dominates, yet is absent from the converged state;
+//! * **false concurrency** is a surviving pair where one write truly
+//!   dominates the other (the dominated one should have been discarded).
+//!
+//! The paper's claims 4 and 5 are quantified exactly in these terms.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::client::WriteLogEntry;
+use crate::value::{Key, WriteId};
+
+/// The reconstructed ground-truth causal order over writes.
+#[derive(Debug, Default)]
+pub struct Oracle {
+    /// Transitive causal past of each write (excluding itself).
+    past: BTreeMap<WriteId, BTreeSet<WriteId>>,
+    /// All writes per key, with ack status.
+    writes: BTreeMap<Key, Vec<(WriteId, bool)>>,
+}
+
+impl Oracle {
+    /// Builds the oracle from all clients' logs.
+    ///
+    /// Observation references are acyclic (a client can only observe
+    /// completed writes), so the closure terminates.
+    #[must_use]
+    pub fn from_logs<'a>(logs: impl IntoIterator<Item = &'a WriteLogEntry>) -> Self {
+        let mut direct: BTreeMap<WriteId, Vec<WriteId>> = BTreeMap::new();
+        let mut writes: BTreeMap<Key, Vec<(WriteId, bool)>> = BTreeMap::new();
+        for e in logs {
+            direct.insert(e.id, e.observed.clone());
+            writes.entry(e.key.clone()).or_default().push((e.id, e.acked));
+        }
+        // iterative transitive closure (small graphs; fixpoint loop)
+        let mut past: BTreeMap<WriteId, BTreeSet<WriteId>> = direct
+            .iter()
+            .map(|(id, obs)| (*id, obs.iter().copied().collect()))
+            .collect();
+        loop {
+            let mut changed = false;
+            let ids: Vec<WriteId> = past.keys().copied().collect();
+            for id in &ids {
+                let mut extra: BTreeSet<WriteId> = BTreeSet::new();
+                for dep in &past[id] {
+                    if let Some(dep_past) = past.get(dep) {
+                        for d in dep_past {
+                            if !past[id].contains(d) {
+                                extra.insert(*d);
+                            }
+                        }
+                    }
+                }
+                if !extra.is_empty() {
+                    past.get_mut(id).expect("id present").extend(extra);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Oracle { past, writes }
+    }
+
+    /// Whether `a` is in the true causal past of `b`.
+    #[must_use]
+    pub fn truly_precedes(&self, a: WriteId, b: WriteId) -> bool {
+        a != b && self.past.get(&b).is_some_and(|p| p.contains(&a))
+    }
+
+    /// All keys that were written.
+    #[must_use]
+    pub fn keys(&self) -> Vec<Key> {
+        self.writes.keys().cloned().collect()
+    }
+
+    /// The acknowledged writes to `key` that are causally maximal among
+    /// all writes to that key — what a correct store must still hold (or
+    /// dominate) after convergence.
+    #[must_use]
+    pub fn expected_frontier(&self, key: &[u8]) -> BTreeSet<WriteId> {
+        let all: Vec<(WriteId, bool)> = self.writes.get(key).cloned().unwrap_or_default();
+        all.iter()
+            .filter(|(id, acked)| {
+                *acked
+                    && !all
+                        .iter()
+                        .any(|(other, _)| other != id && self.truly_precedes(*id, *other))
+            })
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Audits one key's converged sibling set. Returns
+    /// `(lost_updates, false_concurrency_pairs)`.
+    #[must_use]
+    pub fn audit_key(&self, key: &[u8], surviving: &BTreeSet<WriteId>) -> (u64, u64) {
+        let expected = self.expected_frontier(key);
+        // Lost: expected but absent, and not dominated by any survivor
+        // (a survivor that truly dominates it legitimately replaced it —
+        // possible when an unacked later write landed).
+        let lost = expected
+            .iter()
+            .filter(|id| {
+                !surviving.contains(id)
+                    && !surviving.iter().any(|s| self.truly_precedes(**id, *s))
+            })
+            .count() as u64;
+        // False concurrency: ordered pairs presented as siblings.
+        let survivors: Vec<WriteId> = surviving.iter().copied().collect();
+        let mut false_pairs = 0u64;
+        for (i, a) in survivors.iter().enumerate() {
+            for b in &survivors[i + 1..] {
+                if self.truly_precedes(*a, *b) || self.truly_precedes(*b, *a) {
+                    false_pairs += 1;
+                }
+            }
+        }
+        (lost, false_pairs)
+    }
+}
+
+/// Aggregate audit of a converged cluster.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnomalyReport {
+    /// Total writes issued (acked or not).
+    pub total_writes: u64,
+    /// Acknowledged writes.
+    pub acked_writes: u64,
+    /// Acknowledged, causally-maximal writes missing from the converged
+    /// state without a dominating survivor.
+    pub lost_updates: u64,
+    /// Surviving pairs that are truly ordered but presented as siblings.
+    pub false_concurrency: u64,
+    /// Total surviving sibling values across keys.
+    pub surviving_values: u64,
+    /// Keys audited.
+    pub keys: u64,
+}
+
+impl AnomalyReport {
+    /// Whether the store tracked causality perfectly.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.lost_updates == 0 && self.false_concurrency == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvv::ClientId;
+
+    fn w(c: u64, s: u64) -> WriteId {
+        WriteId::new(ClientId(c), s)
+    }
+
+    fn entry(key: &[u8], id: WriteId, observed: &[WriteId], acked: bool) -> WriteLogEntry {
+        WriteLogEntry {
+            key: key.to_vec(),
+            id,
+            observed: observed.to_vec(),
+            acked,
+        }
+    }
+
+    #[test]
+    fn closure_is_transitive() {
+        let logs = vec![
+            entry(b"k", w(1, 1), &[], true),
+            entry(b"k", w(2, 1), &[w(1, 1)], true),
+            entry(b"k", w(3, 1), &[w(2, 1)], true),
+        ];
+        let o = Oracle::from_logs(&logs);
+        assert!(o.truly_precedes(w(1, 1), w(3, 1)), "transitively");
+        assert!(o.truly_precedes(w(2, 1), w(3, 1)));
+        assert!(!o.truly_precedes(w(3, 1), w(1, 1)));
+        assert!(!o.truly_precedes(w(1, 1), w(1, 1)), "irreflexive");
+    }
+
+    #[test]
+    fn frontier_is_the_maximal_acked_writes() {
+        let logs = vec![
+            entry(b"k", w(1, 1), &[], true),
+            entry(b"k", w(2, 1), &[w(1, 1)], true), // dominates w1
+            entry(b"k", w(3, 1), &[], true),        // concurrent with both
+        ];
+        let o = Oracle::from_logs(&logs);
+        let f = o.expected_frontier(b"k");
+        assert_eq!(f, [w(2, 1), w(3, 1)].into_iter().collect());
+    }
+
+    #[test]
+    fn unacked_writes_are_not_expected() {
+        let logs = vec![
+            entry(b"k", w(1, 1), &[], true),
+            entry(b"k", w(2, 1), &[], false), // never acked
+        ];
+        let o = Oracle::from_logs(&logs);
+        assert_eq!(o.expected_frontier(b"k"), [w(1, 1)].into_iter().collect());
+    }
+
+    #[test]
+    fn audit_detects_lost_update() {
+        let logs = vec![
+            entry(b"k", w(1, 1), &[], true),
+            entry(b"k", w(2, 1), &[], true), // concurrent
+        ];
+        let o = Oracle::from_logs(&logs);
+        // store kept only w2 — w1 was destroyed (Figure 1b style)
+        let surviving: BTreeSet<WriteId> = [w(2, 1)].into_iter().collect();
+        let (lost, fc) = o.audit_key(b"k", &surviving);
+        assert_eq!(lost, 1);
+        assert_eq!(fc, 0);
+    }
+
+    #[test]
+    fn audit_detects_false_concurrency() {
+        let logs = vec![
+            entry(b"k", w(1, 1), &[], true),
+            entry(b"k", w(2, 1), &[w(1, 1)], true), // truly dominates w1
+        ];
+        let o = Oracle::from_logs(&logs);
+        // store kept both as siblings — pruning-style anomaly
+        let surviving: BTreeSet<WriteId> = [w(1, 1), w(2, 1)].into_iter().collect();
+        let (lost, fc) = o.audit_key(b"k", &surviving);
+        assert_eq!(lost, 0);
+        assert_eq!(fc, 1);
+    }
+
+    #[test]
+    fn clean_store_audits_clean() {
+        let logs = vec![
+            entry(b"k", w(1, 1), &[], true),
+            entry(b"k", w(2, 1), &[w(1, 1)], true),
+            entry(b"k", w(3, 1), &[w(1, 1)], true), // concurrent with w2
+        ];
+        let o = Oracle::from_logs(&logs);
+        let surviving: BTreeSet<WriteId> = [w(2, 1), w(3, 1)].into_iter().collect();
+        let (lost, fc) = o.audit_key(b"k", &surviving);
+        assert_eq!((lost, fc), (0, 0));
+    }
+
+    #[test]
+    fn dominated_absence_is_not_lost() {
+        // w1 acked and maximal-looking at ack time, but an unacked w2
+        // observed it and survived: w1's absence is legitimate.
+        let logs = vec![
+            entry(b"k", w(1, 1), &[], true),
+            entry(b"k", w(2, 1), &[w(1, 1)], false),
+        ];
+        let o = Oracle::from_logs(&logs);
+        let surviving: BTreeSet<WriteId> = [w(2, 1)].into_iter().collect();
+        let (lost, fc) = o.audit_key(b"k", &surviving);
+        assert_eq!((lost, fc), (0, 0));
+    }
+
+    #[test]
+    fn keys_lists_written_keys() {
+        let logs = vec![
+            entry(b"a", w(1, 1), &[], true),
+            entry(b"b", w(1, 2), &[], true),
+        ];
+        let o = Oracle::from_logs(&logs);
+        assert_eq!(o.keys(), vec![b"a".to_vec(), b"b".to_vec()]);
+    }
+
+    #[test]
+    fn report_is_clean_logic() {
+        let mut r = AnomalyReport::default();
+        assert!(r.is_clean());
+        r.lost_updates = 1;
+        assert!(!r.is_clean());
+    }
+}

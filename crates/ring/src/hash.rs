@@ -1,0 +1,85 @@
+//! A dependency-free 64-bit hash for ring placement.
+//!
+//! FNV-1a over the bytes followed by a SplitMix64 finalizer: fast, stable
+//! across platforms and runs (required for reproducible simulations), and
+//! well-mixed enough for token placement. Not cryptographic — placement
+//! does not need collision resistance against adversaries.
+
+/// Hashes a key to a 64-bit ring position.
+///
+/// # Examples
+///
+/// ```
+/// use ring::hash_key;
+/// assert_eq!(hash_key(b"cart"), hash_key(b"cart"), "deterministic");
+/// assert_ne!(hash_key(b"cart"), hash_key(b"cart2"));
+/// ```
+#[must_use]
+pub fn hash_key(key: &[u8]) -> u64 {
+    hash_with_seed(key, 0)
+}
+
+/// Hashes a key with a seed (used to derive virtual-node tokens).
+#[must_use]
+pub fn hash_with_seed(key: &[u8], seed: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for b in key {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    finalize(h)
+}
+
+fn finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_key(b"abc"), hash_key(b"abc"));
+        assert_eq!(hash_with_seed(b"abc", 9), hash_with_seed(b"abc", 9));
+    }
+
+    #[test]
+    fn seed_changes_hash() {
+        assert_ne!(hash_with_seed(b"abc", 1), hash_with_seed(b"abc", 2));
+    }
+
+    #[test]
+    fn empty_key_hashes() {
+        // must not panic, and must differ across seeds
+        assert_ne!(hash_with_seed(b"", 0), hash_with_seed(b"", 1));
+    }
+
+    #[test]
+    fn avalanche_smoke() {
+        // one-bit input changes flip roughly half the output bits
+        let a = hash_key(b"key0");
+        let b = hash_key(b"key1");
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "weak diffusion: {flipped} bits");
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        // bucket 10k sequential keys into 16 bins; no bin should be wildly off
+        let mut bins = [0u32; 16];
+        for i in 0..10_000u32 {
+            let h = hash_key(format!("user:{i}").as_bytes());
+            bins[(h >> 60) as usize] += 1;
+        }
+        let expected = 10_000 / 16;
+        for (i, count) in bins.iter().enumerate() {
+            assert!(
+                (*count as i64 - expected as i64).abs() < expected as i64 / 2,
+                "bin {i} has {count}, expected ≈{expected}"
+            );
+        }
+    }
+}

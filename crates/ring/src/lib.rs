@@ -1,0 +1,40 @@
+//! # ring — consistent hashing and membership for Dynamo-style stores
+//!
+//! The store that hosts the paper's clocks (Riak) places keys on replicas
+//! with a consistent-hashing ring and routes requests via *preference
+//! lists*. This crate provides that placement substrate:
+//!
+//! * [`hash`]: a dependency-free 64-bit key hash,
+//! * [`HashRing`]: virtual-node consistent hashing with N-replica
+//!   preference lists,
+//! * [`Membership`]: node liveness tracking, yielding *sloppy* preference
+//!   lists (fallback nodes stand in for down primaries, the precondition
+//!   for hinted handoff).
+//!
+//! ```
+//! use ring::{HashRing, Membership};
+//!
+//! let ring: HashRing<u32> = HashRing::with_vnodes([0, 1, 2, 3], 16);
+//! let prefs = ring.preference_list(b"shopping-cart", 3);
+//! assert_eq!(prefs.len(), 3);
+//!
+//! let mut members = Membership::new([0u32, 1, 2, 3]);
+//! members.mark_down(&prefs[0]);
+//! let (active, substituted) =
+//!     members.sloppy_preference_list(&ring, b"shopping-cart", 3);
+//! assert_eq!(active.len(), 3, "a fallback stands in for the down node");
+//! assert_eq!(substituted.len(), 1);
+//! assert_eq!(substituted[0].0, prefs[0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod hash;
+mod membership;
+mod ring_impl;
+
+pub use hash::hash_key;
+pub use membership::{Membership, NodeStatus};
+pub use ring_impl::HashRing;

@@ -1,0 +1,197 @@
+//! [`Membership`]: node liveness and sloppy preference lists.
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+use crate::ring_impl::HashRing;
+
+/// Liveness status of a member node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Accepting requests.
+    Up,
+    /// Suspected or confirmed failed; skipped by routing.
+    Down,
+}
+
+/// Tracks which members of the cluster are currently believed alive, and
+/// derives routing decisions from the ring accordingly.
+///
+/// When a preferred replica is down, Dynamo-style stores route the request
+/// to the next node on the ring instead — a *sloppy quorum*. The fallback
+/// carries a *hint* naming the intended node so it can hand the data off
+/// when the node recovers; [`Membership::sloppy_preference_list`] returns
+/// exactly those `(intended, fallback)` pairs.
+#[derive(Clone, Debug)]
+pub struct Membership<N: Ord> {
+    status: BTreeMap<N, NodeStatus>,
+}
+
+impl<N: Clone + Ord + Debug> Membership<N> {
+    /// Creates a membership view with every node up.
+    #[must_use]
+    pub fn new(nodes: impl IntoIterator<Item = N>) -> Self {
+        Membership {
+            status: nodes.into_iter().map(|n| (n, NodeStatus::Up)).collect(),
+        }
+    }
+
+    /// Marks a node down. Unknown nodes are inserted as down.
+    pub fn mark_down(&mut self, node: &N) {
+        self.status.insert(node.clone(), NodeStatus::Down);
+    }
+
+    /// Marks a node up. Unknown nodes are inserted as up.
+    pub fn mark_up(&mut self, node: &N) {
+        self.status.insert(node.clone(), NodeStatus::Up);
+    }
+
+    /// Whether the node is currently believed up (unknown ⇒ down).
+    #[must_use]
+    pub fn is_up(&self, node: &N) -> bool {
+        matches!(self.status.get(node), Some(NodeStatus::Up))
+    }
+
+    /// Nodes currently up, in sorted order.
+    #[must_use]
+    pub fn up_nodes(&self) -> Vec<N> {
+        self.status
+            .iter()
+            .filter(|(_, s)| **s == NodeStatus::Up)
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// Number of members regardless of status.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.status.len()
+    }
+
+    /// Whether there are no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.status.is_empty()
+    }
+
+    /// The first `n` *up* nodes for `key`, plus the substitutions made:
+    /// each `(intended, fallback)` pair records a down preferred replica
+    /// and the extra node standing in for it (the hinted-handoff target
+    /// and holder, respectively).
+    ///
+    /// Returns fewer than `n` active nodes when fewer are up.
+    #[must_use]
+    pub fn sloppy_preference_list(
+        &self,
+        ring: &HashRing<N>,
+        key: &[u8],
+        n: usize,
+    ) -> (Vec<N>, Vec<(N, N)>) {
+        // Walk an extended preference list, replacing down nodes.
+        let extended = ring.preference_list(key, ring.len());
+        let ideal: Vec<N> = extended.iter().take(n).cloned().collect();
+        let mut active: Vec<N> = Vec::with_capacity(n);
+        let mut substitutions: Vec<(N, N)> = Vec::new();
+        let mut fallbacks = extended.iter().skip(ideal.len());
+        for node in &ideal {
+            if self.is_up(node) {
+                active.push(node.clone());
+            } else {
+                // next up node not already used
+                let fallback = fallbacks
+                    .by_ref()
+                    .find(|f| self.is_up(f) && !active.contains(*f));
+                if let Some(f) = fallback {
+                    active.push(f.clone());
+                    substitutions.push((node.clone(), f.clone()));
+                }
+            }
+        }
+        (active, substitutions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> HashRing<u32> {
+        HashRing::with_vnodes(0..5, 16)
+    }
+
+    #[test]
+    fn all_up_no_substitutions() {
+        let m = Membership::new(0..5u32);
+        let (active, subs) = m.sloppy_preference_list(&ring(), b"k", 3);
+        assert_eq!(active.len(), 3);
+        assert!(subs.is_empty());
+        assert_eq!(active, ring().preference_list(b"k", 3));
+    }
+
+    #[test]
+    fn down_primary_is_substituted() {
+        let r = ring();
+        let ideal = r.preference_list(b"k", 3);
+        let mut m = Membership::new(0..5u32);
+        m.mark_down(&ideal[0]);
+        let (active, subs) = m.sloppy_preference_list(&r, b"k", 3);
+        assert_eq!(active.len(), 3);
+        assert!(!active.contains(&ideal[0]));
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].0, ideal[0]);
+        assert!(active.contains(&subs[0].1));
+    }
+
+    #[test]
+    fn too_many_down_yields_short_list() {
+        let mut m = Membership::new(0..5u32);
+        for n in 0..4u32 {
+            m.mark_down(&n);
+        }
+        let (active, _) = m.sloppy_preference_list(&ring(), b"k", 3);
+        assert_eq!(active, vec![4], "only one node is up");
+    }
+
+    #[test]
+    fn recovery_restores_routing() {
+        let r = ring();
+        let ideal = r.preference_list(b"k", 3);
+        let mut m = Membership::new(0..5u32);
+        m.mark_down(&ideal[1]);
+        let (with_down, _) = m.sloppy_preference_list(&r, b"k", 3);
+        assert!(!with_down.contains(&ideal[1]));
+        m.mark_up(&ideal[1]);
+        let (healed, subs) = m.sloppy_preference_list(&r, b"k", 3);
+        assert_eq!(healed, ideal);
+        assert!(subs.is_empty());
+    }
+
+    #[test]
+    fn status_tracking() {
+        let mut m = Membership::new([1u32, 2]);
+        assert!(m.is_up(&1));
+        assert!(!m.is_up(&9), "unknown nodes are not up");
+        m.mark_down(&1);
+        assert!(!m.is_up(&1));
+        assert_eq!(m.up_nodes(), vec![2]);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn fallbacks_never_duplicate_active_nodes() {
+        let r = ring();
+        for key in 0..50u32 {
+            let k = format!("key{key}");
+            let mut m = Membership::new(0..5u32);
+            let ideal = r.preference_list(k.as_bytes(), 3);
+            m.mark_down(&ideal[0]);
+            m.mark_down(&ideal[2]);
+            let (active, _) = m.sloppy_preference_list(&r, k.as_bytes(), 3);
+            let mut sorted = active.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), active.len(), "duplicate in {active:?}");
+        }
+    }
+}

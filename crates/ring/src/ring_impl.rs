@@ -1,0 +1,224 @@
+//! [`HashRing`]: virtual-node consistent hashing.
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+use crate::hash::{hash_key, hash_with_seed};
+
+/// A consistent-hashing ring with virtual nodes.
+///
+/// Each physical node owns `vnodes` tokens on a 64-bit ring; a key is
+/// served by the first `n` *distinct* nodes encountered walking clockwise
+/// from the key's hash — its **preference list**. Virtual nodes smooth the
+/// load distribution and bound the data movement when membership changes,
+/// exactly as in Dynamo/Riak.
+///
+/// # Examples
+///
+/// ```
+/// use ring::HashRing;
+/// let ring: HashRing<&str> = HashRing::with_vnodes(["a", "b", "c"], 32);
+/// let prefs = ring.preference_list(b"k", 2);
+/// assert_eq!(prefs.len(), 2);
+/// assert_ne!(prefs[0], prefs[1]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HashRing<N: Ord> {
+    tokens: BTreeMap<u64, N>,
+    nodes: Vec<N>,
+    vnodes: u32,
+}
+
+impl<N: Clone + Ord + Debug> HashRing<N> {
+    /// Default number of virtual nodes per physical node.
+    pub const DEFAULT_VNODES: u32 = 64;
+
+    /// Creates a ring over `nodes` with the default virtual-node count.
+    #[must_use]
+    pub fn new(nodes: impl IntoIterator<Item = N>) -> Self {
+        Self::with_vnodes(nodes, Self::DEFAULT_VNODES)
+    }
+
+    /// Creates a ring with `vnodes` tokens per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vnodes` is zero.
+    #[must_use]
+    pub fn with_vnodes(nodes: impl IntoIterator<Item = N>, vnodes: u32) -> Self {
+        assert!(vnodes > 0, "a node must own at least one token");
+        let mut ring = HashRing {
+            tokens: BTreeMap::new(),
+            nodes: Vec::new(),
+            vnodes,
+        };
+        for n in nodes {
+            ring.add_node(n);
+        }
+        ring
+    }
+
+    /// Adds a node (idempotent).
+    pub fn add_node(&mut self, node: N) {
+        if self.nodes.contains(&node) {
+            return;
+        }
+        for v in 0..self.vnodes {
+            let token = hash_with_seed(format!("{node:?}").as_bytes(), u64::from(v));
+            self.tokens.insert(token, node.clone());
+        }
+        self.nodes.push(node);
+        self.nodes.sort();
+    }
+
+    /// Removes a node and its tokens. Returns whether it was present.
+    pub fn remove_node(&mut self, node: &N) -> bool {
+        let present = self.nodes.iter().any(|n| n == node);
+        if present {
+            self.tokens.retain(|_, n| n != node);
+            self.nodes.retain(|n| n != node);
+        }
+        present
+    }
+
+    /// All member nodes in sorted order.
+    #[must_use]
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// Number of member nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The first `n` distinct nodes clockwise from the key's position.
+    ///
+    /// Returns fewer than `n` nodes only when the ring has fewer members.
+    #[must_use]
+    pub fn preference_list(&self, key: &[u8], n: usize) -> Vec<N> {
+        let want = n.min(self.nodes.len());
+        let mut out: Vec<N> = Vec::with_capacity(want);
+        if want == 0 {
+            return out;
+        }
+        let start = hash_key(key);
+        for (_, node) in self.tokens.range(start..).chain(self.tokens.range(..start)) {
+            if !out.contains(node) {
+                out.push(node.clone());
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The primary (first preference) node for a key, if any.
+    #[must_use]
+    pub fn primary(&self, key: &[u8]) -> Option<N> {
+        self.preference_list(key, 1).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap as Map;
+
+    #[test]
+    fn preference_list_has_distinct_nodes() {
+        let ring: HashRing<u32> = HashRing::with_vnodes(0..5, 16);
+        for i in 0..100 {
+            let prefs = ring.preference_list(format!("k{i}").as_bytes(), 3);
+            assert_eq!(prefs.len(), 3);
+            let mut sorted = prefs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "duplicates in {prefs:?}");
+        }
+    }
+
+    #[test]
+    fn preference_list_is_stable() {
+        let ring: HashRing<u32> = HashRing::with_vnodes(0..5, 16);
+        assert_eq!(
+            ring.preference_list(b"stable", 3),
+            ring.preference_list(b"stable", 3)
+        );
+    }
+
+    #[test]
+    fn asking_for_more_than_members_caps() {
+        let ring: HashRing<u32> = HashRing::with_vnodes(0..2, 8);
+        assert_eq!(ring.preference_list(b"k", 5).len(), 2);
+        let empty: HashRing<u32> = HashRing::with_vnodes(std::iter::empty(), 8);
+        assert!(empty.preference_list(b"k", 3).is_empty());
+        assert!(empty.primary(b"k").is_none());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn add_node_is_idempotent() {
+        let mut ring: HashRing<u32> = HashRing::with_vnodes([1, 2], 8);
+        ring.add_node(1);
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.nodes(), &[1, 2]);
+    }
+
+    #[test]
+    fn remove_node_reroutes_only_its_keys() {
+        let mut ring: HashRing<u32> = HashRing::with_vnodes(0..4, 32);
+        let before: Map<String, u32> = (0..500)
+            .map(|i| {
+                let k = format!("k{i}");
+                let p = ring.primary(k.as_bytes()).unwrap();
+                (k, p)
+            })
+            .collect();
+        assert!(ring.remove_node(&3));
+        assert!(!ring.remove_node(&3), "second removal is a no-op");
+        let mut moved = 0;
+        for (k, old_primary) in &before {
+            let new_primary = ring.primary(k.as_bytes()).unwrap();
+            if *old_primary != 3 {
+                assert_eq!(
+                    new_primary, *old_primary,
+                    "key {k} moved although its primary stayed up"
+                );
+            } else {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "node 3 owned some keys");
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let ring: HashRing<u32> = HashRing::new(0..4);
+        let mut counts: Map<u32, u32> = Map::new();
+        for i in 0..4000 {
+            let p = ring.primary(format!("key-{i}").as_bytes()).unwrap();
+            *counts.entry(p).or_default() += 1;
+        }
+        for (node, c) in &counts {
+            assert!(
+                (400..=1800).contains(c),
+                "node {node} owns {c} of 4000 keys — badly balanced"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn zero_vnodes_rejected() {
+        let _: HashRing<u32> = HashRing::with_vnodes([1], 0);
+    }
+}

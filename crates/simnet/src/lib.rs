@@ -1,0 +1,63 @@
+//! # simnet — a deterministic discrete-event network simulator
+//!
+//! The paper's evaluation embeds its clocks in a Dynamo-style store (a
+//! modified Riak). This crate is the substrate that stands in for the
+//! authors' testbed: a single-threaded, fully deterministic discrete-event
+//! simulator with
+//!
+//! * virtual time ([`SimTime`]) with microsecond resolution,
+//! * an event queue with stable FIFO tie-breaking ([`queue::EventQueue`]),
+//! * a message-passing [`Network`] with pluggable latency distributions,
+//!   bandwidth (so *metadata size translates into latency* — the E7
+//!   experiment), loss, and partitions,
+//! * seeded, splittable randomness ([`rng::SimRng`]) so every run is
+//!   reproducible from one `u64` seed, and
+//! * a [`Simulation`] driver hosting user-defined [`Process`]es.
+//!
+//! Determinism policy: no wall-clock, no `HashMap` iteration in scheduling
+//! paths, one RNG stream per concern, and total ordering of simultaneous
+//! events by insertion sequence.
+//!
+//! ## Example: ping-pong
+//!
+//! ```
+//! use simnet::{NodeId, Process, ProcessCtx, Simulation, NetworkConfig};
+//!
+//! struct Ping;
+//! impl Process for Ping {
+//!     type Msg = u64;
+//!     fn on_start(&mut self, ctx: &mut ProcessCtx<'_, u64>) {
+//!         if ctx.id() == NodeId(0) {
+//!             ctx.send(NodeId(1), 1, 8);
+//!         }
+//!     }
+//!     fn on_message(&mut self, ctx: &mut ProcessCtx<'_, u64>, from: NodeId, msg: u64) {
+//!         if msg < 4 {
+//!             ctx.send(from, msg + 1, 8);
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(42, NetworkConfig::default(), vec![Ping, Ping]);
+//! sim.run_to_quiescence();
+//! assert_eq!(sim.network().stats().delivered, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod latency;
+pub mod net;
+pub mod queue;
+pub mod rng;
+pub mod sim;
+pub mod time;
+pub mod trace;
+
+pub use latency::LatencyModel;
+pub use net::{LinkConfig, Network, NetworkConfig, NetworkStats, NodeId};
+pub use rng::SimRng;
+pub use sim::{Process, ProcessCtx, Simulation, TimerId};
+pub use time::{Duration, SimTime};
+pub use trace::{Trace, TraceEvent};

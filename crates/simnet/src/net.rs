@@ -1,0 +1,341 @@
+//! The simulated [`Network`]: latency, bandwidth, loss, and partitions.
+
+use core::fmt;
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::latency::LatencyModel;
+use crate::rng::SimRng;
+use crate::time::Duration;
+
+/// Identifier of a simulated node (dense, starting at 0).
+///
+/// # Examples
+///
+/// ```
+/// use simnet::NodeId;
+/// assert_eq!(NodeId(3).to_string(), "n3");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Per-link transmission characteristics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkConfig {
+    /// Propagation-delay distribution.
+    pub latency: LatencyModel,
+    /// Link bandwidth in bytes per second; `None` means infinite (message
+    /// size does not affect delay). Finite bandwidth is how metadata size
+    /// becomes latency in experiment E7.
+    pub bandwidth: Option<u64>,
+    /// Independent probability that a message is silently lost.
+    pub drop_probability: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency: LatencyModel::default(),
+            bandwidth: None,
+            drop_probability: 0.0,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// Total transfer delay for a message of `bytes`.
+    fn delay(&self, bytes: usize, rng: &mut SimRng) -> Duration {
+        let prop = self.latency.sample(rng);
+        match self.bandwidth {
+            Some(bw) if bw > 0 => {
+                let tx_us = (bytes as u128 * 1_000_000 / bw as u128) as u64;
+                prop + Duration::from_micros(tx_us)
+            }
+            _ => prop,
+        }
+    }
+}
+
+/// Whole-network configuration: a default link plus per-pair overrides.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkConfig {
+    /// Characteristics used for any pair without an override.
+    pub default_link: LinkConfig,
+    /// Directed per-pair overrides.
+    pub overrides: BTreeMap<(NodeId, NodeId), LinkConfig>,
+}
+
+impl NetworkConfig {
+    /// Uniform configuration with the given link everywhere.
+    #[must_use]
+    pub fn uniform(link: LinkConfig) -> Self {
+        NetworkConfig {
+            default_link: link,
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Sets a directed override for `from → to`.
+    pub fn set_link(&mut self, from: NodeId, to: NodeId, link: LinkConfig) -> &mut Self {
+        self.overrides.insert((from, to), link);
+        self
+    }
+}
+
+/// Counters the network maintains across a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Messages accepted for transmission.
+    pub sent: u64,
+    /// Messages delivered to their destination.
+    pub delivered: u64,
+    /// Messages lost to random drop.
+    pub dropped: u64,
+    /// Messages refused because of a partition or blocked link.
+    pub unreachable: u64,
+    /// Total payload bytes accepted for transmission.
+    pub bytes_sent: u64,
+    /// Total payload bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+/// The simulated network fabric.
+///
+/// The network does not store messages itself; the [`crate::Simulation`]
+/// asks it for a delivery verdict ([`Network::transmit`]) and schedules the
+/// delivery event. Partitions and blocked links are dynamic.
+#[derive(Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    rng: SimRng,
+    /// When `Some`, only nodes in the same group can communicate.
+    partition: Option<Vec<BTreeSet<NodeId>>>,
+    /// Directed links administratively blocked.
+    blocked: BTreeSet<(NodeId, NodeId)>,
+    stats: NetworkStats,
+}
+
+/// Verdict for one message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transmit {
+    /// Deliver after this delay.
+    Deliver(Duration),
+    /// Silently lost (drop probability).
+    Dropped,
+    /// No route (partition or blocked link).
+    Unreachable,
+}
+
+impl Network {
+    /// Creates a network with the given configuration and RNG stream.
+    #[must_use]
+    pub fn new(config: NetworkConfig, rng: SimRng) -> Self {
+        Network {
+            config,
+            rng,
+            partition: None,
+            blocked: BTreeSet::new(),
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Decides the fate of one message of `bytes` from `from` to `to`.
+    pub fn transmit(&mut self, from: NodeId, to: NodeId, bytes: usize) -> Transmit {
+        self.stats.sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        if !self.reachable(from, to) {
+            self.stats.unreachable += 1;
+            return Transmit::Unreachable;
+        }
+        let link = self
+            .config
+            .overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.config.default_link);
+        if self.rng.chance(link.drop_probability) {
+            self.stats.dropped += 1;
+            return Transmit::Dropped;
+        }
+        Transmit::Deliver(link.delay(bytes, &mut self.rng))
+    }
+
+    /// Records a completed delivery (called by the simulation driver).
+    pub fn record_delivery(&mut self, bytes: usize) {
+        self.stats.delivered += 1;
+        self.stats.bytes_delivered += bytes as u64;
+    }
+
+    /// Whether `from` can currently reach `to`.
+    #[must_use]
+    pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            return true;
+        }
+        if self.blocked.contains(&(from, to)) {
+            return false;
+        }
+        match &self.partition {
+            None => true,
+            Some(groups) => groups
+                .iter()
+                .any(|g| g.contains(&from) && g.contains(&to)),
+        }
+    }
+
+    /// Splits the network into isolated groups. Nodes absent from every
+    /// group are isolated entirely.
+    pub fn partition(&mut self, groups: Vec<BTreeSet<NodeId>>) {
+        self.partition = Some(groups);
+    }
+
+    /// Convenience: splits into exactly two sides.
+    pub fn partition_two(&mut self, side_a: impl IntoIterator<Item = NodeId>, side_b: impl IntoIterator<Item = NodeId>) {
+        self.partition(vec![side_a.into_iter().collect(), side_b.into_iter().collect()]);
+    }
+
+    /// Removes any partition.
+    pub fn heal(&mut self) {
+        self.partition = None;
+    }
+
+    /// Administratively blocks the directed link `from → to`.
+    pub fn block_link(&mut self, from: NodeId, to: NodeId) {
+        self.blocked.insert((from, to));
+    }
+
+    /// Unblocks the directed link.
+    pub fn unblock_link(&mut self, from: NodeId, to: NodeId) {
+        self.blocked.remove(&(from, to));
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(link: LinkConfig) -> Network {
+        Network::new(NetworkConfig::uniform(link), SimRng::new(1))
+    }
+
+    #[test]
+    fn default_link_delivers_with_latency() {
+        let mut n = net(LinkConfig::default());
+        match n.transmit(NodeId(0), NodeId(1), 100) {
+            Transmit::Deliver(d) => assert_eq!(d, Duration::from_micros(500)),
+            other => panic!("expected delivery, got {other:?}"),
+        }
+        assert_eq!(n.stats().sent, 1);
+        assert_eq!(n.stats().bytes_sent, 100);
+    }
+
+    #[test]
+    fn bandwidth_adds_size_proportional_delay() {
+        let link = LinkConfig {
+            latency: LatencyModel::Constant(Duration::from_micros(100)),
+            bandwidth: Some(1_000_000), // 1 MB/s → 1µs per byte
+            drop_probability: 0.0,
+        };
+        let mut n = net(link);
+        let small = match n.transmit(NodeId(0), NodeId(1), 10) {
+            Transmit::Deliver(d) => d,
+            _ => unreachable!(),
+        };
+        let big = match n.transmit(NodeId(0), NodeId(1), 10_000) {
+            Transmit::Deliver(d) => d,
+            _ => unreachable!(),
+        };
+        assert_eq!(small, Duration::from_micros(110));
+        assert_eq!(big, Duration::from_micros(10_100));
+    }
+
+    #[test]
+    fn drop_probability_loses_messages() {
+        let link = LinkConfig {
+            drop_probability: 1.0,
+            ..LinkConfig::default()
+        };
+        let mut n = net(link);
+        assert_eq!(n.transmit(NodeId(0), NodeId(1), 1), Transmit::Dropped);
+        assert_eq!(n.stats().dropped, 1);
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic() {
+        let mut n = net(LinkConfig::default());
+        n.partition_two([NodeId(0), NodeId(1)], [NodeId(2)]);
+        assert!(n.reachable(NodeId(0), NodeId(1)));
+        assert!(!n.reachable(NodeId(0), NodeId(2)));
+        assert_eq!(n.transmit(NodeId(0), NodeId(2), 1), Transmit::Unreachable);
+        assert_eq!(n.stats().unreachable, 1);
+        n.heal();
+        assert!(n.reachable(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn isolated_node_unreachable_but_self_reachable() {
+        let mut n = net(LinkConfig::default());
+        n.partition(vec![[NodeId(0)].into_iter().collect()]);
+        assert!(!n.reachable(NodeId(0), NodeId(9)));
+        assert!(n.reachable(NodeId(9), NodeId(9)), "self-loop always works");
+    }
+
+    #[test]
+    fn blocked_links_are_directed() {
+        let mut n = net(LinkConfig::default());
+        n.block_link(NodeId(0), NodeId(1));
+        assert!(!n.reachable(NodeId(0), NodeId(1)));
+        assert!(n.reachable(NodeId(1), NodeId(0)));
+        n.unblock_link(NodeId(0), NodeId(1));
+        assert!(n.reachable(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn overrides_take_precedence() {
+        let mut cfg = NetworkConfig::uniform(LinkConfig::default());
+        cfg.set_link(
+            NodeId(0),
+            NodeId(1),
+            LinkConfig {
+                latency: LatencyModel::Constant(Duration::from_millis(9)),
+                ..LinkConfig::default()
+            },
+        );
+        let mut n = Network::new(cfg, SimRng::new(2));
+        match n.transmit(NodeId(0), NodeId(1), 1) {
+            Transmit::Deliver(d) => assert_eq!(d, Duration::from_millis(9)),
+            other => panic!("{other:?}"),
+        }
+        // reverse direction uses the default
+        match n.transmit(NodeId(1), NodeId(0), 1) {
+            Transmit::Deliver(d) => assert_eq!(d, Duration::from_micros(500)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_delivery_updates_stats() {
+        let mut n = net(LinkConfig::default());
+        n.transmit(NodeId(0), NodeId(1), 64);
+        n.record_delivery(64);
+        assert_eq!(n.stats().delivered, 1);
+        assert_eq!(n.stats().bytes_delivered, 64);
+    }
+}

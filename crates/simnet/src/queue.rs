@@ -1,0 +1,164 @@
+//! [`EventQueue`]: the simulator's priority queue with deterministic
+//! FIFO tie-breaking for simultaneous events.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A time-ordered queue of events.
+///
+/// Events scheduled for the same instant pop in insertion order, which is
+/// what makes whole-simulation runs bit-for-bit reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::queue::EventQueue;
+/// use simnet::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_micros(5), "late");
+/// q.push(SimTime::from_micros(1), "a");
+/// q.push(SimTime::from_micros(1), "b");
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(1), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(1), "b")));
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(5), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// The time of the earliest event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(t(30), 3);
+        q.push(t(10), 1);
+        q.push(t(20), 2);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.pop(), Some((t(30), 3)));
+    }
+
+    #[test]
+    fn fifo_for_simultaneous_events() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(7), i)));
+        }
+    }
+
+    #[test]
+    fn peek_len_empty() {
+        let mut q: EventQueue<&str> = EventQueue::default();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(t(5), "x");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(t(5)));
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_remains_stable() {
+        let mut q = EventQueue::new();
+        q.push(t(1), "a");
+        q.push(t(2), "b1");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        q.push(t(2), "b2");
+        q.push(t(1), "late-but-earlier-time");
+        assert_eq!(q.pop(), Some((t(1), "late-but-earlier-time")));
+        assert_eq!(q.pop(), Some((t(2), "b1")));
+        assert_eq!(q.pop(), Some((t(2), "b2")));
+    }
+}

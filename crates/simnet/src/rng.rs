@@ -1,0 +1,263 @@
+//! Seeded, splittable randomness: every simulation run is a pure function
+//! of one `u64` seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The simulator's random-number generator.
+///
+/// Wraps a seeded [`StdRng`] and adds [`SimRng::fork`], which derives an
+/// independent stream for a sub-concern (one per node, one for the
+/// network, one for the workload…). Forking keeps event-order changes in
+/// one component from perturbing the random choices of another — the key
+/// to debuggable, reproducible simulations.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::SimRng;
+/// let mut a = SimRng::new(7);
+/// let mut b = SimRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64(), "same seed, same stream");
+/// let mut net = a.fork("network");
+/// let mut wl = a.fork("workload");
+/// assert_ne!(net.next_u64(), wl.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    seed: u64,
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            seed,
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The seed this stream was created from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent stream identified by `label`.
+    ///
+    /// The child seed mixes the parent seed with a hash of the label, so
+    /// `fork("a")` and `fork("b")` are decorrelated while remaining pure
+    /// functions of the root seed.
+    #[must_use]
+    pub fn fork(&self, label: &str) -> SimRng {
+        SimRng::new(mix(self.seed, hash_label(label)))
+    }
+
+    /// Derives an independent stream for an indexed sub-concern (e.g. one
+    /// per node).
+    #[must_use]
+    pub fn fork_indexed(&self, label: &str, index: u64) -> SimRng {
+        SimRng::new(mix(mix(self.seed, hash_label(label)), index))
+    }
+
+    /// Next `u64` from the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.unit_f64() < p
+        }
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        &items[self.range_u64(0, items.len() as u64) as usize]
+    }
+
+    /// Standard exponential draw with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.unit_f64(); // (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Standard normal draw (Box–Muller).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = 1.0 - self.unit_f64();
+        let u2 = self.unit_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// FNV-1a over the label bytes.
+fn hash_label(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: decorrelates related seeds.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(1);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn forks_are_independent_and_reproducible() {
+        let root = SimRng::new(99);
+        let mut x1 = root.fork("x");
+        let mut x2 = root.fork("x");
+        let y = root.fork("y");
+        assert_eq!(x1.next_u64(), x2.next_u64());
+        assert_ne!(x1.seed(), y.seed());
+        let mut i0 = root.fork_indexed("node", 0);
+        let mut i1 = root.fork_indexed("node", 1);
+        assert_ne!(i0.next_u64(), i1.next_u64());
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = SimRng::new(3);
+        for _ in 0..1000 {
+            let v = r.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(4);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn range_and_pick() {
+        let mut r = SimRng::new(5);
+        for _ in 0..100 {
+            let v = r.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+        let items = [1, 2, 3];
+        for _ in 0..20 {
+            assert!(items.contains(r.pick(&items)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SimRng::new(0).range_u64(5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn empty_pick_panics() {
+        SimRng::new(0).pick::<u8>(&[]);
+    }
+
+    #[test]
+    fn exponential_mean_roughly_right() {
+        let mut r = SimRng::new(6);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(5.0)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 5.0).abs() < 0.3, "sample mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_roughly_right() {
+        let mut r = SimRng::new(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn rngcore_fill_bytes_works() {
+        let mut r = SimRng::new(8);
+        let mut buf = [0u8; 32];
+        r.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 32]);
+    }
+}

@@ -1,0 +1,558 @@
+//! The [`Simulation`] driver: hosts [`Process`]es, routes their messages
+//! through the [`Network`], and advances virtual time deterministically.
+
+use crate::net::{Network, NetworkConfig, NodeId, Transmit};
+use crate::queue::EventQueue;
+use crate::rng::SimRng;
+use crate::time::{Duration, SimTime};
+use crate::trace::{Trace, TraceEvent};
+
+/// Handle to a pending timer, returned by [`ProcessCtx::set_timer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(u64);
+
+/// A deterministic state machine hosted by the simulation.
+///
+/// Processes communicate only through messages and timers; all
+/// nondeterminism must come from the provided RNG so that runs are
+/// reproducible from the seed.
+pub trait Process {
+    /// The message type exchanged between processes.
+    type Msg;
+
+    /// Called once at time zero, before any message.
+    fn on_start(&mut self, ctx: &mut ProcessCtx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message addressed to this process arrives.
+    fn on_message(&mut self, ctx: &mut ProcessCtx<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer set by this process fires.
+    fn on_timer(&mut self, ctx: &mut ProcessCtx<'_, Self::Msg>, timer: TimerId) {
+        let _ = (ctx, timer);
+    }
+}
+
+/// The capabilities a process sees while handling an event.
+#[derive(Debug)]
+pub struct ProcessCtx<'a, M> {
+    id: NodeId,
+    now: SimTime,
+    rng: &'a mut SimRng,
+    outbox: &'a mut Vec<(NodeId, M, usize)>,
+    timer_requests: &'a mut Vec<(Duration, TimerId)>,
+    next_timer: &'a mut u64,
+    notes: &'a mut Vec<String>,
+}
+
+impl<'a, M> ProcessCtx<'a, M> {
+    /// This process's node id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This process's private RNG stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Sends `msg` (`bytes` long on the wire) to `to`. Delivery is decided
+    /// by the network; self-sends are delivered with zero delay.
+    pub fn send(&mut self, to: NodeId, msg: M, bytes: usize) {
+        self.outbox.push((to, msg, bytes));
+    }
+
+    /// Schedules [`Process::on_timer`] after `delay`. Returns the id the
+    /// callback will receive.
+    pub fn set_timer(&mut self, delay: Duration) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.timer_requests.push((delay, id));
+        id
+    }
+
+    /// Adds a free-form annotation to the trace.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+}
+
+enum Event<M> {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        bytes: usize,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+    },
+}
+
+impl<M> core::fmt::Debug for Event<M> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Event::Deliver { from, to, bytes, .. } => {
+                write!(f, "Deliver({from}→{to}, {bytes}B)")
+            }
+            Event::Timer { node, id } => write!(f, "Timer({node}, {id:?})"),
+        }
+    }
+}
+
+/// A deterministic discrete-event simulation over a set of processes.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug)]
+pub struct Simulation<P: Process> {
+    processes: Vec<P>,
+    rngs: Vec<SimRng>,
+    network: Network,
+    queue: EventQueue<Event<P::Msg>>,
+    now: SimTime,
+    next_timer: u64,
+    trace: Trace,
+    events_processed: u64,
+    max_events: u64,
+    started: bool,
+}
+
+impl<P: Process> Simulation<P> {
+    /// Default safety bound on processed events per run call.
+    pub const DEFAULT_MAX_EVENTS: u64 = 50_000_000;
+
+    /// Creates a simulation with `seed`-derived randomness, the given
+    /// network configuration, and one node per process (node `i` hosts
+    /// `processes[i]`).
+    #[must_use]
+    pub fn new(seed: u64, net_config: NetworkConfig, processes: Vec<P>) -> Self {
+        let root = SimRng::new(seed);
+        let rngs = (0..processes.len())
+            .map(|i| root.fork_indexed("node", i as u64))
+            .collect();
+        Simulation {
+            processes,
+            rngs,
+            network: Network::new(net_config, root.fork("network")),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            next_timer: 0,
+            trace: Trace::new(),
+            events_processed: 0,
+            max_events: Self::DEFAULT_MAX_EVENTS,
+            started: false,
+        }
+    }
+
+    /// Number of hosted processes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Whether the simulation hosts no processes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Read access to the network (stats, reachability).
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Mutable access to the network (partitions, blocked links).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Read access to process `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn process(&self, i: usize) -> &P {
+        &self.processes[i]
+    }
+
+    /// Mutable access to process `i` — for test-harness fault injection
+    /// and post-run state extraction, not for use from within the
+    /// simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn process_mut(&mut self, i: usize) -> &mut P {
+        &mut self.processes[i]
+    }
+
+    /// Read access to all processes.
+    #[must_use]
+    pub fn processes(&self) -> &[P] {
+        &self.processes
+    }
+
+    /// The execution trace (enable it before running).
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable access to the trace (to enable/bound it).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Sets the safety bound on total processed events.
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// Total events processed so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.processes.len() {
+            self.dispatch(i, Dispatch::Start);
+        }
+    }
+
+    /// Runs one event. Returns `false` when the queue is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event safety bound is exceeded (runaway message
+    /// loops are bugs, not workloads).
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        let Some((time, event)) = self.queue.pop() else {
+            return false;
+        };
+        assert!(
+            self.events_processed < self.max_events,
+            "simulation exceeded {} events — livelock?",
+            self.max_events
+        );
+        self.events_processed += 1;
+        debug_assert!(time >= self.now, "time went backwards");
+        self.now = time;
+        match event {
+            Event::Deliver { from, to, msg, bytes } => {
+                self.network.record_delivery(bytes);
+                self.trace.record(TraceEvent::Delivered {
+                    time,
+                    from,
+                    to,
+                    bytes,
+                });
+                self.dispatch(to.0 as usize, Dispatch::Message { from, msg });
+            }
+            Event::Timer { node, id } => {
+                self.trace.record(TraceEvent::TimerFired { time, node });
+                self.dispatch(node.0 as usize, Dispatch::Timer(id));
+            }
+        }
+        true
+    }
+
+    /// Runs until the queue is empty.
+    pub fn run_to_quiescence(&mut self) {
+        self.ensure_started();
+        while self.step() {}
+    }
+
+    /// Runs until virtual time reaches `deadline` (events at the deadline
+    /// are processed) or the queue empties.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.ensure_started();
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    fn dispatch(&mut self, index: usize, what: Dispatch<P::Msg>) {
+        let node = NodeId(index as u32);
+        let mut outbox = Vec::new();
+        let mut timer_requests = Vec::new();
+        let mut notes = Vec::new();
+        {
+            let mut ctx = ProcessCtx {
+                id: node,
+                now: self.now,
+                rng: &mut self.rngs[index],
+                outbox: &mut outbox,
+                timer_requests: &mut timer_requests,
+                next_timer: &mut self.next_timer,
+                notes: &mut notes,
+            };
+            match what {
+                Dispatch::Start => self.processes[index].on_start(&mut ctx),
+                Dispatch::Message { from, msg } => {
+                    self.processes[index].on_message(&mut ctx, from, msg)
+                }
+                Dispatch::Timer(id) => self.processes[index].on_timer(&mut ctx, id),
+            }
+        }
+        for text in notes {
+            self.trace.record(TraceEvent::Note {
+                time: self.now,
+                node,
+                text,
+            });
+        }
+        for (to, msg, bytes) in outbox {
+            self.trace.record(TraceEvent::Sent {
+                time: self.now,
+                from: node,
+                to,
+                bytes,
+            });
+            if to == node {
+                // self-sends bypass the network, zero delay
+                self.queue.push(
+                    self.now,
+                    Event::Deliver {
+                        from: node,
+                        to,
+                        msg,
+                        bytes,
+                    },
+                );
+                continue;
+            }
+            match self.network.transmit(node, to, bytes) {
+                Transmit::Deliver(delay) => {
+                    self.queue.push(
+                        self.now + delay,
+                        Event::Deliver {
+                            from: node,
+                            to,
+                            msg,
+                            bytes,
+                        },
+                    );
+                }
+                Transmit::Dropped | Transmit::Unreachable => {
+                    self.trace.record(TraceEvent::Lost {
+                        time: self.now,
+                        from: node,
+                        to,
+                    });
+                }
+            }
+        }
+        for (delay, id) in timer_requests {
+            self.queue
+                .push(self.now + delay, Event::Timer { node, id });
+        }
+    }
+}
+
+enum Dispatch<M> {
+    Start,
+    Message { from: NodeId, msg: M },
+    Timer(TimerId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use crate::net::LinkConfig;
+
+    /// Counts messages; replies until a budget is exhausted.
+    struct Echo {
+        received: u32,
+        budget: u32,
+    }
+
+    impl Process for Echo {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut ProcessCtx<'_, u32>) {
+            if ctx.id() == NodeId(0) {
+                ctx.send(NodeId(1), 0, 16);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut ProcessCtx<'_, u32>, from: NodeId, msg: u32) {
+            self.received += 1;
+            if self.budget > 0 {
+                self.budget -= 1;
+                ctx.send(from, msg + 1, 16);
+            }
+        }
+    }
+
+    fn echo_pair(budget: u32) -> Simulation<Echo> {
+        Simulation::new(
+            7,
+            NetworkConfig::default(),
+            vec![
+                Echo { received: 0, budget },
+                Echo { received: 0, budget },
+            ],
+        )
+    }
+
+    #[test]
+    fn messages_flow_and_time_advances() {
+        let mut sim = echo_pair(2);
+        sim.run_to_quiescence();
+        // n0 sends 1; each side replies twice: total deliveries = 5
+        assert_eq!(sim.network().stats().delivered, 5);
+        assert_eq!(sim.now(), SimTime::from_micros(2500), "5 hops × 500µs");
+        assert_eq!(sim.process(0).received + sim.process(1).received, 5);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sim = echo_pair(3);
+            sim.run_to_quiescence();
+            (sim.now(), sim.network().stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = echo_pair(1000);
+        sim.run_until(SimTime::from_micros(1750));
+        // deliveries at 500, 1000, 1500 have happened; 2000 has not
+        assert_eq!(sim.network().stats().delivered, 3);
+        assert_eq!(sim.now(), SimTime::from_micros(1750));
+        sim.run_until(SimTime::from_micros(2000));
+        assert_eq!(sim.network().stats().delivered, 4);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct Timed {
+            fired: Vec<u64>,
+            ids: Vec<TimerId>,
+        }
+        impl Process for Timed {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut ProcessCtx<'_, ()>) {
+                self.ids.push(ctx.set_timer(Duration::from_micros(30)));
+                self.ids.push(ctx.set_timer(Duration::from_micros(10)));
+            }
+            fn on_message(&mut self, _: &mut ProcessCtx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut ProcessCtx<'_, ()>, timer: TimerId) {
+                assert!(self.ids.contains(&timer));
+                self.fired.push(ctx.now().as_micros());
+            }
+        }
+        let mut sim = Simulation::new(
+            1,
+            NetworkConfig::default(),
+            vec![Timed {
+                fired: vec![],
+                ids: vec![],
+            }],
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.process(0).fired, vec![10, 30]);
+    }
+
+    #[test]
+    fn partition_loses_messages() {
+        let mut sim = echo_pair(100);
+        sim.network_mut()
+            .partition_two([NodeId(0)], [NodeId(1)]);
+        sim.run_to_quiescence();
+        assert_eq!(sim.network().stats().delivered, 0);
+        assert_eq!(sim.network().stats().unreachable, 1);
+    }
+
+    #[test]
+    fn self_send_is_immediate() {
+        struct SelfSender {
+            got: bool,
+        }
+        impl Process for SelfSender {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut ProcessCtx<'_, ()>) {
+                ctx.send(ctx.id(), (), 0);
+            }
+            fn on_message(&mut self, ctx: &mut ProcessCtx<'_, ()>, from: NodeId, _: ()) {
+                assert_eq!(from, ctx.id());
+                assert_eq!(ctx.now(), SimTime::ZERO);
+                self.got = true;
+            }
+        }
+        let mut sim = Simulation::new(1, NetworkConfig::default(), vec![SelfSender { got: false }]);
+        sim.run_to_quiescence();
+        assert!(sim.process(0).got);
+    }
+
+    #[test]
+    fn trace_records_when_enabled() {
+        let mut sim = echo_pair(1);
+        sim.trace_mut().enable();
+        sim.run_to_quiescence();
+        assert!(sim.trace().events().iter().any(|e| matches!(e, TraceEvent::Sent { .. })));
+        assert_eq!(sim.trace().deliveries_to(NodeId(1)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "livelock")]
+    fn runaway_loops_hit_the_event_bound() {
+        let mut sim = echo_pair(u32::MAX);
+        sim.set_max_events(1_000);
+        sim.run_to_quiescence();
+    }
+
+    #[test]
+    fn bandwidth_affects_completion_time() {
+        let link = LinkConfig {
+            latency: LatencyModel::Constant(Duration::from_micros(100)),
+            bandwidth: Some(1_000_000),
+            drop_probability: 0.0,
+        };
+        struct Big;
+        impl Process for Big {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut ProcessCtx<'_, ()>) {
+                if ctx.id() == NodeId(0) {
+                    ctx.send(NodeId(1), (), 9_900); // 9.9ms at 1MB/s
+                }
+            }
+            fn on_message(&mut self, _: &mut ProcessCtx<'_, ()>, _: NodeId, _: ()) {}
+        }
+        let mut sim = Simulation::new(1, NetworkConfig::uniform(link), vec![Big, Big]);
+        sim.run_to_quiescence();
+        assert_eq!(sim.now(), SimTime::from_micros(10_000));
+    }
+}

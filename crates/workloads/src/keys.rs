@@ -1,0 +1,142 @@
+//! [`KeySpace`]: named keys with configurable popularity.
+
+use crate::zipf::Zipf;
+
+/// How key popularity is distributed.
+#[derive(Clone, Debug)]
+pub enum Popularity {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with the given exponent (1.0 ≈ web-object popularity).
+    Zipf(f64),
+}
+
+/// A fixed universe of keys with a popularity distribution.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::{KeySpace, Popularity};
+/// let ks = KeySpace::new("cart", 100, Popularity::Zipf(1.0));
+/// let k = ks.key_at(0);
+/// assert_eq!(k, b"cart:0".to_vec());
+/// assert_eq!(ks.len(), 100);
+/// // skew: rank 0 is sampled most often
+/// assert_eq!(ks.sample(0.0), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct KeySpace {
+    prefix: String,
+    count: usize,
+    zipf: Option<Zipf>,
+}
+
+impl KeySpace {
+    /// Creates a key space of `count` keys named `prefix:<rank>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    #[must_use]
+    pub fn new(prefix: &str, count: usize, popularity: Popularity) -> Self {
+        assert!(count > 0, "key space must have at least one key");
+        let zipf = match popularity {
+            Popularity::Uniform => None,
+            Popularity::Zipf(alpha) => Some(Zipf::new(count, alpha)),
+        };
+        KeySpace {
+            prefix: prefix.to_owned(),
+            count,
+            zipf,
+        }
+    }
+
+    /// Number of keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the space is empty (never true; see `new`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The byte name of the key at `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    #[must_use]
+    pub fn key_at(&self, rank: usize) -> Vec<u8> {
+        assert!(rank < self.count, "rank {rank} out of range");
+        format!("{}:{}", self.prefix, rank).into_bytes()
+    }
+
+    /// Maps a uniform draw `u ∈ [0,1)` to a key rank according to the
+    /// popularity distribution.
+    #[must_use]
+    pub fn sample(&self, u: f64) -> usize {
+        match &self.zipf {
+            None => {
+                let u = u.clamp(0.0, 1.0 - f64::EPSILON);
+                ((u * self.count as f64) as usize).min(self.count - 1)
+            }
+            Some(z) => z.sample(u),
+        }
+    }
+
+    /// Convenience: sample a rank and return its key name.
+    #[must_use]
+    pub fn sample_key(&self, u: f64) -> Vec<u8> {
+        self.key_at(self.sample(u))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_names_are_stable_and_distinct() {
+        let ks = KeySpace::new("k", 10, Popularity::Uniform);
+        assert_eq!(ks.key_at(3), b"k:3".to_vec());
+        assert_ne!(ks.key_at(3), ks.key_at(4));
+    }
+
+    #[test]
+    fn uniform_sampling_covers_space() {
+        let ks = KeySpace::new("k", 4, Popularity::Uniform);
+        assert_eq!(ks.sample(0.0), 0);
+        assert_eq!(ks.sample(0.49), 1);
+        assert_eq!(ks.sample(0.99), 3);
+        assert_eq!(ks.sample(1.0), 3, "clamped");
+    }
+
+    #[test]
+    fn zipf_sampling_prefers_head() {
+        let ks = KeySpace::new("k", 100, Popularity::Zipf(1.2));
+        assert_eq!(ks.sample(0.0), 0);
+        assert!(ks.sample(0.10) <= 1);
+    }
+
+    #[test]
+    fn sample_key_matches_key_at() {
+        let ks = KeySpace::new("pre", 5, Popularity::Uniform);
+        let rank = ks.sample(0.7);
+        assert_eq!(ks.sample_key(0.7), ks.key_at(rank));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rank_panics() {
+        let _ = KeySpace::new("k", 2, Popularity::Uniform).key_at(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn empty_space_rejected() {
+        let _ = KeySpace::new("k", 0, Popularity::Uniform);
+    }
+}

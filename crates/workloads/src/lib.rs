@@ -1,0 +1,39 @@
+//! # workloads — generators and statistics for the DVV evaluation
+//!
+//! The paper's evaluation exercises a key-value store with populations of
+//! clients doing read-modify-write cycles over skewed key spaces. This
+//! crate generates those workloads deterministically and summarises the
+//! results:
+//!
+//! * [`zipf::Zipf`] — skewed popularity sampling,
+//! * [`keys::KeySpace`] — named keys with uniform or Zipfian popularity,
+//! * [`ops::OpGenerator`] — read/write operation streams,
+//! * [`stats::Histogram`] — log-bucketed latency/size histograms with
+//!   percentiles,
+//! * [`stats::Summary`] — streaming mean/min/max.
+//!
+//! The generators consume caller-supplied uniform draws (`f64` in
+//! `[0, 1)`), staying decoupled from the simulator's RNG type:
+//!
+//! ```
+//! use workloads::{KeySpace, OpGenerator, OpMix, Popularity};
+//!
+//! let keys = KeySpace::new("cart", 1000, Popularity::Zipf(1.0));
+//! let generator = OpGenerator::new(keys, OpMix::default());
+//! let op = generator.op(0.9, 0.01); // write to a very popular key
+//! assert!(op.is_put());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod keys;
+pub mod ops;
+pub mod stats;
+pub mod zipf;
+
+pub use keys::{KeySpace, Popularity};
+pub use ops::{Op, OpGenerator, OpMix};
+pub use stats::{Histogram, Summary};
+pub use zipf::Zipf;

@@ -1,0 +1,164 @@
+//! [`OpGenerator`]: deterministic streams of store operations.
+
+use crate::keys::KeySpace;
+
+/// One operation against the store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Read the key (refreshing the client's causal context).
+    Get {
+        /// Key name.
+        key: Vec<u8>,
+    },
+    /// Read-modify-write: the client writes `value_size` payload bytes
+    /// under the context from its latest read of the key.
+    Put {
+        /// Key name.
+        key: Vec<u8>,
+        /// Payload size in bytes.
+        value_size: usize,
+    },
+}
+
+impl Op {
+    /// The key this operation touches.
+    #[must_use]
+    pub fn key(&self) -> &[u8] {
+        match self {
+            Op::Get { key } | Op::Put { key, .. } => key,
+        }
+    }
+
+    /// Whether this is a write.
+    #[must_use]
+    pub fn is_put(&self) -> bool {
+        matches!(self, Op::Put { .. })
+    }
+}
+
+/// The read/write mix of a workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpMix {
+    /// Fraction of operations that are reads, in `[0, 1]`.
+    pub read_fraction: f64,
+    /// Payload size for writes, in bytes.
+    pub value_size: usize,
+}
+
+impl Default for OpMix {
+    /// Riak-like session default: 50% reads (every write is preceded by a
+    /// read in a read-modify-write loop), 100-byte values.
+    fn default() -> Self {
+        OpMix {
+            read_fraction: 0.5,
+            value_size: 100,
+        }
+    }
+}
+
+/// Generates operations for a key space and mix from caller-supplied
+/// uniform draws, staying agnostic of the RNG implementation.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::{KeySpace, OpGenerator, OpMix, Popularity};
+/// let ks = KeySpace::new("k", 10, Popularity::Uniform);
+/// let generator = OpGenerator::new(ks, OpMix::default());
+/// // u_kind < read_fraction → Get; the second draw picks the key
+/// let op = generator.op(0.2, 0.0);
+/// assert!(!op.is_put());
+/// assert_eq!(op.key(), b"k:0");
+/// ```
+#[derive(Clone, Debug)]
+pub struct OpGenerator {
+    keys: KeySpace,
+    mix: OpMix,
+}
+
+impl OpGenerator {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(keys: KeySpace, mix: OpMix) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&mix.read_fraction),
+            "read fraction must be a probability"
+        );
+        OpGenerator { keys, mix }
+    }
+
+    /// The key space in use.
+    #[must_use]
+    pub fn keys(&self) -> &KeySpace {
+        &self.keys
+    }
+
+    /// Produces one operation from two uniform draws: `u_kind` selects
+    /// read vs write, `u_key` selects the key.
+    #[must_use]
+    pub fn op(&self, u_kind: f64, u_key: f64) -> Op {
+        let key = self.keys.sample_key(u_key);
+        if u_kind < self.mix.read_fraction {
+            Op::Get { key }
+        } else {
+            Op::Put {
+                key,
+                value_size: self.mix.value_size,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::Popularity;
+
+    fn generator(read_fraction: f64) -> OpGenerator {
+        OpGenerator::new(
+            KeySpace::new("k", 8, Popularity::Uniform),
+            OpMix {
+                read_fraction,
+                value_size: 64,
+            },
+        )
+    }
+
+    #[test]
+    fn mix_splits_reads_and_writes() {
+        let g = generator(0.7);
+        assert!(!g.op(0.69, 0.0).is_put());
+        assert!(g.op(0.71, 0.0).is_put());
+    }
+
+    #[test]
+    fn all_reads_all_writes() {
+        assert!(!generator(1.0).op(0.999, 0.5).is_put());
+        assert!(generator(0.0).op(0.0, 0.5).is_put());
+    }
+
+    #[test]
+    fn put_carries_value_size() {
+        match generator(0.0).op(0.5, 0.5) {
+            Op::Put { value_size, .. } => assert_eq!(value_size, 64),
+            op => panic!("expected put, got {op:?}"),
+        }
+    }
+
+    #[test]
+    fn op_key_accessor() {
+        let g = generator(0.5);
+        let op = g.op(0.0, 0.0);
+        assert_eq!(op.key(), g.keys().key_at(0).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_fraction_rejected() {
+        let _ = generator(1.5);
+    }
+}

@@ -1,0 +1,143 @@
+//! [`Zipf`]: skewed popularity sampling.
+
+/// A Zipf(α) distribution over ranks `0..n`.
+///
+/// Rank `k` (0-based) is drawn with probability proportional to
+/// `1 / (k+1)^α`. The CDF is precomputed, so sampling is a binary search —
+/// O(log n) per draw and exact.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::Zipf;
+/// let z = Zipf::new(100, 1.0);
+/// // rank 0 is the most popular
+/// assert_eq!(z.sample(0.0), 0);
+/// assert_eq!(z.len(), 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` ranks with exponent `alpha`.
+    /// `alpha = 0` degenerates to uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `alpha` is negative/non-finite.
+    #[must_use]
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is empty (never true — `new` requires
+    /// `n > 0`; provided for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Maps a uniform draw `u ∈ [0, 1)` to a rank.
+    #[must_use]
+    pub fn sample(&self, u: f64) -> usize {
+        let u = u.clamp(0.0, 1.0 - f64::EPSILON);
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_normalized_and_monotone() {
+        let z = Zipf::new(50, 1.2);
+        assert!((z.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+        assert!(z.cdf.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+        assert_eq!(z.sample(0.10), 0);
+        assert_eq!(z.sample(0.30), 1);
+        assert_eq!(z.sample(0.60), 2);
+        assert_eq!(z.sample(0.90), 3);
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = Zipf::new(1000, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(100));
+        // top-10 of Zipf(1) over 1000 ranks carries ≈ 39% of the mass
+        let top10: f64 = (0..10).map(|k| z.pmf(k)).sum();
+        assert!(top10 > 0.3, "top-10 mass {top10}");
+    }
+
+    #[test]
+    fn sample_boundaries() {
+        let z = Zipf::new(10, 1.0);
+        assert_eq!(z.sample(0.0), 0);
+        assert_eq!(z.sample(1.0), 9, "u=1.0 is clamped into range");
+        assert_eq!(z.sample(2.0), 9);
+        assert_eq!(z.sample(-1.0), 0);
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 2.0);
+        assert_eq!(z.sample(0.7), 0);
+        assert!((z.pmf(0) - 1.0).abs() < 1e-12);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_alpha_rejected() {
+        let _ = Zipf::new(5, -1.0);
+    }
+}

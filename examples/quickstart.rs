@@ -1,0 +1,66 @@
+//! Quickstart: the dotted-version-vector API in five minutes.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use dvv::server::{context, sync, update, Tagged};
+use dvv::{CausalOrder, Dot, Dvv, VersionVector};
+
+fn main() {
+    // ---------------------------------------------------------------
+    // 1. A DVV is a version identifier (dot) plus a causal past (VV).
+    // ---------------------------------------------------------------
+    let v1 = Dvv::new(Dot::new("A", 1), VersionVector::new());
+    println!("first write at server A:        {v1}");
+
+    let mut past = VersionVector::new();
+    past.set("A", 1);
+    let v2 = Dvv::new(Dot::new("A", 2), past.clone());
+    println!("overwrite that saw v1:          {v2}");
+
+    // O(1) causality check: is v1's dot inside v2's past?
+    assert_eq!(v1.causal_cmp(&v2), CausalOrder::Before);
+    println!("v1 {} v2  (one map lookup)", v1.causal_cmp(&v2));
+
+    // A write that also saw only v1 is concurrent with v2 — and the
+    // history {{A1, A3}} is not expressible as a plain version vector:
+    let v3 = Dvv::new(Dot::new("A", 3), past);
+    assert_eq!(v2.causal_cmp(&v3), CausalOrder::Concurrent);
+    println!("v2 {} v3  (the paper's Figure 1c)", v2.causal_cmp(&v3));
+
+    // ---------------------------------------------------------------
+    // 2. The storage protocol: sibling sets, contexts, update, sync.
+    // ---------------------------------------------------------------
+    let mut server_a: Vec<Tagged<&str, &str>> = Vec::new();
+    let mut server_b: Vec<Tagged<&str, &str>> = Vec::new();
+
+    // A client writes having read nothing:
+    update(&mut server_a, &VersionVector::new(), "A", "cart:{beer}");
+    // Another client reads (getting the context)…
+    let ctx = context(&server_a);
+    println!("\nread context after 1 write:     {ctx}");
+    // …two clients write *concurrently* with that same context:
+    update(&mut server_a, &ctx, "A", "cart:{beer,chips}");
+    update(&mut server_a, &ctx, "A", "cart:{beer,wine}");
+    println!("server A now has {} siblings:", server_a.len());
+    for s in &server_a {
+        println!("  {s}");
+    }
+
+    // Replication merges sibling sets; nothing true is lost:
+    server_b = sync(&server_b, &server_a);
+    assert_eq!(server_b.len(), 2);
+
+    // A reader that saw both siblings resolves the conflict:
+    let ctx_all = context(&server_b);
+    update(&mut server_b, &ctx_all, "B", "cart:{beer,chips,wine}");
+    println!("\nafter a resolving write at B:");
+    for s in &server_b {
+        println!("  {s}");
+    }
+    assert_eq!(server_b.len(), 1);
+
+    // And replicating back to A collapses its siblings too:
+    let merged = sync(&server_a, &server_b);
+    assert_eq!(merged.len(), 1);
+    println!("\nconverged value everywhere:     {}", merged[0]);
+}

@@ -1,0 +1,24 @@
+//! # dvv-repro — facade crate for the DVV reproduction workspace
+//!
+//! Reproduction of *“Brief Announcement: Efficient Causality Tracking in
+//! Distributed Storage Systems With Dotted Version Vectors”* (PODC 2012).
+//!
+//! This crate re-exports the workspace members so the examples and
+//! integration tests at the repository root can reach everything through
+//! one dependency:
+//!
+//! * [`dvv`] — the clocks: dots, version vectors, causal histories, DVVs,
+//!   DVVSets, and the pluggable store mechanisms.
+//! * [`simnet`] — the deterministic discrete-event network simulator.
+//! * [`ring`] — consistent hashing and preference lists.
+//! * [`kvstore`] — the Dynamo/Riak-style multi-version store.
+//! * [`workloads`] — workload generators and statistics.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the paper-versus-
+//! measured record.
+
+pub use dvv;
+pub use kvstore;
+pub use ring;
+pub use simnet;
+pub use workloads;

@@ -1,0 +1,123 @@
+//! E1–E3: the paper's Figure 1, asserted step by step in all three
+//! representations. This is the reproduction's canonical correctness
+//! artifact: every clock value below appears literally in the paper.
+
+use dvv::mechanisms::{CausalHistoryMechanism, DvvMechanism, Mechanism, VvServerMechanism, WriteOrigin};
+use dvv::server::{context, sync_into, update, Tagged};
+use dvv::{CausalHistory, CausalOrder, ClientId, Dot, ReplicaId, VersionVector};
+
+/// Figure 1c at the clock level, asserting the exact dots and vectors
+/// the paper prints: `(A,1)[]`, `(A,2)[A:1]`, `(A,3)[A:1]` with
+/// `(A,2) ∥ (A,3)`, and the resolving `(A,4)` covering `[A:3, B:1]`.
+#[test]
+fn figure_1c_exact_clocks() {
+    let mut a: Vec<Tagged<&str, &str>> = Vec::new();
+    let mut b: Vec<Tagged<&str, &str>> = Vec::new();
+
+    // v1 by client 1, blind:
+    let c1 = update(&mut a, &VersionVector::new(), "A", "v1");
+    assert_eq!(c1.to_string(), "(A,1)[]");
+
+    let ctx_v1 = context(&a);
+
+    // v2 by client 1 after reading v1:
+    let c2 = update(&mut a, &ctx_v1, "A", "v2");
+    assert_eq!(c2.to_string(), "(A,2)[A:1]");
+
+    // v3 by client 2 with the same stale context:
+    let c3 = update(&mut a, &ctx_v1, "A", "v3");
+    assert_eq!(c3.to_string(), "(A,3)[A:1]");
+    assert_eq!(
+        c2.causal_cmp(&c3),
+        CausalOrder::Concurrent,
+        "the paper's headline: (A,2)[A:1] || (A,3)[A:1]"
+    );
+    assert_eq!(a.len(), 2);
+
+    // replicate to B, client 3 reads all and writes v4 back at A
+    sync_into(&mut b, &a);
+    assert_eq!(b.len(), 2);
+    let ctx_all = context(&b);
+    assert_eq!(ctx_all.get(&"A"), 3);
+    let c4 = update(&mut a, &ctx_all, "A", "v4");
+    assert_eq!(c4.dot(), &Dot::new("A", 4));
+    assert!(c2.precedes(&c4) && c3.precedes(&c4));
+    assert_eq!(a.len(), 1, "v4 resolves both siblings");
+}
+
+/// Figure 1a: the same execution in explicit causal histories:
+/// `{A1}`, `{A1,A2}`, `{A1,A3}` with `{A1,A2} ∥ {A1,A3}`, resolved by
+/// `{A1,A2,A3,A4}`.
+#[test]
+fn figure_1a_exact_histories() {
+    let h1: CausalHistory<&str> = [Dot::new("A", 1)].into_iter().collect();
+    let h2: CausalHistory<&str> = [Dot::new("A", 1), Dot::new("A", 2)].into_iter().collect();
+    let h3: CausalHistory<&str> = [Dot::new("A", 1), Dot::new("A", 3)].into_iter().collect();
+    assert_eq!(h1.to_string(), "{A1}");
+    assert_eq!(h2.to_string(), "{A1,A2}");
+    assert_eq!(h3.to_string(), "{A1,A3}");
+    assert_eq!(h1.causal_cmp(&h2), CausalOrder::Before);
+    assert_eq!(h2.causal_cmp(&h3), CausalOrder::Concurrent);
+    let h4: CausalHistory<&str> = (1..=4).map(|n| Dot::new("A", n)).collect();
+    assert_eq!(h4.to_string(), "{A1,A2,A3,A4}");
+    assert_eq!(h2.causal_cmp(&h4), CausalOrder::Before);
+    assert_eq!(h3.causal_cmp(&h4), CausalOrder::Before);
+}
+
+/// Figure 1b: per-server version vectors on the same script produce
+/// `[A:2] < [A:3]` for the truly-concurrent pair — and destroy v2.
+#[test]
+fn figure_1b_anomaly() {
+    let v2: VersionVector<&str> = [("A", 2u64)].into_iter().collect();
+    let v3: VersionVector<&str> = [("A", 3u64)].into_iter().collect();
+    assert_eq!(
+        v2.causal_cmp(&v3),
+        CausalOrder::Before,
+        "[2,0] < [3,0] — the paper's problematic case"
+    );
+}
+
+/// The full mechanism-level replay: sibling counts per step must match
+/// the figure (2 siblings after v3 in 1a/1c, 1 sibling in 1b).
+#[test]
+fn figure_1_mechanism_traces_match() {
+    fn trace<M: Mechanism<&'static str>>(mech: M) -> Vec<usize> {
+        let a = ReplicaId(0);
+        let origin = |c: u64| WriteOrigin::new(a, ClientId(c));
+        let mut server_a = M::State::default();
+        let mut server_b = M::State::default();
+        let mut counts = Vec::new();
+        mech.write(&mut server_a, origin(1), &M::Context::default(), "v1");
+        counts.push(mech.sibling_count(&server_a));
+        let (_, ctx_v1) = mech.read(&server_a);
+        mech.write(&mut server_a, origin(1), &ctx_v1, "v2");
+        counts.push(mech.sibling_count(&server_a));
+        mech.write(&mut server_a, origin(2), &ctx_v1, "v3");
+        counts.push(mech.sibling_count(&server_a));
+        mech.merge(&mut server_b, &server_a);
+        counts.push(mech.sibling_count(&server_b));
+        let (_, ctx_all) = mech.read(&server_b);
+        mech.write(&mut server_a, origin(3), &ctx_all, "v4");
+        counts.push(mech.sibling_count(&server_a));
+        counts
+    }
+    assert_eq!(trace(CausalHistoryMechanism), vec![1, 1, 2, 2, 1], "Figure 1a");
+    assert_eq!(trace(VvServerMechanism), vec![1, 1, 1, 1, 1], "Figure 1b: v2 destroyed");
+    assert_eq!(trace(DvvMechanism), vec![1, 1, 2, 2, 1], "Figure 1c");
+}
+
+/// The same figure regenerated through the bench harness used by
+/// EXPERIMENTS.md.
+#[test]
+fn figure_1_bench_harness_agrees() {
+    let table = dvv_bench::e1_e3_figure1();
+    let rendered = table.render();
+    assert!(rendered.contains("v3"));
+    // row "v3@A": 2 siblings in 1a and 1c, 1 sibling in 1b
+    let v3_row = rendered
+        .lines()
+        .find(|l| l.trim_start().starts_with("v3@A"))
+        .expect("v3 row");
+    assert!(v3_row.matches("2 sibling(s)").count() == 2, "{v3_row}");
+    assert!(v3_row.matches("1 sibling(s)").count() == 1, "{v3_row}");
+}
