@@ -44,11 +44,9 @@ fn bench_representations(c: &mut Criterion) {
             &siblings,
             |b, _| b.iter(|| black_box(server::sync(black_box(&tagged), black_box(&tagged2)))),
         );
-        group.bench_with_input(
-            BenchmarkId::new("set_sync", siblings),
-            &siblings,
-            |b, _| b.iter(|| black_box(black_box(&set).sync(black_box(&set2)))),
-        );
+        group.bench_with_input(BenchmarkId::new("set_sync", siblings), &siblings, |b, _| {
+            b.iter(|| black_box(black_box(&set).sync(black_box(&set2))))
+        });
     }
     group.finish();
 }

@@ -48,9 +48,8 @@ fn bench_client_vv_growth(c: &mut Criterion) {
     // the comparison cost a per-client VV store pays as vectors grow
     let mut group = c.benchmark_group("per_client_vv_dominance");
     for clients in [4usize, 32, 256, 2048] {
-        let big: VersionVector<ClientId> = (0..clients as u64)
-            .map(|i| (ClientId(i), 3u64))
-            .collect();
+        let big: VersionVector<ClientId> =
+            (0..clients as u64).map(|i| (ClientId(i), 3u64)).collect();
         let mut bigger = big.clone();
         bigger.set(ClientId(0), 4);
         group.bench_with_input(BenchmarkId::new("dominates", clients), &clients, |b, _| {

@@ -5,8 +5,8 @@
 //! one run is recorded in `EXPERIMENTS.md`.
 
 use dvv_bench::{
-    a1_repair_ablation, a2_read_repair_ablation, e1_e3_figure1, e4_compare, e5_metadata, e6_pruning, e7_latency,
-    e8_anomalies, e9_dvvset,
+    a1_repair_ablation, a2_read_repair_ablation, e1_e3_figure1, e4_compare, e5_metadata,
+    e6_pruning, e7_latency, e8_anomalies, e9_dvvset,
 };
 
 fn want(args: &[String], flag: &str) -> bool {
@@ -24,7 +24,10 @@ fn main() {
 
     if want(&args, "--e4") {
         println!("== E4 · causality verification cost (ns/op) vs number of actors ==");
-        println!("{}", e4_compare(&[2, 8, 32, 128, 512, 2048], 200_000).render());
+        println!(
+            "{}",
+            e4_compare(&[2, 8, 32, 128, 512, 2048], 200_000).render()
+        );
         println!("dvv is flat (one lookup); vv scales with n; histories scale with events.\n");
     }
 

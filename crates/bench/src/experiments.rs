@@ -90,8 +90,7 @@ pub fn e1_e3_figure1() -> Table {
 /// dominates `a` by one event).
 #[must_use]
 pub fn vv_pair(n: usize) -> (VersionVector<ReplicaId>, VersionVector<ReplicaId>) {
-    let a: VersionVector<ReplicaId> =
-        (0..n as u32).map(|i| (ReplicaId(i), 5u64)).collect();
+    let a: VersionVector<ReplicaId> = (0..n as u32).map(|i| (ReplicaId(i), 5u64)).collect();
     let mut b = a.clone();
     b.set(ReplicaId((n as u32) / 2), 6);
     (a, b)
@@ -125,9 +124,7 @@ pub fn ordered_pair(n: usize) -> (OrderedVv<ReplicaId>, OrderedVv<ReplicaId>) {
 /// Builds a pair of causal histories with `n` events each (`a ⊂ b`).
 #[must_use]
 pub fn history_pair(n: usize) -> (CausalHistory<ReplicaId>, CausalHistory<ReplicaId>) {
-    let a: CausalHistory<ReplicaId> = (0..n as u32)
-        .map(|i| Dot::new(ReplicaId(i), 1))
-        .collect();
+    let a: CausalHistory<ReplicaId> = (0..n as u32).map(|i| Dot::new(ReplicaId(i), 1)).collect();
     let mut b = a.clone();
     b.insert(Dot::new(ReplicaId(0), 2));
     (a, b)
@@ -140,7 +137,13 @@ pub fn history_pair(n: usize) -> (CausalHistory<ReplicaId>, CausalHistory<Replic
 /// Amza's cached check; `history ⊆` is the exact set-inclusion model.
 #[must_use]
 pub fn e4_compare(ns: &[usize], iters: u32) -> Table {
-    let mut t = Table::new(&["actors", "dvv precedes", "vv dominates", "ordered-vv fast", "history ⊆"]);
+    let mut t = Table::new(&[
+        "actors",
+        "dvv precedes",
+        "vv dominates",
+        "ordered-vv fast",
+        "history ⊆",
+    ]);
     for &n in ns {
         let (da, db) = dvv_pair(n);
         let (va, vb) = vv_pair(n);
@@ -224,7 +227,12 @@ pub fn e5_metadata(client_counts: &[usize]) -> Table {
 /// E6: anomalies and per-version size vs prune threshold (16 clients).
 #[must_use]
 pub fn e6_pruning(thresholds: &[usize]) -> Table {
-    let mut t = Table::new(&["prune-to", "bytes/version", "lost updates", "false concurrency"]);
+    let mut t = Table::new(&[
+        "prune-to",
+        "bytes/version",
+        "lost updates",
+        "false concurrency",
+    ]);
     let run = |mech: VvClientMechanism| -> (f64, u64, u64) {
         let mut lost = 0;
         let mut fc = 0;
@@ -389,10 +397,19 @@ pub fn e8_anomalies() -> Table {
         }
         (writes, lost, fc, siblings / 5.0)
     }
-    let mut t = Table::new(&["mechanism", "acked writes", "lost updates", "false concurrency", "mean siblings"]);
+    let mut t = Table::new(&[
+        "mechanism",
+        "acked writes",
+        "lost updates",
+        "false concurrency",
+        "mean siblings",
+    ]);
     type AuditRow = (u64, u64, u64, f64);
     let rows: Vec<(&str, AuditRow)> = vec![
-        ("causal-histories", audit(dvv::mechanisms::CausalHistoryMechanism)),
+        (
+            "causal-histories",
+            audit(dvv::mechanisms::CausalHistoryMechanism),
+        ),
         ("dvv", audit(DvvMechanism)),
         ("dvvset", audit(DvvSetMechanism)),
         ("vv-client", audit(VvClientMechanism::unbounded())),
@@ -431,10 +448,7 @@ pub fn sibling_fixtures(
     let mut set = DvvSet::new();
     let empty = VersionVector::new();
     for i in 0..s {
-        let v = StampedValue::new(
-            kvstore::WriteId::new(ClientId(i as u64), 1),
-            vec![0u8; 16],
-        );
+        let v = StampedValue::new(kvstore::WriteId::new(ClientId(i as u64), 1), vec![0u8; 16]);
         server::update(&mut tagged, &empty, ReplicaId(0), v.clone());
         set.update(&empty, ReplicaId(0), v);
     }
@@ -551,8 +565,8 @@ fn convergence_time_ms(aae_ms: u64, read_repair: bool, seed: u64) -> Option<u64>
 pub fn a1_repair_ablation(aae_intervals_ms: &[u64]) -> Table {
     let mut t = Table::new(&["aae interval ms", "converge ms after heal"]);
     for &ms in aae_intervals_ms {
-        let on = convergence_time_ms(ms, true, 41)
-            .map_or_else(|| ">4000".into(), |v| v.to_string());
+        let on =
+            convergence_time_ms(ms, true, 41).map_or_else(|| ">4000".into(), |v| v.to_string());
         t.row(vec![ms.to_string(), on]);
     }
     t
@@ -607,7 +621,12 @@ pub fn a2_read_repair_ablation(seeds: &[u64]) -> Table {
         (repairs, divergent)
     }
 
-    let mut t = Table::new(&["seed", "repairs (on)", "divergent keys (on)", "divergent keys (off)"]);
+    let mut t = Table::new(&[
+        "seed",
+        "repairs (on)",
+        "divergent keys (on)",
+        "divergent keys (off)",
+    ]);
     for &seed in seeds {
         let (repairs_on, div_on) = run(seed, true);
         let (_, div_off) = run(seed, false);

@@ -316,10 +316,7 @@ mod tests {
     #[test]
     fn maximal_dots_returns_per_actor_frontier() {
         let h = ch(&[("A", 1), ("A", 3), ("B", 2)]);
-        assert_eq!(
-            h.maximal_dots(),
-            vec![Dot::new("A", 3), Dot::new("B", 2)]
-        );
+        assert_eq!(h.maximal_dots(), vec![Dot::new("A", 3), Dot::new("B", 2)]);
     }
 
     #[test]

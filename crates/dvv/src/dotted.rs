@@ -236,7 +236,10 @@ mod tests {
         assert!(d.contains(&Dot::new("A", 3)));
         assert!(d.contains(&Dot::new("A", 1)));
         assert!(d.contains(&Dot::new("B", 1)));
-        assert!(!d.contains(&Dot::new("A", 2)), "gap: (A,2) not in {{A1,A3,B1}}");
+        assert!(
+            !d.contains(&Dot::new("A", 2)),
+            "gap: (A,2) not in {{A1,A3,B1}}"
+        );
     }
 
     #[test]

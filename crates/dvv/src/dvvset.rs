@@ -188,13 +188,10 @@ impl<A: Actor, V> DvvSet<A, V> {
     /// Adds a new event at `server` holding `value`. (The *event* half of a
     /// write; does not discard anything.)
     pub fn event(&mut self, server: A, value: V) -> Dot<A> {
-        let e = self
-            .entries
-            .entry(server.clone())
-            .or_insert(Entry {
-                counter: 0,
-                values: Vec::new(),
-            });
+        let e = self.entries.entry(server.clone()).or_insert(Entry {
+            counter: 0,
+            values: Vec::new(),
+        });
         e.counter += 1;
         e.values.insert(0, value);
         Dot::new(server, e.counter)
@@ -364,7 +361,10 @@ mod tests {
         s.update(&VersionVector::new(), "A", "v1");
         s.update(&VersionVector::new(), "B", "v2");
         let pairs: Vec<_> = s.dotted_values().collect();
-        assert_eq!(pairs, vec![(Dot::new("A", 1), &"v1"), (Dot::new("B", 1), &"v2")]);
+        assert_eq!(
+            pairs,
+            vec![(Dot::new("A", 1), &"v1"), (Dot::new("B", 1), &"v2")]
+        );
     }
 
     #[test]

@@ -92,9 +92,9 @@ impl<'a> Decoder<'a> {
         let mut out: u64 = 0;
         let mut shift = 0u32;
         loop {
-            let b = self.byte().map_err(|_| DecodeError::UnexpectedEnd {
-                context: "varint",
-            })?;
+            let b = self
+                .byte()
+                .map_err(|_| DecodeError::UnexpectedEnd { context: "varint" })?;
             if shift == 63 && b > 1 {
                 return Err(DecodeError::VarintOverflow);
             }
@@ -564,10 +564,7 @@ mod tests {
     #[test]
     fn truncated_input_errors() {
         let mut d = Decoder::new(&[0x80]);
-        assert!(matches!(
-            d.varint(),
-            Err(DecodeError::UnexpectedEnd { .. })
-        ));
+        assert!(matches!(d.varint(), Err(DecodeError::UnexpectedEnd { .. })));
         let mut d = Decoder::new(&[]);
         assert!(d.byte().is_err());
         let mut d = Decoder::new(&[1, 2]);

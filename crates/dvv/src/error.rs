@@ -61,12 +61,18 @@ mod tests {
     fn display_messages_are_lowercase_and_concise() {
         let e = DecodeError::UnexpectedEnd { context: "dot" };
         assert_eq!(e.to_string(), "unexpected end of input while decoding dot");
-        assert_eq!(DecodeError::VarintOverflow.to_string(), "varint exceeds 64 bits");
+        assert_eq!(
+            DecodeError::VarintOverflow.to_string(),
+            "varint exceeds 64 bits"
+        );
         assert_eq!(
             DecodeError::TrailingBytes { remaining: 3 }.to_string(),
             "3 trailing bytes after value"
         );
-        assert_eq!(DecodeError::InvalidUtf8.to_string(), "invalid UTF-8 in string");
+        assert_eq!(
+            DecodeError::InvalidUtf8.to_string(),
+            "invalid UTF-8 in string"
+        );
         assert_eq!(
             DecodeError::InvalidValue { reason: "zero dot" }.to_string(),
             "invalid value: zero dot"

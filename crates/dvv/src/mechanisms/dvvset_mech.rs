@@ -16,7 +16,9 @@ use super::{Mechanism, WriteOrigin};
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DvvSetMechanism;
 
-impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash + Encode> Mechanism<V> for DvvSetMechanism {
+impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash + Encode> Mechanism<V>
+    for DvvSetMechanism
+{
     type State = DvvSet<ReplicaId, V>;
     type Context = VersionVector<ReplicaId>;
 
@@ -43,8 +45,7 @@ impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash + Encode> Mechanism<V> 
     fn metadata_size(&self, state: &Self::State) -> usize {
         // Clock metadata: the per-server counters plus one varint position
         // per live value (the dots are positional, values excluded).
-        state.context().encoded_len()
-            + crate::encode::varint_len(state.sibling_count() as u64)
+        state.context().encoded_len() + crate::encode::varint_len(state.sibling_count() as u64)
     }
 
     fn context_size(&self, ctx: &Self::Context) -> usize {

@@ -153,9 +153,7 @@ impl<A: Actor + Encode> Encode for OrderedVv<A> {
     }
 
     fn encoded_len(&self) -> usize {
-        self.vv.encoded_len()
-            + 1
-            + self.latest.as_ref().map(Encode::encoded_len).unwrap_or(0)
+        self.vv.encoded_len() + 1 + self.latest.as_ref().map(Encode::encoded_len).unwrap_or(0)
     }
 
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
@@ -331,8 +329,18 @@ mod tests {
         let m = OrderedVvMechanism;
         let mut a: Vec<(OrderedVv<ReplicaId>, &str)> = Vec::new();
         let mut b: Vec<(OrderedVv<ReplicaId>, &str)> = Vec::new();
-        m.write(&mut a, WriteOrigin::new(ReplicaId(0), ClientId(1)), &OrderedVv::new(), "x");
-        m.write(&mut b, WriteOrigin::new(ReplicaId(1), ClientId(2)), &OrderedVv::new(), "y");
+        m.write(
+            &mut a,
+            WriteOrigin::new(ReplicaId(0), ClientId(1)),
+            &OrderedVv::new(),
+            "x",
+        );
+        m.write(
+            &mut b,
+            WriteOrigin::new(ReplicaId(1), ClientId(2)),
+            &OrderedVv::new(),
+            "y",
+        );
         m.merge(&mut a, &b);
         assert_eq!(m.sibling_count(&a), 2);
     }

@@ -30,7 +30,10 @@ impl PruneConfig {
     /// Panics if `max_entries` is zero.
     #[must_use]
     pub fn new(max_entries: usize) -> Self {
-        assert!(max_entries > 0, "pruning to zero entries would drop the writer itself");
+        assert!(
+            max_entries > 0,
+            "pruning to zero entries would drop the writer itself"
+        );
         PruneConfig { max_entries }
     }
 }
@@ -104,7 +107,11 @@ impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash> Mechanism<V> for VvCli
     fn write(&self, state: &mut Self::State, origin: WriteOrigin, ctx: &Self::Context, value: V) {
         // The new version's vector is the context with the client's own
         // entry advanced past everything this replica has seen from it.
-        let local_max = state.iter().map(|(vv, _)| vv.get(&origin.client)).max().unwrap_or(0);
+        let local_max = state
+            .iter()
+            .map(|(vv, _)| vv.get(&origin.client))
+            .max()
+            .unwrap_or(0);
         let mut vv = ctx.clone();
         vv.set(origin.client, local_max.max(ctx.get(&origin.client)) + 1);
         self.prune_vv(&mut vv, origin.client);
@@ -113,12 +120,7 @@ impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash> Mechanism<V> for VvCli
     }
 
     fn merge(&self, local: &mut Self::State, remote: &Self::State) {
-        merge_siblings(
-            local,
-            remote,
-            |x, y| y.strictly_dominates(x),
-            |x, y| x == y,
-        );
+        merge_siblings(local, remote, |x, y| y.strictly_dominates(x), |x, y| x == y);
     }
 
     fn merge_contexts(&self, into: &mut Self::Context, from: &Self::Context) {
@@ -205,6 +207,7 @@ mod tests {
 
         let (_, ctx1) = m.read(&a);
         m.write(&mut a, origin(2), &ctx1, "v2"); // causally after v1, but pruned
+
         // replica exchange: B still has v1; A has pruned v2
         let mut b = snapshot_b;
         m.merge(&mut b, &a);

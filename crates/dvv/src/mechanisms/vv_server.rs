@@ -52,12 +52,7 @@ impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash> Mechanism<V> for VvSer
     }
 
     fn merge(&self, local: &mut Self::State, remote: &Self::State) {
-        merge_siblings(
-            local,
-            remote,
-            |x, y| y.strictly_dominates(x),
-            |x, y| x == y,
-        );
+        merge_siblings(local, remote, |x, y| y.strictly_dominates(x), |x, y| x == y);
     }
 
     fn merge_contexts(&self, into: &mut Self::Context, from: &Self::Context) {

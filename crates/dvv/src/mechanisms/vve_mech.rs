@@ -142,12 +142,9 @@ mod tests {
         let (_, ctx1) = m.read(&a);
         m.write(&mut a, origin(0, 1), &ctx1, "v2"); // (s0,2)
         m.write(&mut a, origin(0, 2), &ctx1, "v3"); // (s0,3)
+
         // a reader that sees only v3 (e.g. at a replica that missed v2):
-        let only_v3: State = a
-            .iter()
-            .filter(|(_, v)| *v == "v3")
-            .cloned()
-            .collect();
+        let only_v3: State = a.iter().filter(|(_, v)| *v == "v3").cloned().collect();
         let (_, gapped) = m.read(&only_v3);
         // the exact context {s0:1, s0:3} has an exception at 2 — something
         // no plain version vector can express

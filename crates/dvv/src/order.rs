@@ -156,7 +156,9 @@ mod tests {
         assert!(Equal.is_equal() && !Equal.is_before() && !Equal.is_concurrent());
         assert!(Before.is_before() && Before.is_dominated() && !Before.dominates());
         assert!(After.is_after() && After.dominates() && !After.is_dominated());
-        assert!(Concurrent.is_concurrent() && !Concurrent.dominates() && !Concurrent.is_dominated());
+        assert!(
+            Concurrent.is_concurrent() && !Concurrent.dominates() && !Concurrent.is_dominated()
+        );
         assert!(Equal.dominates() && Equal.is_dominated());
     }
 

@@ -166,17 +166,17 @@ pub fn max_counter_of<A: Actor, V>(siblings: &[Tagged<A, V>], actor: &A) -> u64 
 pub fn sync<A: Actor, V: Clone>(s1: &[Tagged<A, V>], s2: &[Tagged<A, V>]) -> Vec<Tagged<A, V>> {
     let mut out: Vec<Tagged<A, V>> = Vec::with_capacity(s1.len() + s2.len());
     for x in s1 {
-        let dominated = s2.iter().any(|y| {
-            y.clock.dot() != x.clock.dot() && y.clock.past().contains(x.clock.dot())
-        });
+        let dominated = s2
+            .iter()
+            .any(|y| y.clock.dot() != x.clock.dot() && y.clock.past().contains(x.clock.dot()));
         if !dominated {
             out.push(x.clone());
         }
     }
     for y in s2 {
-        let dominated = s1.iter().any(|x| {
-            x.clock.dot() != y.clock.dot() && x.clock.past().contains(y.clock.dot())
-        });
+        let dominated = s1
+            .iter()
+            .any(|x| x.clock.dot() != y.clock.dot() && x.clock.past().contains(y.clock.dot()));
         let duplicate = out.iter().any(|x| x.clock.dot() == y.clock.dot());
         if !dominated && !duplicate {
             out.push(y.clone());
@@ -254,7 +254,11 @@ mod tests {
         assert_eq!(s.len(), 2);
         let ctx_all = context(&s);
         let c4 = update(&mut s, &ctx_all, "A", "v4");
-        assert_eq!(s.len(), 1, "a write that saw everything replaces everything");
+        assert_eq!(
+            s.len(),
+            1,
+            "a write that saw everything replaces everything"
+        );
         assert_eq!(s[0].value, "v4");
         assert_eq!(c4.dot(), &Dot::new("A", 4), "counter keeps increasing");
     }

@@ -458,8 +458,9 @@ mod tests {
 
     #[test]
     fn from_dots_iterator() {
-        let v: VersionVector<&str> =
-            [Dot::new("A", 1), Dot::new("A", 3), Dot::new("B", 2)].into_iter().collect();
+        let v: VersionVector<&str> = [Dot::new("A", 1), Dot::new("A", 3), Dot::new("B", 2)]
+            .into_iter()
+            .collect();
         assert_eq!(v, vv(&[("A", 3), ("B", 2)]));
     }
 

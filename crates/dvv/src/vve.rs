@@ -61,9 +61,9 @@ impl<A: Actor> Vve<A> {
     /// Whether `dot` is in the history.
     #[must_use]
     pub fn contains(&self, dot: &Dot<A>) -> bool {
-        self.entries.get(dot.actor()).is_some_and(|st| {
-            dot.counter() <= st.base && !st.exceptions.contains(&dot.counter())
-        })
+        self.entries
+            .get(dot.actor())
+            .is_some_and(|st| dot.counter() <= st.base && !st.exceptions.contains(&dot.counter()))
     }
 
     /// Adds one event, extending the base or filling an exception as
@@ -131,10 +131,7 @@ impl<A: Actor> Vve<A> {
                 // we include events above their base unless excepted: all of
                 // (theirs.base, st.base] must be excepted here…
                 (theirs.base + 1..=st.base).all(|c| st.exceptions.contains(&c))
-                    && theirs
-                        .exceptions
-                        .iter()
-                        .all(|c| st.exceptions.contains(c))
+                    && theirs.exceptions.iter().all(|c| st.exceptions.contains(c))
             }
         })
     }
@@ -369,6 +366,7 @@ mod tests {
         // an entry whose events were all exceptions represents no events
         let mut v: Vve<&str> = Vve::new();
         v.add(Dot::new("A", 2)); // {2}, exception {1}
+
         // remove the only event by constructing the pathological state via union
         // with an empty history is identity; emptiness here is just structural:
         assert!(!v.is_empty());

@@ -1,0 +1,160 @@
+//! Dedicated encode/decode round-trip coverage for `dvv::encode`:
+//! `decode(encode(x)) == x` for [`VersionVector`], [`Dvv`] and —
+//! uniquely here — [`DvvSet`], whose decoder must reconstruct per-actor
+//! entry structure from a flat (context, live dots) wire form. Also pins
+//! `encoded_len` against actual output length and checks truncation
+//! always errors instead of panicking.
+
+use dvv::encode::{from_bytes, to_bytes, Encode};
+use dvv::{Dot, Dvv, DvvSet, ReplicaId, VersionVector};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const ACTORS: u32 = 4;
+
+fn arb_vv() -> impl Strategy<Value = VersionVector<ReplicaId>> {
+    vec((0..ACTORS, 0u64..40), 0..10).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .filter(|(_, c)| *c > 0)
+            .map(|(a, c)| (ReplicaId(a), c))
+            .collect()
+    })
+}
+
+fn arb_dvv() -> impl Strategy<Value = Dvv<ReplicaId>> {
+    ((0..ACTORS, 1u64..40), arb_vv()).prop_map(|((a, c), mut vv)| {
+        let dot = Dot::new(ReplicaId(a), c);
+        if vv.contains(&dot) {
+            vv.set(ReplicaId(a), c - 1);
+        }
+        Dvv::new(dot, vv)
+    })
+}
+
+/// One step in a DvvSet-building script: a write through `server`,
+/// either informed (context from a fresh read) or blind, carrying
+/// `vlen` payload bytes.
+#[derive(Clone, Debug)]
+struct SetStep {
+    server: u32,
+    informed: bool,
+    vlen: usize,
+}
+
+fn arb_script(server_base: u32) -> impl Strategy<Value = Vec<SetStep>> {
+    vec(
+        (0..ACTORS, any::<bool>(), 0usize..6).prop_map(move |(s, informed, vlen)| SetStep {
+            server: server_base + s,
+            informed,
+            vlen,
+        }),
+        0..12,
+    )
+}
+
+/// Builds a structurally-valid DvvSet the only way real systems do: by
+/// running the update protocol. Every reachable entry shape (multiple
+/// siblings per actor, actors with knowledge but no live values) shows
+/// up across scripts.
+fn build_set(script: &[SetStep]) -> DvvSet<ReplicaId, Vec<u8>> {
+    let mut set = DvvSet::new();
+    for (i, step) in script.iter().enumerate() {
+        let ctx = if step.informed {
+            set.context()
+        } else {
+            VersionVector::new()
+        };
+        set.update(&ctx, ReplicaId(step.server), vec![i as u8; step.vlen]);
+    }
+    set
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_version_vector(a in arb_vv()) {
+        let bytes = to_bytes(&a);
+        prop_assert_eq!(bytes.len(), a.encoded_len());
+        let back: VersionVector<ReplicaId> = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn roundtrip_dvv(d in arb_dvv()) {
+        let bytes = to_bytes(&d);
+        prop_assert_eq!(bytes.len(), d.encoded_len());
+        let back: Dvv<ReplicaId> = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, d);
+    }
+
+    #[test]
+    fn roundtrip_dvvset(script in arb_script(0)) {
+        let set = build_set(&script);
+        let bytes = to_bytes(&set);
+        prop_assert_eq!(bytes.len(), set.encoded_len());
+        let back: DvvSet<ReplicaId, Vec<u8>> = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, set);
+    }
+
+    /// Merged states must round-trip too: sync produces entry shapes
+    /// (interleaved winners from both sides) that single-branch updates
+    /// never reach. Branches use disjoint server ids, as distinct
+    /// physical replicas would.
+    #[test]
+    fn roundtrip_dvvset_after_sync(a in arb_script(0), b in arb_script(ACTORS)) {
+        let merged = build_set(&a).sync(&build_set(&b));
+        let bytes = to_bytes(&merged);
+        prop_assert_eq!(bytes.len(), merged.encoded_len());
+        let back: DvvSet<ReplicaId, Vec<u8>> = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, merged);
+    }
+
+    /// Every strict prefix of a valid encoding is invalid — the decoder
+    /// reports an error rather than panicking or fabricating a value.
+    #[test]
+    fn truncation_always_errors(script in arb_script(0), cut in 0usize..64) {
+        let set = build_set(&script);
+        let bytes = to_bytes(&set);
+        prop_assume!(!bytes.is_empty());
+        let cut = cut % bytes.len();
+        let r = from_bytes::<DvvSet<ReplicaId, Vec<u8>>>(&bytes[..cut]);
+        prop_assert!(r.is_err(), "decoding a strict prefix must fail");
+    }
+}
+
+#[test]
+fn varint_boundaries_roundtrip() {
+    use dvv::encode::{put_varint, varint_len, Decoder};
+    for v in [
+        0u64,
+        1,
+        127,
+        128,
+        16_383,
+        16_384,
+        u64::from(u32::MAX),
+        u64::MAX - 1,
+        u64::MAX,
+    ] {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        assert_eq!(buf.len(), varint_len(v), "length mismatch for {v}");
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.varint().unwrap(), v, "round-trip mismatch for {v}");
+        assert_eq!(d.remaining(), 0);
+    }
+}
+
+#[test]
+fn empty_structures_roundtrip() {
+    let vv = VersionVector::<ReplicaId>::new();
+    assert_eq!(
+        from_bytes::<VersionVector<ReplicaId>>(&to_bytes(&vv)).unwrap(),
+        vv
+    );
+    let set = DvvSet::<ReplicaId, Vec<u8>>::new();
+    assert_eq!(
+        from_bytes::<DvvSet<ReplicaId, Vec<u8>>>(&to_bytes(&set)).unwrap(),
+        set
+    );
+}

@@ -96,12 +96,22 @@ fn check_lattice<M: Mechanism<u64>>(
     mech.merge(&mut ab, &sb);
     let mut ba = sb.clone();
     mech.merge(&mut ba, &sa);
-    prop_assert_eq!(values(mech, &ab), values(mech, &ba), "{} commutativity", mech.name());
+    prop_assert_eq!(
+        values(mech, &ab),
+        values(mech, &ba),
+        "{} commutativity",
+        mech.name()
+    );
 
     // idempotence
     let mut aa = sa.clone();
     mech.merge(&mut aa, &sa);
-    prop_assert_eq!(values(mech, &aa), values(mech, &sa), "{} idempotence", mech.name());
+    prop_assert_eq!(
+        values(mech, &aa),
+        values(mech, &sa),
+        "{} idempotence",
+        mech.name()
+    );
 
     // associativity
     let mut ab_c = ab.clone();
@@ -110,7 +120,12 @@ fn check_lattice<M: Mechanism<u64>>(
     mech.merge(&mut bc, &sc);
     let mut a_bc = sa.clone();
     mech.merge(&mut a_bc, &bc);
-    prop_assert_eq!(values(mech, &ab_c), values(mech, &a_bc), "{} associativity", mech.name());
+    prop_assert_eq!(
+        values(mech, &ab_c),
+        values(mech, &a_bc),
+        "{} associativity",
+        mech.name()
+    );
 
     // merging never invents values
     let mut all: Vec<u64> = values(mech, &sa);

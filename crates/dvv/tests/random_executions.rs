@@ -105,8 +105,7 @@ impl DvvWorld {
         match *op {
             Op::Read { c, s } => {
                 let ctx = server::context(&self.servers[s]);
-                let observed: BTreeSet<Vid> =
-                    self.servers[s].iter().map(|t| t.value).collect();
+                let observed: BTreeSet<Vid> = self.servers[s].iter().map(|t| t.value).collect();
                 let client = &mut self.clients[c];
                 client.0.merge(&ctx);
                 // observing a version observes its whole truth past
@@ -137,10 +136,7 @@ impl DvvWorld {
                 let merged = server::sync(&self.servers[a], &self.servers[b]);
                 self.servers[a] = merged.clone();
                 self.servers[b] = merged;
-                let union: BTreeSet<Vid> = self.hosted[a]
-                    .union(&self.hosted[b])
-                    .copied()
-                    .collect();
+                let union: BTreeSet<Vid> = self.hosted[a].union(&self.hosted[b]).copied().collect();
                 self.hosted[a] = union.clone();
                 self.hosted[b] = union;
             }
@@ -154,9 +150,13 @@ impl DvvWorld {
                 let fast = dvv_a.causal_cmp(dvv_b);
                 let truth = self.truth.cmp(*vid_a, *vid_b);
                 prop_assert_eq!(
-                    fast, truth,
+                    fast,
+                    truth,
                     "clock said {} but truth is {} for v{} vs v{}",
-                    fast, truth, vid_a, vid_b
+                    fast,
+                    truth,
+                    vid_a,
+                    vid_b
                 );
             }
         }
@@ -166,9 +166,12 @@ impl DvvWorld {
             let present: BTreeSet<Vid> = siblings.iter().map(|t| t.value).collect();
             let expected = self.truth.maximal(&self.hosted[s]);
             prop_assert_eq!(
-                &present, &expected,
+                &present,
+                &expected,
                 "server {} siblings {:?} != truth-maximal {:?}",
-                s, present, expected
+                s,
+                present,
+                expected
             );
         }
         Ok(())

@@ -45,7 +45,10 @@ pub struct ClientStats {
 #[derive(Debug)]
 enum Kind<M: Mechanism<StampedValue>> {
     Get,
-    Put { value: StampedValue, ctx: M::Context },
+    Put {
+        value: StampedValue,
+        ctx: M::Context,
+    },
 }
 
 #[derive(Debug)]
@@ -180,9 +183,9 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
     }
 
     fn pick_coordinator(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, key: &[u8]) -> Option<NodeId> {
-        let (active, _) =
-            self.membership
-                .sloppy_preference_list(&self.ring, key, self.replication);
+        let (active, _) = self
+            .membership
+            .sloppy_preference_list(&self.ring, key, self.replication);
         if active.is_empty() {
             return None;
         }
@@ -301,7 +304,10 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
         self.stats.retries += 1;
         match flight.kind {
             Kind::Get => self.issue_get(ctx, flight.key, flight.retries + 1),
-            Kind::Put { ctx: put_ctx, value } => {
+            Kind::Put {
+                ctx: put_ctx,
+                value,
+            } => {
                 // A retried PUT is a *new physical write*: the first
                 // attempt may have been applied before its ack was lost,
                 // in which case the two attempts are genuinely concurrent
@@ -337,8 +343,15 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
     /// Entry point: dispatches one message.
     pub fn on_message(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, _from: NodeId, msg: Msg<M>) {
         match msg {
-            Msg::ClientGetResp { req, ok, values, ctx: read_ctx } => {
-                let Some(flight) = self.current.take() else { return };
+            Msg::ClientGetResp {
+                req,
+                ok,
+                values,
+                ctx: read_ctx,
+            } => {
+                let Some(flight) = self.current.take() else {
+                    return;
+                };
                 if flight.req != req || !matches!(flight.kind, Kind::Get) {
                     self.current = Some(flight); // stale response
                     return;
@@ -366,15 +379,18 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
                 let tombstone = self.config.delete_fraction > 0.0
                     && ctx.rng().chance(self.config.delete_fraction);
                 let value = self.stamp_new_write(&flight.key, tombstone);
-                let put_ctx = self
-                    .contexts
-                    .get(&flight.key)
-                    .cloned()
-                    .unwrap_or_default();
+                let put_ctx = self.contexts.get(&flight.key).cloned().unwrap_or_default();
                 self.issue_put(ctx, flight.key, value, put_ctx, 0);
             }
-            Msg::ClientPutResp { req, ok, values, ctx: read_ctx } => {
-                let Some(flight) = self.current.take() else { return };
+            Msg::ClientPutResp {
+                req,
+                ok,
+                values,
+                ctx: read_ctx,
+            } => {
+                let Some(flight) = self.current.take() else {
+                    return;
+                };
                 if flight.req != req || !matches!(flight.kind, Kind::Put { .. }) {
                     self.current = Some(flight);
                     return;
@@ -388,12 +404,7 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
                     .record((ctx.now() - flight.sent_at).as_micros());
                 if let Kind::Put { value, .. } = &flight.kind {
                     let id = value.id;
-                    if let Some(entry) = self
-                        .write_log
-                        .iter_mut()
-                        .rev()
-                        .find(|e| e.id == id)
-                    {
+                    if let Some(entry) = self.write_log.iter_mut().rev().find(|e| e.id == id) {
                         entry.acked = true;
                     }
                 }

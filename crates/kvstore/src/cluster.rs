@@ -6,9 +6,7 @@ use std::collections::BTreeSet;
 use dvv::mechanisms::Mechanism;
 use dvv::{ClientId, ReplicaId};
 use ring::{HashRing, Membership};
-use simnet::{
-    Duration, NetworkConfig, NodeId, Process, ProcessCtx, SimTime, Simulation, TimerId,
-};
+use simnet::{Duration, NetworkConfig, NodeId, Process, ProcessCtx, SimTime, Simulation, TimerId};
 use workloads::Histogram;
 
 use crate::client::ClientNode;
@@ -265,14 +263,18 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
             let mut global: std::collections::BTreeMap<crate::value::Key, M::State> =
                 std::collections::BTreeMap::new();
             for i in 0..self.servers {
-                let StoreProc::Server(s) = self.sim.process(i) else { continue };
+                let StoreProc::Server(s) = self.sim.process(i) else {
+                    continue;
+                };
                 for (k, st) in s.data() {
                     let entry = global.entry(k.clone()).or_default();
                     self.mech.merge(entry, st);
                 }
             }
             for i in 0..self.servers {
-                let StoreProc::Server(s) = self.sim.process_mut(i) else { continue };
+                let StoreProc::Server(s) = self.sim.process_mut(i) else {
+                    continue;
+                };
                 for (k, st) in &global {
                     let before = s.data().get(k).cloned();
                     s.merge_state_direct(k, st);
@@ -424,7 +426,10 @@ mod tests {
         let report = c.anomaly_report();
         assert_eq!(report.total_writes, 15);
         assert!(report.is_clean(), "{report:?}");
-        assert!(report.surviving_values >= report.keys, "at least one value per key");
+        assert!(
+            report.surviving_values >= report.keys,
+            "at least one value per key"
+        );
     }
 
     #[test]

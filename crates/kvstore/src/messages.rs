@@ -152,18 +152,18 @@ impl<M: Mechanism<StampedValue>> Msg<M> {
                 1 + values.iter().map(StampedValue::wire_size).sum::<usize>()
                     + mech.context_size(ctx)
             }
-            Msg::ClientPut { key, value, ctx, .. } => {
-                key.len() + 8 + value.wire_size() + mech.context_size(ctx)
-            }
+            Msg::ClientPut {
+                key, value, ctx, ..
+            } => key.len() + 8 + value.wire_size() + mech.context_size(ctx),
             Msg::ClientPutResp { values, ctx, .. } => {
                 1 + values.iter().map(StampedValue::wire_size).sum::<usize>()
                     + mech.context_size(ctx)
             }
             Msg::RepGet { key, .. } => key.len() + 8,
             Msg::RepGetResp { key, state, .. } => key.len() + 8 + state_wire_size(mech, state),
-            Msg::RepPut { key, state, hint, .. } => {
-                key.len() + 8 + state_wire_size(mech, state) + if hint.is_some() { 4 } else { 0 }
-            }
+            Msg::RepPut {
+                key, state, hint, ..
+            } => key.len() + 8 + state_wire_size(mech, state) + if hint.is_some() { 4 } else { 0 },
             Msg::RepPutAck { .. } => 8,
             Msg::ReadRepair { key, state } => key.len() + state_wire_size(mech, state),
             Msg::AaeRoot { .. } => 8,
@@ -220,8 +220,15 @@ mod tests {
     fn message_sizes_scale_with_content() {
         let mech = DvvMechanism;
         let st = sample_state();
-        let get: Msg<M> = Msg::ClientGet { req: 1, key: b"k".to_vec() };
-        let resp: Msg<M> = Msg::RepGetResp { req: 1, key: b"k".to_vec(), state: st.clone() };
+        let get: Msg<M> = Msg::ClientGet {
+            req: 1,
+            key: b"k".to_vec(),
+        };
+        let resp: Msg<M> = Msg::RepGetResp {
+            req: 1,
+            key: b"k".to_vec(),
+            state: st.clone(),
+        };
         assert!(get.wire_size(&mech) < resp.wire_size(&mech));
         let ack: Msg<M> = Msg::RepPutAck { req: 1 };
         assert_eq!(ack.wire_size(&mech), 8);
@@ -231,8 +238,18 @@ mod tests {
     fn hint_adds_bytes() {
         let mech = DvvMechanism;
         let st = sample_state();
-        let plain: Msg<M> = Msg::RepPut { req: 1, key: b"k".to_vec(), state: st.clone(), hint: None };
-        let hinted: Msg<M> = Msg::RepPut { req: 1, key: b"k".to_vec(), state: st, hint: Some(ReplicaId(2)) };
+        let plain: Msg<M> = Msg::RepPut {
+            req: 1,
+            key: b"k".to_vec(),
+            state: st.clone(),
+            hint: None,
+        };
+        let hinted: Msg<M> = Msg::RepPut {
+            req: 1,
+            key: b"k".to_vec(),
+            state: st,
+            hint: Some(ReplicaId(2)),
+        };
         assert_eq!(hinted.wire_size(&mech), plain.wire_size(&mech) + 4);
     }
 

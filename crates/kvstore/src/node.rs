@@ -204,7 +204,13 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         self.timers.insert(t, TimerKind::Request(req));
     }
 
-    fn handle_client_get(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, from: NodeId, req: ReqId, key: Key) {
+    fn handle_client_get(
+        &mut self,
+        ctx: &mut ProcessCtx<'_, Msg<M>>,
+        from: NodeId,
+        req: ReqId,
+        key: Key,
+    ) {
         let (active, _) = self.active_replicas(&key);
         let local = self.data.get(&key).cloned().unwrap_or_default();
         self.pending.insert(
@@ -221,7 +227,14 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         );
         for peer in &active {
             if *peer != self.replica {
-                self.send(ctx, NodeId(peer.0), Msg::RepGet { req, key: key.clone() });
+                self.send(
+                    ctx,
+                    NodeId(peer.0),
+                    Msg::RepGet {
+                        req,
+                        key: key.clone(),
+                    },
+                );
             }
         }
         self.arm_request_timer(ctx, req);
@@ -231,8 +244,14 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     fn try_complete_get(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, req: ReqId) {
         // phase 1: reply to the client as soon as R responses are in
         let mut reply: Option<(NodeId, Vec<StampedValue>, M::Context)> = None;
-        if let Some(Pending::Get { client, acc, responses, expected, replied, .. }) =
-            self.pending.get_mut(&req)
+        if let Some(Pending::Get {
+            client,
+            acc,
+            responses,
+            expected,
+            replied,
+            ..
+        }) = self.pending.get_mut(&req)
         {
             if !*replied && *responses >= self.config.r.min(*expected) {
                 *replied = true;
@@ -351,8 +370,13 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     }
 
     fn try_complete_put(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, req: ReqId) {
-        let Some(Pending::Put { key, client, acks, expected, replied }) =
-            self.pending.get_mut(&req)
+        let Some(Pending::Put {
+            key,
+            client,
+            acks,
+            expected,
+            replied,
+        }) = self.pending.get_mut(&req)
         else {
             return;
         };
@@ -374,7 +398,13 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 },
             );
         }
-        if let Some(Pending::Put { acks, expected, replied, .. }) = self.pending.get(&req) {
+        if let Some(Pending::Put {
+            acks,
+            expected,
+            replied,
+            ..
+        }) = self.pending.get(&req)
+        {
             if *acks >= *expected && *replied {
                 self.pending.remove(&req);
             }
@@ -382,9 +412,18 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     }
 
     fn handle_request_timeout(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, req: ReqId) {
-        let Some(p) = self.pending.get(&req) else { return };
+        let Some(p) = self.pending.get(&req) else {
+            return;
+        };
         match p {
-            Pending::Get { client, replied, key, acc, seen, .. } => {
+            Pending::Get {
+                client,
+                replied,
+                key,
+                acc,
+                seen,
+                ..
+            } => {
                 let client = *client;
                 let replied = *replied;
                 let key = key.clone();
@@ -408,7 +447,9 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                     );
                 }
             }
-            Pending::Put { client, replied, .. } => {
+            Pending::Put {
+                client, replied, ..
+            } => {
                 let client = *client;
                 let replied = *replied;
                 self.pending.remove(&req);
@@ -479,15 +520,23 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     pub fn on_message(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, from: NodeId, msg: Msg<M>) {
         match msg {
             Msg::ClientGet { req, key } => self.handle_client_get(ctx, from, req, key),
-            Msg::ClientPut { req, key, value, ctx: put_ctx } => {
-                self.handle_client_put(ctx, from, req, key, value, put_ctx)
-            }
+            Msg::ClientPut {
+                req,
+                key,
+                value,
+                ctx: put_ctx,
+            } => self.handle_client_put(ctx, from, req, key, value, put_ctx),
             Msg::RepGet { req, key } => {
                 let state = self.data.get(&key).cloned().unwrap_or_default();
                 self.send(ctx, from, Msg::RepGetResp { req, key, state });
             }
             Msg::RepGetResp { req, key: _, state } => {
-                if let Some(Pending::Get { acc, responses, seen, .. }) = self.pending.get_mut(&req)
+                if let Some(Pending::Get {
+                    acc,
+                    responses,
+                    seen,
+                    ..
+                }) = self.pending.get_mut(&req)
                 {
                     let fp = fingerprint(&state);
                     seen.push((ReplicaId(from.0), fp));
@@ -496,7 +545,12 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                     self.try_complete_get(ctx, req);
                 }
             }
-            Msg::RepPut { req, key, state, hint } => {
+            Msg::RepPut {
+                req,
+                key,
+                state,
+                hint,
+            } => {
                 let local = self.data.entry(key.clone()).or_default();
                 self.mech.merge(local, &state);
                 if let Some(intended) = hint {
@@ -544,14 +598,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                     .iter()
                     .filter_map(|k| self.data.get(k).map(|s| (k.clone(), s.clone())))
                     .collect();
-                self.send(
-                    ctx,
-                    from,
-                    Msg::AaeStates {
-                        states,
-                        want: keys,
-                    },
-                );
+                self.send(ctx, from, Msg::AaeStates { states, want: keys });
             }
             Msg::AaeStates { states, want } => {
                 for (k, s) in states {
@@ -591,8 +638,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         if self.config.anti_entropy_interval > simnet::Duration::ZERO {
             // stagger first AAE by replica id to avoid thundering herd
             let first = simnet::Duration::from_micros(
-                self.config.anti_entropy_interval.as_micros()
-                    + u64::from(self.replica.0) * 1_000,
+                self.config.anti_entropy_interval.as_micros() + u64::from(self.replica.0) * 1_000,
             );
             let t = ctx.set_timer(first);
             self.timers.insert(t, TimerKind::AntiEntropy);

@@ -38,7 +38,10 @@ impl Oracle {
         let mut writes: BTreeMap<Key, Vec<(WriteId, bool)>> = BTreeMap::new();
         for e in logs {
             direct.insert(e.id, e.observed.clone());
-            writes.entry(e.key.clone()).or_default().push((e.id, e.acked));
+            writes
+                .entry(e.key.clone())
+                .or_default()
+                .push((e.id, e.acked));
         }
         // iterative transitive closure (small graphs; fixpoint loop)
         let mut past: BTreeMap<WriteId, BTreeSet<WriteId>> = direct
@@ -111,8 +114,7 @@ impl Oracle {
         let lost = expected
             .iter()
             .filter(|id| {
-                !surviving.contains(id)
-                    && !surviving.iter().any(|s| self.truly_precedes(**id, *s))
+                !surviving.contains(id) && !surviving.iter().any(|s| self.truly_precedes(**id, *s))
             })
             .count() as u64;
         // False concurrency: ordered pairs presented as siblings.

@@ -176,10 +176,8 @@ mod tests {
 
     #[test]
     fn bad_tombstone_flag_rejected() {
-        let mut bytes = dvv::encode::to_bytes(&StampedValue::tombstone(WriteId::new(
-            ClientId(1),
-            1,
-        )));
+        let mut bytes =
+            dvv::encode::to_bytes(&StampedValue::tombstone(WriteId::new(ClientId(1), 1)));
         // the flag byte sits after client varint (1 byte) + seq varint (1 byte)
         bytes[2] = 7;
         let r: Result<StampedValue, _> = dvv::encode::from_bytes(&bytes);

@@ -160,7 +160,10 @@ fn read_repair_propagates_data_without_aae() {
     // With constant latency and rotating coordinators, some reads observe
     // divergent replicas and repair them.
     let populated = (0..3).filter(|i| !c.server(*i).data().is_empty()).count();
-    assert_eq!(populated, 3, "all replicas hold data (replication + repair)");
+    assert_eq!(
+        populated, 3,
+        "all replicas hold data (replication + repair)"
+    );
     let _ = repairs; // repairs may be zero on fast paths; population is the guarantee
     c.converge();
     assert!(c.anomaly_report().is_clean());

@@ -120,7 +120,10 @@ fn lamport_lww_loses_concurrent_updates() {
         // LWW never keeps siblings:
         assert!(r.surviving_values <= r.keys);
     }
-    assert!(total_lost > 0, "last-writer-wins must drop concurrent writes");
+    assert!(
+        total_lost > 0,
+        "last-writer-wins must drop concurrent writes"
+    );
 }
 
 #[test]

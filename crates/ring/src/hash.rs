@@ -63,7 +63,10 @@ mod tests {
         let a = hash_key(b"key0");
         let b = hash_key(b"key1");
         let flipped = (a ^ b).count_ones();
-        assert!((16..=48).contains(&flipped), "weak diffusion: {flipped} bits");
+        assert!(
+            (16..=48).contains(&flipped),
+            "weak diffusion: {flipped} bits"
+        );
     }
 
     #[test]

@@ -78,7 +78,7 @@ impl LatencyModel {
     pub fn datacenter() -> Self {
         LatencyModel::LogNormal {
             floor: Duration::from_micros(250),
-            mu: 5.5,  // e^5.5 ≈ 245µs body
+            mu: 5.5, // e^5.5 ≈ 245µs body
             sigma: 0.8,
         }
     }

@@ -188,9 +188,7 @@ impl Network {
         }
         match &self.partition {
             None => true,
-            Some(groups) => groups
-                .iter()
-                .any(|g| g.contains(&from) && g.contains(&to)),
+            Some(groups) => groups.iter().any(|g| g.contains(&from) && g.contains(&to)),
         }
     }
 
@@ -201,8 +199,15 @@ impl Network {
     }
 
     /// Convenience: splits into exactly two sides.
-    pub fn partition_two(&mut self, side_a: impl IntoIterator<Item = NodeId>, side_b: impl IntoIterator<Item = NodeId>) {
-        self.partition(vec![side_a.into_iter().collect(), side_b.into_iter().collect()]);
+    pub fn partition_two(
+        &mut self,
+        side_a: impl IntoIterator<Item = NodeId>,
+        side_b: impl IntoIterator<Item = NodeId>,
+    ) {
+        self.partition(vec![
+            side_a.into_iter().collect(),
+            side_b.into_iter().collect(),
+        ]);
     }
 
     /// Removes any partition.

@@ -101,7 +101,9 @@ enum Event<M> {
 impl<M> core::fmt::Debug for Event<M> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            Event::Deliver { from, to, bytes, .. } => {
+            Event::Deliver {
+                from, to, bytes, ..
+            } => {
                 write!(f, "Deliver({from}→{to}, {bytes}B)")
             }
             Event::Timer { node, id } => write!(f, "Timer({node}, {id:?})"),
@@ -261,7 +263,12 @@ impl<P: Process> Simulation<P> {
         debug_assert!(time >= self.now, "time went backwards");
         self.now = time;
         match event {
-            Event::Deliver { from, to, msg, bytes } => {
+            Event::Deliver {
+                from,
+                to,
+                msg,
+                bytes,
+            } => {
                 self.network.record_delivery(bytes);
                 self.trace.record(TraceEvent::Delivered {
                     time,
@@ -372,8 +379,7 @@ impl<P: Process> Simulation<P> {
             }
         }
         for (delay, id) in timer_requests {
-            self.queue
-                .push(self.now + delay, Event::Timer { node, id });
+            self.queue.push(self.now + delay, Event::Timer { node, id });
         }
     }
 }
@@ -419,8 +425,14 @@ mod tests {
             7,
             NetworkConfig::default(),
             vec![
-                Echo { received: 0, budget },
-                Echo { received: 0, budget },
+                Echo {
+                    received: 0,
+                    budget,
+                },
+                Echo {
+                    received: 0,
+                    budget,
+                },
             ],
         )
     }
@@ -489,8 +501,7 @@ mod tests {
     #[test]
     fn partition_loses_messages() {
         let mut sim = echo_pair(100);
-        sim.network_mut()
-            .partition_two([NodeId(0)], [NodeId(1)]);
+        sim.network_mut().partition_two([NodeId(0)], [NodeId(1)]);
         sim.run_to_quiescence();
         assert_eq!(sim.network().stats().delivered, 0);
         assert_eq!(sim.network().stats().unreachable, 1);
@@ -522,7 +533,11 @@ mod tests {
         let mut sim = echo_pair(1);
         sim.trace_mut().enable();
         sim.run_to_quiescence();
-        assert!(sim.trace().events().iter().any(|e| matches!(e, TraceEvent::Sent { .. })));
+        assert!(sim
+            .trace()
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Sent { .. })));
         assert_eq!(sim.trace().deliveries_to(NodeId(1)), 2);
     }
 

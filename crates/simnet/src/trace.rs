@@ -74,10 +74,20 @@ impl TraceEvent {
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceEvent::Sent { time, from, to, bytes } => {
+            TraceEvent::Sent {
+                time,
+                from,
+                to,
+                bytes,
+            } => {
                 write!(f, "{time} {from}→{to} send {bytes}B")
             }
-            TraceEvent::Delivered { time, from, to, bytes } => {
+            TraceEvent::Delivered {
+                time,
+                from,
+                to,
+                bytes,
+            } => {
                 write!(f, "{time} {from}→{to} deliver {bytes}B")
             }
             TraceEvent::Lost { time, from, to } => write!(f, "{time} {from}→{to} lost"),
@@ -252,9 +262,17 @@ mod tests {
             text: "hello".into(),
         };
         assert_eq!(note.to_string(), "t=0us n1 note: hello");
-        let timer = TraceEvent::TimerFired { time: SimTime::ZERO, node: NodeId(4) };
+        let timer = TraceEvent::TimerFired {
+            time: SimTime::ZERO,
+            node: NodeId(4),
+        };
         assert_eq!(timer.to_string(), "t=0us n4 timer");
-        let del = TraceEvent::Delivered { time: SimTime::ZERO, from: NodeId(0), to: NodeId(1), bytes: 2 };
+        let del = TraceEvent::Delivered {
+            time: SimTime::ZERO,
+            from: NodeId(0),
+            to: NodeId(1),
+            bytes: 2,
+        };
         assert_eq!(del.to_string(), "t=0us n0→n1 deliver 2B");
     }
 }

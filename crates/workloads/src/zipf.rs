@@ -30,7 +30,10 @@ impl Zipf {
     #[must_use]
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n > 0, "zipf needs at least one rank");
-        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and ≥ 0");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be finite and ≥ 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 0..n {
@@ -61,7 +64,9 @@ impl Zipf {
     #[must_use]
     pub fn sample(&self, u: f64) -> usize {
         let u = u.clamp(0.0, 1.0 - f64::EPSILON);
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 
     /// Probability mass of rank `k`.

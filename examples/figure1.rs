@@ -82,9 +82,15 @@ fn main() {
     let ch = replay(CausalHistoryMechanism);
     let vv = replay(VvServerMechanism);
     let dvv = replay(DvvMechanism);
-    assert!(ch[2].starts_with("A after v3: 2"), "ground truth keeps both");
+    assert!(
+        ch[2].starts_with("A after v3: 2"),
+        "ground truth keeps both"
+    );
     assert!(vv[2].starts_with("A after v3: 1"), "per-server VV loses v2");
     assert!(dvv[2].starts_with("A after v3: 2"), "DVV keeps both");
-    assert!(dvv[4].starts_with("A after v4: 1"), "v4 resolves the conflict");
+    assert!(
+        dvv[4].starts_with("A after v4: 1"),
+        "v4 resolves the conflict"
+    );
     println!("\nAll Figure 1 shape assertions hold.");
 }

@@ -43,11 +43,17 @@ fn main() {
         let (dvvset, l2, f2) = run_one(DvvSetMechanism, clients);
         let (vvc, l3, f3) = run_one(VvClientMechanism::unbounded(), clients);
         let (vvp, l4, f4) = run_one(VvClientMechanism::pruned(4), clients);
-        assert_eq!((l1, f1, l2, f2, l3, f3), (0, 0, 0, 0, 0, 0), "correct mechanisms stay clean");
-        let anomaly_tag = if l4 + f4 > 0 { format!("{vvp:.1} (UNSAFE: {} anomalies)", l4 + f4) } else { format!("{vvp:.1}") };
-        println!(
-            "{clients:>8} {dvv:>10.1} {dvvset:>10.1} {vvc:>12.1} {anomaly_tag:>16}"
+        assert_eq!(
+            (l1, f1, l2, f2, l3, f3),
+            (0, 0, 0, 0, 0, 0),
+            "correct mechanisms stay clean"
         );
+        let anomaly_tag = if l4 + f4 > 0 {
+            format!("{vvp:.1} (UNSAFE: {} anomalies)", l4 + f4)
+        } else {
+            format!("{vvp:.1}")
+        };
+        println!("{clients:>8} {dvv:>10.1} {dvvset:>10.1} {vvc:>12.1} {anomaly_tag:>16}");
     }
     println!("\nDVV/DVVSet columns stay flat (bounded by 3 replicas);");
     println!("the per-client column grows linearly; the pruned column is");

@@ -29,11 +29,18 @@ fn main() {
 
     println!("phase 1: healthy cluster");
     cluster.run_for(Duration::from_millis(25));
-    println!("  t={} deliveries={}", cluster.sim().now(), cluster.sim().network().stats().delivered);
+    println!(
+        "  t={} deliveries={}",
+        cluster.sim().now(),
+        cluster.sim().network().stats().delivered
+    );
 
     println!("\nphase 2: server s2 partitioned away (failure detector notices)");
     let majority: Vec<NodeId> = [0u32, 1, 3, 4, 5, 6].into_iter().map(NodeId).collect();
-    cluster.sim_mut().network_mut().partition_two(majority, [NodeId(2)]);
+    cluster
+        .sim_mut()
+        .network_mut()
+        .partition_two(majority, [NodeId(2)]);
     cluster.set_replica_status(ReplicaId(2), false);
     cluster.run_for(Duration::from_millis(120));
     let lost_so_far = cluster.sim().network().stats().unreachable;

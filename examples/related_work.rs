@@ -41,7 +41,10 @@ fn burst<M: Mechanism<StampedValue>>(mech: &M, k: u64) -> (usize, usize, usize) 
 
 fn main() {
     const K: u64 = 8;
-    println!("{} concurrent client writes through one server, all having", K);
+    println!(
+        "{} concurrent client writes through one server, all having",
+        K
+    );
     println!("read the same snapshot. A correct tracker keeps all {K}.\n");
     println!(
         "{:>22} {:>10} {:>14} {:>12}",

@@ -36,7 +36,10 @@ fn main() {
     cluster.converge();
     let report = cluster.anomaly_report();
     println!("\naudit after convergence: {report:?}");
-    assert!(report.is_clean(), "DVV must not lose or falsely-conflict writes");
+    assert!(
+        report.is_clean(),
+        "DVV must not lose or falsely-conflict writes"
+    );
 
     let meta = cluster.metadata_report();
     println!(

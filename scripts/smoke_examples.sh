@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs every example in examples/ end-to-end. Used by CI (and handy
+# locally) so doc-level entry points cannot rot: `cargo test` only
+# compiles examples, it never executes them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+for f in examples/*.rs; do
+    name="$(basename "$f" .rs)"
+    echo "── example: $name"
+    if ! cargo run -q --release --example "$name"; then
+        echo "✗ example $name FAILED" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "one or more examples failed" >&2
+fi
+exit "$status"

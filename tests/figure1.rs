@@ -2,7 +2,9 @@
 //! representations. This is the reproduction's canonical correctness
 //! artifact: every clock value below appears literally in the paper.
 
-use dvv::mechanisms::{CausalHistoryMechanism, DvvMechanism, Mechanism, VvServerMechanism, WriteOrigin};
+use dvv::mechanisms::{
+    CausalHistoryMechanism, DvvMechanism, Mechanism, VvServerMechanism, WriteOrigin,
+};
 use dvv::server::{context, sync_into, update, Tagged};
 use dvv::{CausalHistory, CausalOrder, ClientId, Dot, ReplicaId, VersionVector};
 
@@ -101,8 +103,16 @@ fn figure_1_mechanism_traces_match() {
         counts.push(mech.sibling_count(&server_a));
         counts
     }
-    assert_eq!(trace(CausalHistoryMechanism), vec![1, 1, 2, 2, 1], "Figure 1a");
-    assert_eq!(trace(VvServerMechanism), vec![1, 1, 1, 1, 1], "Figure 1b: v2 destroyed");
+    assert_eq!(
+        trace(CausalHistoryMechanism),
+        vec![1, 1, 2, 2, 1],
+        "Figure 1a"
+    );
+    assert_eq!(
+        trace(VvServerMechanism),
+        vec![1, 1, 1, 1, 1],
+        "Figure 1b: v2 destroyed"
+    );
     assert_eq!(trace(DvvMechanism), vec![1, 1, 2, 2, 1], "Figure 1c");
 }
 

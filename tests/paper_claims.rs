@@ -16,8 +16,7 @@ use simnet::Duration;
 #[test]
 fn dvv_comparison_independent_of_vector_width() {
     for n in [1u32, 10, 1000] {
-        let past: VersionVector<ReplicaId> =
-            (0..n).map(|i| (ReplicaId(i), 5u64)).collect();
+        let past: VersionVector<ReplicaId> = (0..n).map(|i| (ReplicaId(i), 5u64)).collect();
         let a = Dvv::new(Dot::new(ReplicaId(0), 6), past.clone());
         let mut past_b = past.clone();
         past_b.record(Dot::new(ReplicaId(0), 6));

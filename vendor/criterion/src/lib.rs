@@ -1,0 +1,376 @@
+//! Offline stand-in for the subset of the `criterion` API used by this
+//! workspace's benches.
+//!
+//! The build environment has no access to a crates registry, so this
+//! vendored crate implements a small but honest measurement harness
+//! behind criterion's API shape: warm-up, timed batches, and a
+//! mean/min/max report per benchmark printed to stdout. It has none of
+//! upstream's statistical machinery (no outlier analysis, no HTML
+//! reports, no comparison against saved baselines).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark manager: holds timing configuration and runs groups.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    filter: Option<String>,
+    list_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 50,
+            filter: None,
+            list_only: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how long each benchmark warms up before measurement.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets how many timed samples are collected per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies command-line arguments (`--bench` is implied by cargo;
+    /// a positional argument filters benchmark names; `--list` lists).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" => {}
+                "--profile-time" => {
+                    // takes a value we ignore
+                    let _ = args.next();
+                }
+                "--list" => self.list_only = true,
+                "--sample-size" => {
+                    // same floor the programmatic setters assert
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        self.sample_size = usize::max(v, 2);
+                    }
+                }
+                s if !s.starts_with('-') && self.filter.is_none() => {
+                    self.filter = Some(s.to_string());
+                }
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let cfg = self.clone();
+        run_one(&cfg, &id, |b| f(b));
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.text());
+        let cfg = self.group_config();
+        run_one(&cfg, &full, |b| f(b, input));
+        self
+    }
+
+    /// Runs an unparameterised benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().text());
+        let cfg = self.group_config();
+        run_one(&cfg, &full, |b| f(b));
+        self
+    }
+
+    /// Ends the group (upstream requires this; here it is a no-op).
+    pub fn finish(self) {}
+
+    fn group_config(&self) -> Criterion {
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        if let Some(d) = self.measurement_time {
+            cfg.measurement_time = d;
+        }
+        cfg
+    }
+}
+
+/// Identifies one benchmark: a function name plus a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `"name/param"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut text = function_name.into();
+        let _ = write!(text, "/{parameter}");
+        BenchmarkId { text }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+
+    fn text(&self) -> &str {
+        &self.text
+    }
+}
+
+/// Conversion into [`BenchmarkId`] for `bench_function` ergonomics.
+pub trait IntoBenchmarkId {
+    /// Converts self into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            text: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { text: self }
+    }
+}
+
+/// Drives the timed closure for one benchmark.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, called `iters_per_sample` times per recorded sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        self.samples.push(start.elapsed());
+    }
+
+    /// Times `f` with per-iteration setup excluded is not supported;
+    /// provided so `iter_with_large_drop` call sites compile.
+    pub fn iter_with_large_drop<O, F: FnMut() -> O>(&mut self, f: F) {
+        self.iter(f);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(cfg: &Criterion, id: &str, mut f: F) {
+    if let Some(filter) = &cfg.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if cfg.list_only {
+        println!("{id}: benchmark");
+        return;
+    }
+
+    // Warm-up: also estimates the per-iteration cost so each sample
+    // runs enough iterations to be measurable.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut probe = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+    };
+    while warm_start.elapsed() < cfg.warm_up_time {
+        f(&mut probe);
+        probe.samples.clear();
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+    let budget_ns = cfg.measurement_time.as_nanos() / cfg.sample_size.max(1) as u128;
+    let iters_per_sample = (budget_ns / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut bencher = Bencher {
+        iters_per_sample,
+        samples: Vec::with_capacity(cfg.sample_size),
+    };
+    for _ in 0..cfg.sample_size {
+        f(&mut bencher);
+    }
+
+    let per_sample: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / iters_per_sample as f64)
+        .collect();
+    let n = per_sample.len().max(1) as f64;
+    let mean = per_sample.iter().sum::<f64>() / n;
+    let min = per_sample.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_sample.iter().copied().fold(0.0_f64, f64::max);
+    println!(
+        "{id:<50} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark targets, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("op", 32).text(), "op/32");
+        assert_eq!(BenchmarkId::from_parameter("x").text(), "x");
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(3);
+        let mut group = c.benchmark_group("smoke");
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("add", 1), &1u64, |b, &x| {
+            ran = true;
+            b.iter(|| black_box(x) + 1)
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn sample_size_must_be_sane() {
+        let c = Criterion::default().sample_size(10);
+        assert_eq!(c.sample_size, 10);
+    }
+}

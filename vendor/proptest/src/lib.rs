@@ -1,0 +1,234 @@
+//! Offline stand-in for the subset of the `proptest` API used by this
+//! workspace.
+//!
+//! The build environment has no access to a crates registry, so this
+//! vendored crate re-implements the pieces the test suites import:
+//! the [`proptest!`] macro, [`Strategy`] with `prop_map`, range / tuple /
+//! [`collection`] strategies, [`arbitrary::any`], the `prop_assert*` /
+//! [`prop_assume!`] / [`prop_oneof!`] macros, [`ProptestConfig`] and
+//! [`TestCaseError`].
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs via
+//!   `Debug` and the seed, but does not minimise them.
+//! * **Deterministic seeding.** Case seeds derive from the test name and
+//!   case index, so failures reproduce exactly on re-run. Set
+//!   `PROPTEST_RNG_SEED` to an integer to explore a different stream.
+//! * **`PROPTEST_CASES`** overrides the case count, like upstream.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// Everything the tests conventionally glob-import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    /// Alias mirroring upstream's `prelude::prop` module path.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over many generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        @impl [$cfg:expr]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let cases = $crate::test_runner::resolve_cases(config.cases);
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = cases.saturating_mul(10).max(cases);
+                while accepted < cases && attempts < max_attempts {
+                    let seed = $crate::test_runner::case_seed(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        attempts,
+                    );
+                    attempts += 1;
+                    let mut rng = $crate::test_runner::TestRng::new(seed);
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);
+                    )+
+                    // Catch panics (a mid-case unwrap, an index out of
+                    // bounds…) so they report generated inputs exactly
+                    // like prop_assert failures do.
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                                $body Ok(())
+                            },
+                        ),
+                    );
+                    let failure: ::std::option::Option<String> = match outcome {
+                        Ok(Ok(())) => {
+                            accepted += 1;
+                            None
+                        }
+                        Ok(Err($crate::test_runner::TestCaseError::Reject(_))) => None,
+                        Ok(Err($crate::test_runner::TestCaseError::Fail(msg))) => Some(msg),
+                        Err(payload) => {
+                            Some($crate::test_runner::panic_message(payload.as_ref()))
+                        }
+                    };
+                    if let Some(msg) = failure {
+                        // Strategies are pure functions of the RNG stream,
+                        // so replaying the case seed reproduces the failing
+                        // inputs; the passing path pays no formatting cost.
+                        let mut replay = $crate::test_runner::TestRng::new(seed);
+                        let mut inputs = String::new();
+                        $(
+                            inputs.push_str(stringify!($arg));
+                            inputs.push_str(" = ");
+                            inputs.push_str(&format!(
+                                "{:?}",
+                                $crate::strategy::Strategy::new_value(&($strat), &mut replay)
+                            ));
+                            inputs.push('\n');
+                        )+
+                        panic!(
+                            "proptest case failed: {}\n(case {}/{}; seeds are a pure \
+                             function of the test name, so a plain re-run reproduces \
+                             this failure)\ninputs:\n{}",
+                            msg, accepted + 1, cases, inputs
+                        );
+                    }
+                }
+                assert!(
+                    accepted >= cases,
+                    "proptest: too many rejected cases ({} accepted of {} attempts, {} required)",
+                    accepted, attempts, cases
+                );
+            }
+        )*
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl [$cfg] $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @impl [$crate::test_runner::ProptestConfig::default()]
+            $($rest)*
+        );
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// process) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal, reporting both on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+                    stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// Asserts two expressions are unequal, reporting both on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left), stringify!($right), l
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `{} != {}`\n  both: {:?}\n{}",
+                    stringify!($left), stringify!($right), l, format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// Rejects the current case (it is regenerated, not counted as a
+/// failure) when a structural precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,145 @@
+//! Case execution support: config, errors, the deterministic RNG, and
+//! seed derivation. The actual per-test loop lives in the [`proptest!`]
+//! macro expansion.
+//!
+//! [`proptest!`]: crate::proptest
+
+use core::fmt;
+
+/// Result type property bodies and helpers return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case hit a failed `prop_assert*` — the property is violated.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` — regenerate, don't count.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runner configuration (only the fields this workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Applies the `PROPTEST_CASES` environment override, like upstream.
+#[must_use]
+pub fn case_count_override() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+}
+
+/// Resolves the effective case count for a property.
+#[must_use]
+pub fn resolve_cases(configured: u32) -> u32 {
+    case_count_override().unwrap_or(configured).max(1)
+}
+
+/// Derives the seed for one case: a hash of the fully-qualified test
+/// name and the attempt index, optionally mixed with
+/// `PROPTEST_RNG_SEED`. Pure function — failures replay exactly.
+#[must_use]
+pub fn case_seed(test_path: &str, attempt: u32) -> u64 {
+    let base: u64 = std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ base.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for b in test_path.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= u64::from(attempt);
+    h = h.wrapping_mul(0x100_0000_01b3);
+    splitmix(h)
+}
+
+/// Renders a caught panic payload for the failure report.
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        String::from("panicked with a non-string payload")
+    }
+}
+
+/// The generator handed to strategies: SplitMix64, 64 bits of state.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x2545_f491_4f6c_dd1d,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        splitmix(self.state)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
