@@ -172,6 +172,22 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
         }
     }
 
+    /// The ring epoch this client currently routes under.
+    pub fn ring_epoch(&self) -> u64 {
+        self.ring.epoch()
+    }
+
+    /// Adopts a newer ring view (from a [`Msg::RingEpoch`] push or the
+    /// control plane): rebuilds the ring and reconciles the membership
+    /// view, keeping failure-detector marks for known members.
+    pub fn sync_view(&mut self, members: &[ReplicaId], epoch: u64) {
+        if epoch > self.ring.epoch() {
+            self.ring =
+                ring::HashRing::from_members(members.iter().copied(), self.ring.vnodes(), epoch);
+            self.membership.sync_members(members);
+        }
+    }
+
     fn fresh_req(&mut self) -> ReqId {
         self.next_req += 1;
         (u64::from(self.node_index) << 32) | self.next_req
@@ -221,7 +237,8 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
             sent_at: ctx.now(),
             retries,
         });
-        self.send(ctx, coord, Msg::ClientGet { req, key });
+        let epoch = self.ring.epoch();
+        self.send(ctx, coord, Msg::ClientGet { req, key, epoch });
         self.arm_timeout(ctx, req);
     }
 
@@ -248,6 +265,7 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
             sent_at: ctx.now(),
             retries,
         });
+        let epoch = self.ring.epoch();
         self.send(
             ctx,
             coord,
@@ -256,6 +274,7 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
                 key,
                 value,
                 ctx: put_ctx,
+                epoch,
             },
         );
         self.arm_timeout(ctx, req);
@@ -413,6 +432,8 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
                 self.cycles_done += 1;
                 self.think_then_continue(ctx);
             }
+            // a coordinator noticed us routing with a stale ring epoch
+            Msg::RingEpoch { epoch, members } => self.sync_view(&members, epoch),
             // clients receive nothing else
             _ => {}
         }

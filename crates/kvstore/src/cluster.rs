@@ -59,6 +59,11 @@ impl<M: Mechanism<StampedValue>> Process for StoreProc<M> {
 pub struct ClusterConfig {
     /// Number of replica servers.
     pub servers: usize,
+    /// Number of additional *dormant* server slots hosted by the
+    /// simulation but outside the ring, available to
+    /// [`Cluster::add_node_live`]. Spares occupy node ids
+    /// `servers..servers + spare_servers`; clients come after them.
+    pub spare_servers: usize,
     /// Number of client sessions.
     pub clients: usize,
     /// Read-modify-write cycles per client.
@@ -78,6 +83,7 @@ impl Default for ClusterConfig {
     fn default() -> Self {
         ClusterConfig {
             servers: 3,
+            spare_servers: 0,
             clients: 4,
             cycles_per_client: 20,
             store: StoreConfig::default(),
@@ -116,14 +122,27 @@ pub struct MetadataReport {
     pub max_siblings: usize,
 }
 
-/// A running store cluster: `servers` replica nodes and `clients`
-/// session nodes on a simulated network.
+/// A running store cluster: `servers` replica nodes (plus optional
+/// dormant spares) and `clients` session nodes on a simulated network.
+///
+/// Membership is **elastic**: [`Cluster::add_node_live`] activates a
+/// spare slot and streams its newly-owned key ranges from current owners
+/// while the workload keeps running; [`Cluster::remove_node_live`] drains
+/// a member's ranges to their successors before retiring it. Both drive
+/// the protocol through the simulated network (announcements, range
+/// transfers, acks, stale-epoch re-routing) and only force-synchronise
+/// every process's routing view once the transfer protocol has settled.
 #[derive(Debug)]
 pub struct Cluster<M: Mechanism<StampedValue>> {
     sim: Simulation<StoreProc<M>>,
     mech: M,
     servers: usize,
+    server_slots: usize,
     clients: usize,
+    /// Server slots currently in the ring.
+    members: BTreeSet<usize>,
+    ring_epoch: u64,
+    store_n: usize,
     deadline: SimTime,
 }
 
@@ -136,11 +155,13 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
             config.store.n <= config.servers,
             "replication factor exceeds server count"
         );
+        let vnodes = 32;
+        let server_slots = config.servers + config.spare_servers;
         let replicas: Vec<ReplicaId> = (0..config.servers as u32).map(ReplicaId).collect();
-        let ring = HashRing::with_vnodes(replicas.iter().copied(), 32);
+        let ring = HashRing::with_vnodes(replicas.iter().copied(), vnodes);
         let membership = Membership::new(replicas.iter().copied());
 
-        let mut procs: Vec<StoreProc<M>> = Vec::with_capacity(config.servers + config.clients);
+        let mut procs: Vec<StoreProc<M>> = Vec::with_capacity(server_slots + config.clients);
         for r in &replicas {
             procs.push(StoreProc::Server(StoreNode::new(
                 *r,
@@ -150,8 +171,17 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
                 membership.clone(),
             )));
         }
+        for spare in config.servers..server_slots {
+            procs.push(StoreProc::Server(StoreNode::dormant(
+                ReplicaId(spare as u32),
+                mech.clone(),
+                config.store,
+                ring.clone(),
+                membership.clone(),
+            )));
+        }
         for j in 0..config.clients {
-            let node_index = (config.servers + j) as u32;
+            let node_index = (server_slots + j) as u32;
             let mut client_cfg = config.client.clone();
             client_cfg.cycles = config.cycles_per_client;
             procs.push(StoreProc::Client(ClientNode::new(
@@ -169,7 +199,11 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
             sim: Simulation::new(seed, config.network, procs),
             mech,
             servers: config.servers,
+            server_slots,
             clients: config.clients,
+            members: (0..config.servers).collect(),
+            ring_epoch: ring.epoch(),
+            store_n: config.store.n,
             deadline: SimTime::ZERO + config.deadline,
         }
     }
@@ -202,15 +236,31 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
     ///
     /// Panics if `j` is not a client index.
     pub fn client(&self, j: usize) -> &ClientNode<M> {
-        match self.sim.process(self.servers + j) {
+        match self.sim.process(self.server_slots + j) {
             StoreProc::Client(c) => c,
             StoreProc::Server(_) => panic!("node {j} is a server"),
         }
     }
 
-    /// Number of servers.
+    /// Number of initial servers (spare slots excluded); with no elastic
+    /// membership operations, identical to the member count.
     pub fn server_count(&self) -> usize {
         self.servers
+    }
+
+    /// Total hosted server slots, including dormant spares.
+    pub fn server_slot_count(&self) -> usize {
+        self.server_slots
+    }
+
+    /// The server slots currently in the ring, in ascending order.
+    pub fn member_slots(&self) -> Vec<usize> {
+        self.members.iter().copied().collect()
+    }
+
+    /// The current ring epoch (bumped by every live join/leave).
+    pub fn ring_epoch(&self) -> u64 {
+        self.ring_epoch
     }
 
     /// Number of clients.
@@ -222,12 +272,155 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
     /// — a global, instantaneous detector, keeping experiments
     /// deterministic.
     pub fn set_replica_status(&mut self, replica: ReplicaId, up: bool) {
-        for i in 0..(self.servers + self.clients) {
+        for i in 0..(self.server_slots + self.clients) {
             match self.sim.process_mut(i) {
                 StoreProc::Server(s) => s.set_peer_status(replica, up),
                 StoreProc::Client(c) => c.set_peer_status(replica, up),
             }
         }
+    }
+
+    fn member_replicas(&self) -> Vec<ReplicaId> {
+        self.members.iter().map(|i| ReplicaId(*i as u32)).collect()
+    }
+
+    /// Force-synchronises every process's ring and membership view to the
+    /// current member set — the final step of a membership change, after
+    /// the transfer protocol has settled (or its supervision timed out).
+    fn sync_all_views(&mut self) {
+        let members = self.member_replicas();
+        let epoch = self.ring_epoch;
+        for i in 0..(self.server_slots + self.clients) {
+            match self.sim.process_mut(i) {
+                StoreProc::Server(s) => s.sync_view(&members, epoch),
+                StoreProc::Client(c) => c.sync_view(&members, epoch),
+            }
+        }
+    }
+
+    fn server_node(&self, slot: usize) -> &StoreNode<M> {
+        match self.sim.process(slot) {
+            StoreProc::Server(s) => s,
+            StoreProc::Client(_) => panic!("node {slot} is a client"),
+        }
+    }
+
+    /// Runs the simulation in slices until `settled` holds for the
+    /// cluster or `budget` of virtual time elapses. Returns whether the
+    /// predicate was met.
+    fn run_until_settled(&mut self, budget: Duration, settled: impl Fn(&Self) -> bool) -> bool {
+        let deadline = self.sim.now() + budget;
+        loop {
+            if settled(self) {
+                return true;
+            }
+            if self.sim.now() >= deadline {
+                return false;
+            }
+            let next = self.sim.now() + Duration::from_millis(5);
+            self.sim.run_until(next.min(deadline));
+        }
+    }
+
+    /// Adds the spare server slot `slot` to the ring **live**: the
+    /// control plane posts a join announcement to the joiner, which
+    /// broadcasts the new ring epoch; current owners stream the ranges
+    /// the joiner gained ([`Msg::RangeTransfer`]) before routing views
+    /// are finalised. The workload may keep running throughout.
+    ///
+    /// Returns whether the transfer protocol settled within the
+    /// supervision budget (views are force-synchronised either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not a dormant spare slot.
+    pub fn add_node_live(&mut self, slot: usize) -> bool {
+        assert!(slot < self.server_slots, "slot {slot} is not a server");
+        assert!(!self.members.contains(&slot), "slot {slot} already joined");
+        let who = ReplicaId(slot as u32);
+        self.members.insert(slot);
+        self.ring_epoch += 1;
+        let epoch = self.ring_epoch;
+        let members = self.member_replicas();
+        self.sim.post(
+            NodeId(slot as u32),
+            Msg::JoinAnnounce {
+                epoch,
+                members,
+                who,
+                joining: true,
+            },
+        );
+        let settled = self.run_until_settled(Duration::from_secs(30), |c| {
+            c.members.iter().all(|&i| {
+                let s = c.server_node(i);
+                s.ring_epoch() == epoch && s.transfer_backlog() == 0
+            })
+        });
+        self.sync_all_views();
+        settled
+    }
+
+    /// Removes member `slot` from the ring **live**: the leaver
+    /// broadcasts the new (smaller) ring, drains every key range it
+    /// holds to the range's successors, and only retires (clearing its
+    /// store) once every transfer batch is acknowledged — so no
+    /// acknowledged write can be lost to the departure. The workload may
+    /// keep running throughout.
+    ///
+    /// Returns whether the drain completed within the supervision budget
+    /// (the node is only retired if it did).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not a member, or if removing it would leave
+    /// fewer members than the replication factor.
+    pub fn remove_node_live(&mut self, slot: usize) -> bool {
+        assert!(self.members.contains(&slot), "slot {slot} is not a member");
+        assert!(
+            self.members.len() > self.store_n,
+            "removal would leave fewer members than the replication factor"
+        );
+        let who = ReplicaId(slot as u32);
+        self.members.remove(&slot);
+        self.ring_epoch += 1;
+        let epoch = self.ring_epoch;
+        let members = self.member_replicas();
+        self.sim.post(
+            NodeId(slot as u32),
+            Msg::JoinAnnounce {
+                epoch,
+                members,
+                who,
+                joining: false,
+            },
+        );
+        let settled = self.run_until_settled(Duration::from_secs(30), |c| {
+            let leaver = c.server_node(slot);
+            leaver.drain_complete()
+                && c.members
+                    .iter()
+                    .all(|&i| c.server_node(i).ring_epoch() == epoch)
+        });
+        if settled {
+            if let StoreProc::Server(s) = self.sim.process_mut(slot) {
+                s.finish_leave();
+            }
+        } else {
+            // Drain did not finish: re-admit the leaver under a *fresh*
+            // epoch. Re-using the bumped epoch would permanently split
+            // routing views — processes that already adopted the
+            // leaver-less ring at that epoch would never accept the
+            // re-admitted member set, since view sync only applies
+            // strictly newer epochs.
+            self.members.insert(slot);
+            self.ring_epoch += 1;
+            if let StoreProc::Server(s) = self.sim.process_mut(slot) {
+                s.cancel_leave();
+            }
+        }
+        self.sync_all_views();
+        settled && !self.members.contains(&slot)
     }
 
     /// Runs until every client finishes its session (or the deadline).
@@ -257,12 +450,13 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
     /// fixpoint — the "infinite anti-entropy" end state the audits are
     /// defined against. Bypasses the network (test-harness operation).
     pub fn converge(&mut self) {
+        let members = self.member_slots();
         loop {
             let mut changed = false;
             // gather the global merge of every key
             let mut global: std::collections::BTreeMap<crate::value::Key, M::State> =
                 std::collections::BTreeMap::new();
-            for i in 0..self.servers {
+            for &i in &members {
                 let StoreProc::Server(s) = self.sim.process(i) else {
                     continue;
                 };
@@ -271,7 +465,7 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
                     self.mech.merge(entry, st);
                 }
             }
-            for i in 0..self.servers {
+            for &i in &members {
                 let StoreProc::Server(s) = self.sim.process_mut(i) else {
                     continue;
                 };
@@ -325,7 +519,8 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
     /// [`Cluster::converge`]: premature collection would let anti-entropy
     /// resurrect deleted data. Returns keys reclaimed per server.
     pub fn collect_garbage(&mut self) -> Vec<usize> {
-        (0..self.servers)
+        self.member_slots()
+            .into_iter()
             .map(|i| match self.sim.process_mut(i) {
                 StoreProc::Server(s) => s.collect_garbage(),
                 StoreProc::Client(_) => 0,
@@ -346,15 +541,30 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
                 }
             }
         }
+        let audit_slot = *self.members.iter().next().expect("at least one member");
         for key in oracle.keys() {
             report.keys += 1;
-            let surviving = self.surviving_at(0, &key);
+            let surviving = self.surviving_at(audit_slot, &key);
             report.surviving_values += surviving.len() as u64;
             let (lost, fc) = oracle.audit_key(&key, &surviving);
             report.lost_updates += lost;
             report.false_concurrency += fc;
         }
         report
+    }
+
+    /// The union of surviving write ids for `key` across every current
+    /// member — what the cluster as a whole still holds. Auditing this
+    /// union against the oracle *before* convergence is the strongest
+    /// no-loss check across membership changes: a write absent from the
+    /// union is gone for good, since convergence can only merge what some
+    /// member still has.
+    pub fn surviving_union(&self, key: &[u8]) -> BTreeSet<WriteId> {
+        let mut union = BTreeSet::new();
+        for i in self.member_slots() {
+            union.extend(self.surviving_at(i, key));
+        }
+        union
     }
 
     /// Aggregates all clients' latency statistics.
@@ -374,7 +584,7 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
     pub fn metadata_report(&self) -> MetadataReport {
         let mut out = MetadataReport::default();
         let mut key_instances = 0usize;
-        for i in 0..self.servers {
+        for i in self.member_slots() {
             let s = self.server(i);
             for st in s.data().values() {
                 let bytes = self.mech.metadata_size(st);

@@ -21,6 +21,9 @@ pub struct StoreConfig {
     pub read_repair: bool,
     /// Period of the hinted-handoff retry timer (0 disables).
     pub handoff_interval: Duration,
+    /// Retry period for unacknowledged range transfers and membership
+    /// announcements during a join/leave.
+    pub transfer_retry_interval: Duration,
     /// Fixed per-message envelope overhead in bytes (headers, key, ids).
     pub header_bytes: usize,
 }
@@ -36,6 +39,7 @@ impl Default for StoreConfig {
             anti_entropy_interval: Duration::from_millis(500),
             read_repair: true,
             handoff_interval: Duration::from_millis(200),
+            transfer_retry_interval: Duration::from_millis(25),
             header_bytes: 16,
         }
     }

@@ -12,9 +12,13 @@
 //! ## Architecture
 //!
 //! * [`node::StoreNode`] — replica server: coordinates GETs (R-quorum,
-//!   read repair) and PUTs (W-quorum, `return_body` contexts), serves
-//!   replica traffic, runs Merkle-based anti-entropy, performs hinted
-//!   handoff for down peers.
+//!   read repair) and PUTs (W-quorum, `return_body` contexts) with
+//!   ownership-aware quorum accounting (a non-owner coordinator counts
+//!   only true owner responses), serves replica traffic, runs
+//!   Merkle-based anti-entropy, performs hinted handoff for down peers,
+//!   and takes part in elastic membership: joins stream newly-owned key
+//!   ranges in, leaves drain held ranges out, all over the simulated
+//!   network with ring-epoch–stamped routing.
 //! * [`client::ClientNode`] — closed-loop client session: read-modify-
 //!   write cycles against Zipf-distributed keys, with timeouts and
 //!   retries; logs every write with the versions it had observed so the

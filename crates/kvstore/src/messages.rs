@@ -23,6 +23,10 @@ pub enum Msg<M: Mechanism<StampedValue>> {
         req: ReqId,
         /// Key to read.
         key: Key,
+        /// The ring epoch the sender routed under; a coordinator with a
+        /// newer ring replies with [`Msg::RingEpoch`] so the sender can
+        /// resynchronise, and re-routes the request under its own view.
+        epoch: u64,
     },
     /// Coordinator → client: read result (all siblings + context).
     ClientGetResp {
@@ -46,6 +50,8 @@ pub enum Msg<M: Mechanism<StampedValue>> {
         value: StampedValue,
         /// Context from the client's last read of this key.
         ctx: M::Context,
+        /// The ring epoch the sender routed under (see [`Msg::ClientGet`]).
+        epoch: u64,
     },
     /// Coordinator → client: write result (`return_body` semantics: the
     /// post-write sibling set and context).
@@ -122,6 +128,75 @@ pub enum Msg<M: Mechanism<StampedValue>> {
         /// The requested states.
         states: Vec<(Key, M::State)>,
     },
+    /// Non-owner coordinator → owner: apply this client write locally
+    /// (minting the dot at the owner) and return the post-write state.
+    ///
+    /// An ownership-aware coordinator that is *not* in the key's
+    /// preference list must not write into its own store or mint dots
+    /// from its own (meaningless) counter; it delegates the write to the
+    /// first active owner and fans the resulting state out to the rest.
+    RepWrite {
+        /// Request id.
+        req: ReqId,
+        /// Key written.
+        key: Key,
+        /// The stamped value to store.
+        value: StampedValue,
+        /// Context from the client's last read of this key.
+        ctx: M::Context,
+        /// When the receiver is a fallback, the down replica it stands in
+        /// for (hinted handoff).
+        hint: Option<ReplicaId>,
+    },
+    /// Owner → non-owner coordinator: the post-write state to replicate.
+    RepWriteResp {
+        /// Request id.
+        req: ReqId,
+        /// Key written.
+        key: Key,
+        /// Full post-write state at the owner.
+        state: M::State,
+    },
+    /// Announces a membership change (join or leave) for ring epoch
+    /// `epoch`: posted to the subject node by the control plane, then
+    /// broadcast by the subject to every other member. Receivers rebuild
+    /// their ring from `members` and, for joins, start streaming the
+    /// ranges the subject now owns.
+    JoinAnnounce {
+        /// The new ring epoch.
+        epoch: u64,
+        /// The complete member set at `epoch`.
+        members: Vec<ReplicaId>,
+        /// The node joining or leaving.
+        who: ReplicaId,
+        /// `true` for a join, `false` for a leave.
+        joining: bool,
+    },
+    /// Range transfer: a donor (current owner, or a leaving node
+    /// draining) streams per-key states for ranges that changed owners.
+    /// Merging is monotone, so the receiver applies a transfer
+    /// regardless of how its ring view has moved meanwhile — refusing
+    /// one could lose data (the donor drops its copy after the ack).
+    RangeTransfer {
+        /// Transfer id, unique per sender, echoed by [`Msg::TransferAck`].
+        id: u64,
+        /// The transferred `(key, state)` pairs.
+        entries: Vec<(Key, M::State)>,
+    },
+    /// Transfer receiver → donor: the whole batch was merged.
+    TransferAck {
+        /// The acknowledged transfer id.
+        id: u64,
+    },
+    /// Ring-view synchronisation push: sent to peers observed routing
+    /// with a stale epoch. The receiver rebuilds its ring from `members`
+    /// when `epoch` is newer than its own.
+    RingEpoch {
+        /// The sender's ring epoch.
+        epoch: u64,
+        /// The complete member set at that epoch.
+        members: Vec<ReplicaId>,
+    },
     /// Fallback → recovered replica: hinted state handed off.
     Handoff {
         /// Key handed off.
@@ -147,14 +222,14 @@ impl<M: Mechanism<StampedValue>> Msg<M> {
     /// the caller adds). This is where metadata size becomes latency.
     pub fn wire_size(&self, mech: &M) -> usize {
         match self {
-            Msg::ClientGet { key, .. } => key.len() + 8,
+            Msg::ClientGet { key, .. } => key.len() + 16,
             Msg::ClientGetResp { values, ctx, .. } => {
                 1 + values.iter().map(StampedValue::wire_size).sum::<usize>()
                     + mech.context_size(ctx)
             }
             Msg::ClientPut {
                 key, value, ctx, ..
-            } => key.len() + 8 + value.wire_size() + mech.context_size(ctx),
+            } => key.len() + 16 + value.wire_size() + mech.context_size(ctx),
             Msg::ClientPutResp { values, ctx, .. } => {
                 1 + values.iter().map(StampedValue::wire_size).sum::<usize>()
                     + mech.context_size(ctx)
@@ -179,6 +254,29 @@ impl<M: Mechanism<StampedValue>> Msg<M> {
                 .iter()
                 .map(|(k, s)| k.len() + 2 + state_wire_size(mech, s))
                 .sum(),
+            Msg::RepWrite {
+                key,
+                value,
+                ctx,
+                hint,
+                ..
+            } => {
+                key.len()
+                    + 8
+                    + value.wire_size()
+                    + mech.context_size(ctx)
+                    + if hint.is_some() { 4 } else { 0 }
+            }
+            Msg::RepWriteResp { key, state, .. } => key.len() + 8 + state_wire_size(mech, state),
+            Msg::JoinAnnounce { members, .. } => 8 + 4 * members.len() + 5,
+            Msg::RangeTransfer { entries, .. } => {
+                8 + entries
+                    .iter()
+                    .map(|(k, s)| k.len() + 2 + state_wire_size(mech, s))
+                    .sum::<usize>()
+            }
+            Msg::TransferAck { .. } => 8,
+            Msg::RingEpoch { members, .. } => 8 + 4 * members.len(),
             Msg::Handoff { key, state } => key.len() + state_wire_size(mech, state),
             Msg::HandoffAck { key } => key.len(),
         }
@@ -223,6 +321,7 @@ mod tests {
         let get: Msg<M> = Msg::ClientGet {
             req: 1,
             key: b"k".to_vec(),
+            epoch: 0,
         };
         let resp: Msg<M> = Msg::RepGetResp {
             req: 1,
@@ -251,6 +350,61 @@ mod tests {
             hint: Some(ReplicaId(2)),
         };
         assert_eq!(hinted.wire_size(&mech), plain.wire_size(&mech) + 4);
+    }
+
+    #[test]
+    fn membership_messages_scale_with_members_and_entries() {
+        let mech = DvvMechanism;
+        let announce: Msg<M> = Msg::JoinAnnounce {
+            epoch: 3,
+            members: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+            who: ReplicaId(2),
+            joining: true,
+        };
+        let small: Msg<M> = Msg::JoinAnnounce {
+            epoch: 3,
+            members: vec![ReplicaId(0)],
+            who: ReplicaId(0),
+            joining: false,
+        };
+        assert!(announce.wire_size(&mech) > small.wire_size(&mech));
+
+        let st = sample_state();
+        let transfer: Msg<M> = Msg::RangeTransfer {
+            id: 1,
+            entries: vec![(b"k".to_vec(), st.clone()), (b"k2".to_vec(), st)],
+        };
+        let empty: Msg<M> = Msg::RangeTransfer {
+            id: 1,
+            entries: Vec::new(),
+        };
+        assert!(transfer.wire_size(&mech) > empty.wire_size(&mech) + 64);
+        let ack: Msg<M> = Msg::TransferAck { id: 1 };
+        assert_eq!(ack.wire_size(&mech), 8);
+        let epoch: Msg<M> = Msg::RingEpoch {
+            epoch: 3,
+            members: vec![ReplicaId(0), ReplicaId(1)],
+        };
+        assert_eq!(epoch.wire_size(&mech), 16);
+    }
+
+    #[test]
+    fn remote_write_carries_value_and_context() {
+        let mech = DvvMechanism;
+        let w: Msg<M> = Msg::RepWrite {
+            req: 1,
+            key: b"k".to_vec(),
+            value: StampedValue::new(WriteId::new(ClientId(1), 1), vec![0u8; 32]),
+            ctx: VersionVector::new(),
+            hint: None,
+        };
+        assert!(w.wire_size(&mech) > 32);
+        let resp: Msg<M> = Msg::RepWriteResp {
+            req: 1,
+            key: b"k".to_vec(),
+            state: sample_state(),
+        };
+        assert!(resp.wire_size(&mech) > 32);
     }
 
     #[test]

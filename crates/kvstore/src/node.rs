@@ -1,11 +1,12 @@
-//! [`StoreNode`]: a replica server — request coordination, replication,
-//! read repair, anti-entropy and hinted handoff.
+//! [`StoreNode`]: a replica server — ownership-aware request
+//! coordination, replication, read repair, anti-entropy, hinted handoff,
+//! and elastic membership (live join/leave with key-range transfer).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use dvv::mechanisms::{Mechanism, WriteOrigin};
 use dvv::{ClientId, ReplicaId};
-use ring::{HashRing, Membership};
+use ring::{HashRing, Membership, NodeStatus};
 use simnet::{NodeId, ProcessCtx, TimerId};
 
 use crate::config::StoreConfig;
@@ -26,10 +27,17 @@ pub struct NodeStats {
     pub read_repairs: u64,
     /// Anti-entropy exchanges initiated.
     pub aae_rounds: u64,
-    /// Anti-entropy exchanges that found divergence.
+    /// Initiated anti-entropy exchanges that found divergent keys.
     pub aae_divergent: u64,
     /// Hinted states handed off to their intended owner.
     pub handoffs: u64,
+    /// Requests coordinated without local participation because this node
+    /// was not in the key's preference list.
+    pub remote_coordinations: u64,
+    /// Range-transfer batches sent (join donations and leave drains).
+    pub transfers_out: u64,
+    /// Range-transfer batches received and merged.
+    pub transfers_in: u64,
 }
 
 /// Coordinator-side bookkeeping for one in-flight request.
@@ -42,6 +50,9 @@ enum Pending<M: Mechanism<StampedValue>> {
         responses: usize,
         expected: usize,
         replied: bool,
+        /// Whether this coordinator is in the key's active preference
+        /// list (and therefore counted its local read as a response).
+        owner: bool,
         /// replica → fingerprint of the state it returned (for repair)
         seen: Vec<(ReplicaId, u64)>,
     },
@@ -51,6 +62,14 @@ enum Pending<M: Mechanism<StampedValue>> {
         acks: usize,
         expected: usize,
         replied: bool,
+        /// See [`Pending::Get::owner`].
+        owner: bool,
+        /// Post-write state known to the coordinator (`return_body`
+        /// source when coordinating remotely).
+        state: M::State,
+        /// Replication fan-out deferred until the delegated owner returns
+        /// the post-write state (remote coordination only).
+        fanout: Vec<(ReplicaId, Option<ReplicaId>)>,
     },
 }
 
@@ -60,6 +79,19 @@ enum TimerKind {
     Request(ReqId),
     AntiEntropy,
     Handoff,
+    Transfer,
+}
+
+/// One unacknowledged outbound range-transfer batch.
+///
+/// Key states are fingerprinted when the batch is queued; on ack, a key
+/// is dropped (when no longer owned) only if its state is unchanged —
+/// otherwise the fresher state is re-queued, so no write merged after the
+/// snapshot can be lost to a drop.
+#[derive(Debug)]
+struct TransferJob {
+    to: ReplicaId,
+    keys: Vec<(Key, u64)>,
 }
 
 /// A replica server process.
@@ -67,6 +99,15 @@ enum TimerKind {
 /// Node `i` of the simulation hosts replica `ReplicaId(i)`; clients live
 /// on higher node ids. All request coordination follows the Dynamo/Riak
 /// pattern; the causality mechanism `M` is the only pluggable part.
+///
+/// Coordination is **ownership-aware**: the node counts its own local
+/// read/write toward R/W quorums only when it appears in the key's
+/// active preference list. Otherwise it coordinates purely remotely — no
+/// local write, no self-response — delegating the dot-minting write to
+/// the first active owner ([`Msg::RepWrite`]). This matters both for
+/// quorum strength (a non-owner must not substitute for a real replica)
+/// and for elastic membership, where a node that just left the ring
+/// keeps coordinating stale client requests without polluting its store.
 #[derive(Debug)]
 pub struct StoreNode<M: Mechanism<StampedValue>> {
     replica: ReplicaId,
@@ -80,6 +121,18 @@ pub struct StoreNode<M: Mechanism<StampedValue>> {
     hints: BTreeMap<(Key, ReplicaId), ()>,
     pending: BTreeMap<ReqId, Pending<M>>,
     timers: BTreeMap<TimerId, TimerKind>,
+    /// Whether this node is a serving cluster member. Spare capacity is
+    /// hosted dormant (`false`) and activated by a join announcement.
+    active: bool,
+    /// Whether this node is draining its ranges prior to leaving.
+    leaving: bool,
+    /// Unacknowledged outbound range transfers, by transfer id.
+    outbound: BTreeMap<u64, TransferJob>,
+    next_transfer: u64,
+    /// Keys written while leaving, awaiting (re-)drain.
+    drain_dirty: BTreeSet<Key>,
+    /// Membership announcement to rebroadcast until the change settles.
+    announce: Option<(u64, Vec<ReplicaId>, ReplicaId, bool)>,
     stats: NodeStats,
 }
 
@@ -103,8 +156,29 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             hints: BTreeMap::new(),
             pending: BTreeMap::new(),
             timers: BTreeMap::new(),
+            active: true,
+            leaving: false,
+            outbound: BTreeMap::new(),
+            next_transfer: 0,
+            drain_dirty: BTreeSet::new(),
+            announce: None,
             stats: NodeStats::default(),
         }
+    }
+
+    /// Creates a dormant spare server: hosted by the simulation but not a
+    /// ring member. It ignores all traffic until a join announcement
+    /// (delivered by the control plane) activates it.
+    pub fn dormant(
+        replica: ReplicaId,
+        mech: M,
+        config: StoreConfig,
+        ring: HashRing<ReplicaId>,
+        membership: Membership<ReplicaId>,
+    ) -> Self {
+        let mut node = Self::new(replica, mech, config, ring, membership);
+        node.active = false;
+        node
     }
 
     /// This server's replica id.
@@ -120,6 +194,26 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     /// The per-key states this replica currently holds.
     pub fn data(&self) -> &BTreeMap<Key, M::State> {
         &self.data
+    }
+
+    /// Whether this node is currently a serving cluster member.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The ring epoch this node currently routes under.
+    pub fn ring_epoch(&self) -> u64 {
+        self.ring.epoch()
+    }
+
+    /// Unacknowledged outbound range-transfer batches.
+    pub fn transfer_backlog(&self) -> usize {
+        self.outbound.len() + self.drain_dirty.len()
+    }
+
+    /// Whether a leave-drain has delivered every owed key range.
+    pub fn drain_complete(&self) -> bool {
+        self.leaving && self.outbound.is_empty() && self.drain_dirty.is_empty()
     }
 
     /// Direct state merge — used by the test harness's `converge()`, not
@@ -138,9 +232,71 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         }
     }
 
+    /// Control-plane view synchronisation: adopts `(members, epoch)` when
+    /// newer, reconciles membership (transition states settle to `Up`,
+    /// failure-detector `Down` marks survive), and retires any pending
+    /// announcement. The harness calls this on every process once a
+    /// membership change completes.
+    pub fn sync_view(&mut self, members: &[ReplicaId], epoch: u64) {
+        if epoch > self.ring.epoch() {
+            self.ring = HashRing::from_members(members.iter().copied(), self.ring.vnodes(), epoch);
+        }
+        self.membership.sync_members(members);
+        for m in members {
+            if matches!(
+                self.membership.status(m),
+                Some(NodeStatus::Joining | NodeStatus::Leaving)
+            ) {
+                self.membership.mark_up(m);
+            }
+        }
+        if self
+            .announce
+            .as_ref()
+            .is_some_and(|(e, ..)| *e <= self.ring.epoch())
+        {
+            self.announce = None;
+        }
+    }
+
+    /// Aborts an unfinished leave (the control plane re-admitted this
+    /// node): stops draining and drops the pending announcement and
+    /// transfer backlog. Data already transferred stays merged at the
+    /// targets (harmless — merges are monotone); data not yet sent stays
+    /// here, where it is once again owned.
+    pub fn cancel_leave(&mut self) {
+        self.leaving = false;
+        self.announce = None;
+        self.outbound.clear();
+        self.drain_dirty.clear();
+    }
+
+    /// Completes a leave after the drain: clears the (fully drained)
+    /// store, hint obligations and timers, and returns to dormancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drain has not completed.
+    pub fn finish_leave(&mut self) {
+        assert!(self.drain_complete(), "finish_leave before drain completed");
+        self.data.clear();
+        self.hints.clear();
+        self.pending.clear();
+        self.timers.clear();
+        self.outbound.clear();
+        self.announce = None;
+        self.leaving = false;
+        self.active = false;
+    }
+
     /// Number of hint obligations currently held.
     pub fn hint_count(&self) -> usize {
         self.hints.len()
+    }
+
+    /// The keys of all currently held hint obligations.
+    pub fn hinted_keys(&self) -> Vec<Key> {
+        self.hints.keys().map(|(k, _)| k.clone()).collect()
     }
 
     /// Total causal-metadata bytes across all keys at this replica.
@@ -149,7 +305,9 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     }
 
     /// Removes keys whose every surviving sibling is a tombstone,
-    /// returning how many keys were reclaimed.
+    /// returning how many keys were reclaimed. Hint obligations for
+    /// reclaimed keys are purged with them — a hint without backing data
+    /// could never be handed off and would leak forever.
     ///
     /// Dropping a tombstone is only safe once it has reached every
     /// replica (otherwise anti-entropy would resurrect the deleted data
@@ -169,7 +327,15 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         for k in &dead {
             self.data.remove(k);
         }
+        self.purge_orphan_hints();
         dead.len()
+    }
+
+    /// Drops hint obligations whose backing state is gone (reclaimed by
+    /// garbage collection or moved away by a range transfer).
+    fn purge_orphan_hints(&mut self) {
+        let data = &self.data;
+        self.hints.retain(|(k, _), ()| data.contains_key(k));
     }
 
     /// Mean sibling count across keys (0 when no keys).
@@ -199,6 +365,35 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             .sloppy_preference_list(&self.ring, key, self.config.n)
     }
 
+    /// Whether this node is in the key's current preference list.
+    fn owns(&self, key: &[u8]) -> bool {
+        self.ring
+            .preference_list(key, self.config.n)
+            .contains(&self.replica)
+    }
+
+    /// Post-merge hook: a leaving node owes every newly merged key to the
+    /// new owners, even if it was queued (or acked) before.
+    fn note_data_merged(&mut self, key: &Key) {
+        if self.leaving {
+            self.drain_dirty.insert(key.clone());
+        }
+    }
+
+    /// Pushes our ring view to a peer that routed with a stale epoch.
+    fn note_request_epoch(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, from: NodeId, epoch: u64) {
+        if epoch < self.ring.epoch() {
+            self.send(
+                ctx,
+                from,
+                Msg::RingEpoch {
+                    epoch: self.ring.epoch(),
+                    members: self.ring.nodes().to_vec(),
+                },
+            );
+        }
+    }
+
     fn arm_request_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, req: ReqId) {
         let t = ctx.set_timer(self.config.request_timeout);
         self.timers.insert(t, TimerKind::Request(req));
@@ -210,19 +405,47 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         from: NodeId,
         req: ReqId,
         key: Key,
+        epoch: u64,
     ) {
+        self.note_request_epoch(ctx, from, epoch);
         let (active, _) = self.active_replicas(&key);
-        let local = self.data.get(&key).cloned().unwrap_or_default();
+        if active.is_empty() {
+            self.stats.quorum_timeouts += 1;
+            self.send(
+                ctx,
+                from,
+                Msg::ClientGetResp {
+                    req,
+                    ok: false,
+                    values: Vec::new(),
+                    ctx: M::Context::default(),
+                },
+            );
+            return;
+        }
+        let owner = active.contains(&self.replica);
+        // The coordinator's own store participates only when it is an
+        // active replica of the key; a non-owner assembles the quorum
+        // purely from real owners.
+        let (acc, responses, seen) = if owner {
+            let local = self.data.get(&key).cloned().unwrap_or_default();
+            let fp = fingerprint(&local);
+            (local, 1, vec![(self.replica, fp)])
+        } else {
+            self.stats.remote_coordinations += 1;
+            (M::State::default(), 0, Vec::new())
+        };
         self.pending.insert(
             req,
             Pending::Get {
                 key: key.clone(),
                 client: from,
-                acc: local,
-                responses: 1,
+                acc,
+                responses,
                 expected: active.len(),
                 replied: false,
-                seen: Vec::new(),
+                owner,
+                seen,
             },
         );
         for peer in &active {
@@ -279,10 +502,17 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 if *responses >= *expected && *replied
         );
         if done {
-            let Some(Pending::Get { key, acc, seen, .. }) = self.pending.remove(&req) else {
+            let Some(Pending::Get {
+                key,
+                acc,
+                seen,
+                owner,
+                ..
+            }) = self.pending.remove(&req)
+            else {
                 return;
             };
-            self.finish_read_repair(ctx, &key, acc, &seen);
+            self.finish_read_repair(ctx, &key, acc, &seen, owner);
         }
     }
 
@@ -292,11 +522,17 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         key: &[u8],
         merged: M::State,
         seen: &[(ReplicaId, u64)],
+        owner: bool,
     ) {
-        // fold into local state first
-        let local = self.data.entry(key.to_vec()).or_default();
-        self.mech.merge(local, &merged);
-        let canonical = self.data.get(key).cloned().unwrap_or_default();
+        // An owner folds the merged state into its own store first; a
+        // non-owner coordinator must not keep any state for the key.
+        let canonical = if owner {
+            let local = self.data.entry(key.to_vec()).or_default();
+            self.mech.merge(local, &merged);
+            self.data.get(key).cloned().unwrap_or_default()
+        } else {
+            merged
+        };
         if !self.config.read_repair {
             return;
         }
@@ -316,6 +552,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_client_put(
         &mut self,
         ctx: &mut ProcessCtx<'_, Msg<M>>,
@@ -324,44 +561,105 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         key: Key,
         value: StampedValue,
         put_ctx: M::Context,
+        epoch: u64,
     ) {
-        let client = ClientId(value.id.client.0);
-        let state = self.data.entry(key.clone()).or_default();
-        self.mech.write(
-            state,
-            WriteOrigin::new(self.replica, client),
-            &put_ctx,
-            value,
-        );
-        let state = state.clone();
+        self.note_request_epoch(ctx, from, epoch);
         let (active, substitutions) = self.active_replicas(&key);
-        let expected = active.len();
-        self.pending.insert(
-            req,
-            Pending::Put {
-                key: key.clone(),
-                client: from,
-                acks: 1,
-                expected,
-                replied: false,
-            },
-        );
-        for peer in &active {
-            if *peer == self.replica {
-                continue;
-            }
-            let hint = substitutions
-                .iter()
-                .find(|(_, fallback)| fallback == peer)
-                .map(|(intended, _)| *intended);
+        if active.is_empty() {
+            self.stats.quorum_timeouts += 1;
             self.send(
                 ctx,
-                NodeId(peer.0),
-                Msg::RepPut {
+                from,
+                Msg::ClientPutResp {
                     req,
+                    ok: false,
+                    values: Vec::new(),
+                    ctx: M::Context::default(),
+                },
+            );
+            return;
+        }
+        let owner = active.contains(&self.replica);
+        let expected = active.len();
+        let hint_for = |peer: &ReplicaId| {
+            substitutions
+                .iter()
+                .find(|(_, fallback)| fallback == peer)
+                .map(|(intended, _)| *intended)
+        };
+        if owner {
+            let client = ClientId(value.id.client.0);
+            let state = self.data.entry(key.clone()).or_default();
+            self.mech.write(
+                state,
+                WriteOrigin::new(self.replica, client),
+                &put_ctx,
+                value,
+            );
+            let state = state.clone();
+            self.note_data_merged(&key);
+            self.pending.insert(
+                req,
+                Pending::Put {
                     key: key.clone(),
-                    state: state.clone(),
-                    hint,
+                    client: from,
+                    acks: 1,
+                    expected,
+                    replied: false,
+                    owner: true,
+                    // owners re-read their own store at completion; only
+                    // remote coordination needs the state carried here
+                    state: M::State::default(),
+                    fanout: Vec::new(),
+                },
+            );
+            for peer in &active {
+                if *peer == self.replica {
+                    continue;
+                }
+                self.send(
+                    ctx,
+                    NodeId(peer.0),
+                    Msg::RepPut {
+                        req,
+                        key: key.clone(),
+                        state: state.clone(),
+                        hint: hint_for(peer),
+                    },
+                );
+            }
+        } else {
+            // Not an owner: the dot must be minted from an owner's
+            // counter, so delegate the write to the first active owner
+            // and fan its post-write state out to the rest once known.
+            self.stats.remote_coordinations += 1;
+            let writer = active[0];
+            let fanout: Vec<(ReplicaId, Option<ReplicaId>)> = active[1..]
+                .iter()
+                .map(|peer| (*peer, hint_for(peer)))
+                .collect();
+            self.pending.insert(
+                req,
+                Pending::Put {
+                    key: key.clone(),
+                    client: from,
+                    acks: 0,
+                    expected,
+                    replied: false,
+                    owner: false,
+                    state: M::State::default(),
+                    fanout,
+                },
+            );
+            self.send(
+                ctx,
+                NodeId(writer.0),
+                Msg::RepWrite {
+                    req,
+                    key,
+                    value,
+                    ctx: put_ctx,
+                    hint: hint_for(&writer),
                 },
             );
         }
@@ -376,6 +674,9 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             acks,
             expected,
             replied,
+            owner,
+            state,
+            ..
         }) = self.pending.get_mut(&req)
         else {
             return;
@@ -384,7 +685,14 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             *replied = true;
             let key = key.clone();
             let client = *client;
-            let state = self.data.get(&key).cloned().unwrap_or_default();
+            // return_body: an owner reads its own (freshest) state; a
+            // remote coordinator reads the state the delegated owner
+            // returned.
+            let state = if *owner {
+                self.data.get(&key).cloned().unwrap_or_default()
+            } else {
+                state.clone()
+            };
             let (values, read_ctx) = self.mech.read(&state);
             self.stats.puts_ok += 1;
             self.send(
@@ -422,6 +730,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 key,
                 acc,
                 seen,
+                owner,
                 ..
             } => {
                 let client = *client;
@@ -429,10 +738,11 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 let key = key.clone();
                 let merged = acc.clone();
                 let seen = seen.clone();
+                let owner = *owner;
                 self.pending.remove(&req);
                 if replied {
                     // reply already sent; late repair with what arrived
-                    self.finish_read_repair(ctx, &key, merged, &seen);
+                    self.finish_read_repair(ctx, &key, merged, &seen, owner);
                 } else {
                     self.stats.quorum_timeouts += 1;
                     self.send(
@@ -476,7 +786,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             .membership
             .up_nodes()
             .into_iter()
-            .filter(|p| *p != self.replica)
+            .filter(|p| *p != self.replica && self.ring.nodes().contains(p))
             .collect();
         if !peers.is_empty() {
             let peer = *ctx.rng().pick(&peers);
@@ -499,15 +809,23 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             .cloned()
             .collect();
         for (key, intended) in due {
-            if let Some(state) = self.data.get(&key) {
-                self.send(
-                    ctx,
-                    NodeId(intended.0),
-                    Msg::Handoff {
-                        key: key.clone(),
-                        state: state.clone(),
-                    },
-                );
+            match self.data.get(&key) {
+                Some(state) => {
+                    let state = state.clone();
+                    self.send(
+                        ctx,
+                        NodeId(intended.0),
+                        Msg::Handoff {
+                            key: key.clone(),
+                            state,
+                        },
+                    );
+                }
+                None => {
+                    // the backing state is gone (GC or range transfer):
+                    // the obligation can never be fulfilled — drop it
+                    self.hints.remove(&(key, intended));
+                }
             }
         }
         if self.config.handoff_interval > simnet::Duration::ZERO {
@@ -516,16 +834,283 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         }
     }
 
+    // --- elastic membership ------------------------------------------------
+
+    fn arm_periodic_timers(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+        if self.config.anti_entropy_interval > simnet::Duration::ZERO {
+            // stagger first AAE by replica id to avoid thundering herd
+            let first = simnet::Duration::from_micros(
+                self.config.anti_entropy_interval.as_micros() + u64::from(self.replica.0) * 1_000,
+            );
+            let t = ctx.set_timer(first);
+            self.timers.insert(t, TimerKind::AntiEntropy);
+        }
+        if self.config.handoff_interval > simnet::Duration::ZERO {
+            let t = ctx.set_timer(self.config.handoff_interval);
+            self.timers.insert(t, TimerKind::Handoff);
+        }
+    }
+
+    fn ensure_transfer_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+        if self.timers.values().any(|k| *k == TimerKind::Transfer) {
+            return;
+        }
+        let t = ctx.set_timer(self.config.transfer_retry_interval);
+        self.timers.insert(t, TimerKind::Transfer);
+    }
+
+    /// Queues a transfer batch of `keys` to `to` (states snapshotted by
+    /// fingerprint; resent until acknowledged).
+    fn queue_transfer(&mut self, to: ReplicaId, keys: Vec<Key>) -> Option<u64> {
+        let entries: Vec<(Key, u64)> = keys
+            .into_iter()
+            .filter_map(|k| self.data.get(&k).map(|s| (k.clone(), fingerprint(s))))
+            .collect();
+        if entries.is_empty() {
+            return None;
+        }
+        let id = self.next_transfer;
+        self.next_transfer += 1;
+        self.outbound.insert(id, TransferJob { to, keys: entries });
+        self.stats.transfers_out += 1;
+        Some(id)
+    }
+
+    fn send_transfer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, id: u64) {
+        let Some(job) = self.outbound.get(&id) else {
+            return;
+        };
+        let to = NodeId(job.to.0);
+        let entries: Vec<(Key, M::State)> = job
+            .keys
+            .iter()
+            .filter_map(|(k, _)| self.data.get(k).map(|s| (k.clone(), s.clone())))
+            .collect();
+        self.send(ctx, to, Msg::RangeTransfer { id, entries });
+    }
+
+    fn broadcast_announce(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+        let Some((epoch, members, who, joining)) = self.announce.clone() else {
+            return;
+        };
+        for peer in &members {
+            if *peer != self.replica {
+                self.send(
+                    ctx,
+                    NodeId(peer.0),
+                    Msg::JoinAnnounce {
+                        epoch,
+                        members: members.clone(),
+                        who,
+                        joining,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Applies a membership announcement: adopt the new ring, then act by
+    /// role — the subject activates (join) or starts draining (leave);
+    /// other members donate the ranges a joiner gained, or retarget hint
+    /// obligations aimed at a leaver.
+    fn handle_announce(
+        &mut self,
+        ctx: &mut ProcessCtx<'_, Msg<M>>,
+        epoch: u64,
+        members: Vec<ReplicaId>,
+        who: ReplicaId,
+        joining: bool,
+    ) {
+        if epoch <= self.ring.epoch() {
+            return; // stale or duplicate announcement
+        }
+        if !(self.active || joining && who == self.replica) {
+            return; // dormant spares only wake for their own join
+        }
+        let old_ring = self.ring.clone();
+        self.ring = HashRing::from_members(members.iter().copied(), old_ring.vnodes(), epoch);
+        self.membership.sync_members(&members);
+        if joining {
+            self.membership.set_status(&who, NodeStatus::Joining);
+        }
+        if who == self.replica {
+            self.announce = Some((epoch, members, who, joining));
+            if joining {
+                self.active = true;
+                self.leaving = false;
+                self.arm_periodic_timers(ctx);
+            } else {
+                self.leaving = true;
+                self.plan_drain(&old_ring);
+            }
+            self.broadcast_announce(ctx);
+            let ids: Vec<u64> = self.outbound.keys().copied().collect();
+            for id in ids {
+                self.send_transfer(ctx, id);
+            }
+            self.ensure_transfer_timer(ctx);
+        } else if joining {
+            // Donate the ranges the joiner now owns and we owned before.
+            let moved: Vec<ring::RangeDiff<ReplicaId>> =
+                HashRing::owned_ranges_diff(&old_ring, &self.ring, self.config.n)
+                    .into_iter()
+                    .filter(|d| {
+                        d.new_owners.contains(&who)
+                            && !d.old_owners.contains(&who)
+                            && d.old_owners.contains(&self.replica)
+                    })
+                    .collect();
+            let keys: Vec<Key> = self
+                .data
+                .keys()
+                .filter(|k| moved.iter().any(|d| d.contains_key(k)))
+                .cloned()
+                .collect();
+            if let Some(id) = self.queue_transfer(who, keys) {
+                self.send_transfer(ctx, id);
+                self.ensure_transfer_timer(ctx);
+            }
+        } else {
+            // A peer is leaving: hints meant for it can never be handed
+            // off; retarget each obligation to the key's new primary.
+            let retarget: Vec<Key> = self
+                .hints
+                .keys()
+                .filter(|(_, intended)| *intended == who)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for key in retarget {
+                self.hints.remove(&(key.clone(), who));
+                if let Some(primary) = self.ring.primary(&key) {
+                    if primary != self.replica {
+                        self.hints.insert((key, primary), ());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Plans the leave-drain: every held key goes to the owners that
+    /// gained it (or, if ownership is otherwise unchanged, to the new
+    /// primary, so at least one current owner is guaranteed a copy).
+    fn plan_drain(&mut self, old_ring: &HashRing<ReplicaId>) {
+        let mut per_target: BTreeMap<ReplicaId, Vec<Key>> = BTreeMap::new();
+        for key in self.data.keys().cloned().collect::<Vec<_>>() {
+            let old_owners = old_ring.preference_list(&key, self.config.n);
+            let new_owners = self.ring.preference_list(&key, self.config.n);
+            let gained: Vec<ReplicaId> = new_owners
+                .iter()
+                .filter(|o| !old_owners.contains(o))
+                .copied()
+                .collect();
+            let targets = if gained.is_empty() {
+                new_owners.into_iter().take(1).collect()
+            } else {
+                gained
+            };
+            for t in targets {
+                if t != self.replica {
+                    per_target.entry(t).or_default().push(key.clone());
+                }
+            }
+        }
+        for (t, keys) in per_target {
+            self.queue_transfer(t, keys);
+        }
+    }
+
+    fn handle_transfer_ack(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, id: u64) {
+        let Some(job) = self.outbound.remove(&id) else {
+            return;
+        };
+        let mut requeue: Vec<Key> = Vec::new();
+        for (key, fp) in job.keys {
+            if self.owns(&key) {
+                continue; // still an owner: the copy stays either way
+            }
+            match self.data.get(&key) {
+                None => {}
+                Some(st) if fingerprint(st) == fp => {
+                    // the range moved away and the new owner acked this
+                    // exact state: safe to drop our copy
+                    self.data.remove(&key);
+                }
+                Some(_) => {
+                    // the state advanced after the snapshot — resend the
+                    // fresher state before it can be dropped
+                    requeue.push(key);
+                }
+            }
+        }
+        self.purge_orphan_hints();
+        if !requeue.is_empty() {
+            if let Some(id) = self.queue_transfer(job.to, requeue) {
+                self.send_transfer(ctx, id);
+                self.ensure_transfer_timer(ctx);
+            }
+        }
+    }
+
+    fn handle_transfer_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+        // drop a retired announcement (view superseded or settled)
+        if self
+            .announce
+            .as_ref()
+            .is_some_and(|(e, ..)| *e < self.ring.epoch())
+        {
+            self.announce = None;
+        }
+        // drain keys written since the last tick to their current owners
+        let dirty: Vec<Key> = std::mem::take(&mut self.drain_dirty).into_iter().collect();
+        let mut per_target: BTreeMap<ReplicaId, Vec<Key>> = BTreeMap::new();
+        for key in dirty {
+            for t in self.ring.preference_list(&key, self.config.n) {
+                if t != self.replica {
+                    per_target.entry(t).or_default().push(key.clone());
+                }
+            }
+        }
+        for (t, keys) in per_target {
+            self.queue_transfer(t, keys);
+        }
+        // rebroadcast the announcement and resend every unacked batch
+        self.broadcast_announce(ctx);
+        let ids: Vec<u64> = self.outbound.keys().copied().collect();
+        for id in ids {
+            self.send_transfer(ctx, id);
+        }
+        if self.announce.is_some() || !self.outbound.is_empty() || !self.drain_dirty.is_empty() {
+            let t = ctx.set_timer(self.config.transfer_retry_interval);
+            self.timers.insert(t, TimerKind::Transfer);
+        }
+    }
+
     /// Entry point: dispatches one message.
     pub fn on_message(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, from: NodeId, msg: Msg<M>) {
+        if !self.active {
+            // dormant spares only wake for a join announcement
+            if let Msg::JoinAnnounce {
+                epoch,
+                members,
+                who,
+                joining,
+            } = msg
+            {
+                self.handle_announce(ctx, epoch, members, who, joining);
+            }
+            return;
+        }
         match msg {
-            Msg::ClientGet { req, key } => self.handle_client_get(ctx, from, req, key),
+            Msg::ClientGet { req, key, epoch } => {
+                self.handle_client_get(ctx, from, req, key, epoch)
+            }
             Msg::ClientPut {
                 req,
                 key,
                 value,
                 ctx: put_ctx,
-            } => self.handle_client_put(ctx, from, req, key, value, put_ctx),
+                epoch,
+            } => self.handle_client_put(ctx, from, req, key, value, put_ctx, epoch),
             Msg::RepGet { req, key } => {
                 let state = self.data.get(&key).cloned().unwrap_or_default();
                 self.send(ctx, from, Msg::RepGetResp { req, key, state });
@@ -554,8 +1139,9 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 let local = self.data.entry(key.clone()).or_default();
                 self.mech.merge(local, &state);
                 if let Some(intended) = hint {
-                    self.hints.insert((key, intended), ());
+                    self.hints.insert((key.clone(), intended), ());
                 }
+                self.note_data_merged(&key);
                 self.send(ctx, from, Msg::RepPutAck { req });
             }
             Msg::RepPutAck { req } => {
@@ -564,9 +1150,64 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                     self.try_complete_put(ctx, req);
                 }
             }
+            Msg::RepWrite {
+                req,
+                key,
+                value,
+                ctx: put_ctx,
+                hint,
+            } => {
+                // delegated write from a non-owner coordinator: mint the
+                // dot here and hand the post-write state back
+                let client = ClientId(value.id.client.0);
+                let state = self.data.entry(key.clone()).or_default();
+                self.mech.write(
+                    state,
+                    WriteOrigin::new(self.replica, client),
+                    &put_ctx,
+                    value,
+                );
+                let state = state.clone();
+                if let Some(intended) = hint {
+                    self.hints.insert((key.clone(), intended), ());
+                }
+                self.note_data_merged(&key);
+                self.send(ctx, from, Msg::RepWriteResp { req, key, state });
+            }
+            Msg::RepWriteResp { req, key: _, state } => {
+                let mut sends: Vec<(ReplicaId, Option<ReplicaId>)> = Vec::new();
+                let mut fan_key: Key = Vec::new();
+                if let Some(Pending::Put {
+                    key,
+                    acks,
+                    state: pstate,
+                    fanout,
+                    ..
+                }) = self.pending.get_mut(&req)
+                {
+                    *pstate = state.clone();
+                    *acks += 1;
+                    fan_key.clone_from(key);
+                    sends.append(fanout);
+                }
+                for (peer, hint) in sends {
+                    self.send(
+                        ctx,
+                        NodeId(peer.0),
+                        Msg::RepPut {
+                            req,
+                            key: fan_key.clone(),
+                            state: state.clone(),
+                            hint,
+                        },
+                    );
+                }
+                self.try_complete_put(ctx, req);
+            }
             Msg::ReadRepair { key, state } => {
-                let local = self.data.entry(key).or_default();
+                let local = self.data.entry(key.clone()).or_default();
                 self.mech.merge(local, &state);
+                self.note_data_merged(&key);
             }
             Msg::AaeRoot { root } => {
                 let mine = self.merkle_summary();
@@ -581,7 +1222,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 }
             }
             Msg::AaeLeaves { leaves } => {
-                self.stats.aae_divergent += 1;
+                // we initiated this round; the responder's root differed
                 let mine = self.merkle_summary();
                 let mut theirs = MerkleSummary::new();
                 for (k, h) in leaves {
@@ -594,6 +1235,11 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                         keys.push(k);
                     }
                 }
+                if !keys.is_empty() {
+                    // divergence is an initiator-side statistic, so that
+                    // per-node divergent/rounds ratios stay meaningful
+                    self.stats.aae_divergent += 1;
+                }
                 let states: Vec<(Key, M::State)> = keys
                     .iter()
                     .filter_map(|k| self.data.get(k).map(|s| (k.clone(), s.clone())))
@@ -602,8 +1248,9 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             }
             Msg::AaeStates { states, want } => {
                 for (k, s) in states {
-                    let local = self.data.entry(k).or_default();
+                    let local = self.data.entry(k.clone()).or_default();
                     self.mech.merge(local, &s);
+                    self.note_data_merged(&k);
                 }
                 let back: Vec<(Key, M::State)> = want
                     .iter()
@@ -613,19 +1260,44 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             }
             Msg::AaeStatesResp { states } => {
                 for (k, s) in states {
-                    let local = self.data.entry(k).or_default();
+                    let local = self.data.entry(k.clone()).or_default();
                     self.mech.merge(local, &s);
+                    self.note_data_merged(&k);
                 }
             }
             Msg::Handoff { key, state } => {
                 let local = self.data.entry(key.clone()).or_default();
                 self.mech.merge(local, &state);
+                self.note_data_merged(&key);
                 self.send(ctx, from, Msg::HandoffAck { key });
             }
             Msg::HandoffAck { key } => {
                 let intended = ReplicaId(from.0);
                 if self.hints.remove(&(key, intended)).is_some() {
                     self.stats.handoffs += 1;
+                }
+            }
+            Msg::JoinAnnounce {
+                epoch,
+                members,
+                who,
+                joining,
+            } => self.handle_announce(ctx, epoch, members, who, joining),
+            Msg::RangeTransfer { id, entries } => {
+                for (k, s) in entries {
+                    let local = self.data.entry(k.clone()).or_default();
+                    self.mech.merge(local, &s);
+                    self.note_data_merged(&k);
+                }
+                self.stats.transfers_in += 1;
+                self.send(ctx, from, Msg::TransferAck { id });
+            }
+            Msg::TransferAck { id } => self.handle_transfer_ack(ctx, id),
+            Msg::RingEpoch { epoch, members } => {
+                if epoch > self.ring.epoch() {
+                    self.ring =
+                        HashRing::from_members(members.iter().copied(), self.ring.vnodes(), epoch);
+                    self.membership.sync_members(&members);
                 }
             }
             // client-facing responses never arrive at servers
@@ -635,17 +1307,8 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
 
     /// Entry point: starts periodic timers.
     pub fn on_start(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
-        if self.config.anti_entropy_interval > simnet::Duration::ZERO {
-            // stagger first AAE by replica id to avoid thundering herd
-            let first = simnet::Duration::from_micros(
-                self.config.anti_entropy_interval.as_micros() + u64::from(self.replica.0) * 1_000,
-            );
-            let t = ctx.set_timer(first);
-            self.timers.insert(t, TimerKind::AntiEntropy);
-        }
-        if self.config.handoff_interval > simnet::Duration::ZERO {
-            let t = ctx.set_timer(self.config.handoff_interval);
-            self.timers.insert(t, TimerKind::Handoff);
+        if self.active {
+            self.arm_periodic_timers(ctx);
         }
     }
 
@@ -655,6 +1318,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             Some(TimerKind::Request(req)) => self.handle_request_timeout(ctx, req),
             Some(TimerKind::AntiEntropy) => self.handle_aae_timer(ctx),
             Some(TimerKind::Handoff) => self.handle_handoff_timer(ctx),
+            Some(TimerKind::Transfer) => self.handle_transfer_timer(ctx),
             None => {}
         }
     }

@@ -6,10 +6,14 @@
 //!
 //! * [`hash`]: a dependency-free 64-bit key hash,
 //! * [`HashRing`]: virtual-node consistent hashing with N-replica
-//!   preference lists,
-//! * [`Membership`]: node liveness tracking, yielding *sloppy* preference
-//!   lists (fallback nodes stand in for down primaries, the precondition
-//!   for hinted handoff).
+//!   preference lists and **ring epochs** (every membership change bumps
+//!   an epoch, and [`HashRing::owned_ranges_diff`] reports exactly which
+//!   key ranges changed owners — the planning substrate for live
+//!   join/leave range transfer),
+//! * [`Membership`]: node liveness and lifecycle tracking (up / down /
+//!   joining / leaving), yielding *sloppy* preference lists (fallback
+//!   nodes stand in for down primaries, the precondition for hinted
+//!   handoff).
 //!
 //! ```
 //! use ring::{HashRing, Membership};
@@ -37,4 +41,4 @@ mod ring_impl;
 
 pub use hash::hash_key;
 pub use membership::{Membership, NodeStatus};
-pub use ring_impl::HashRing;
+pub use ring_impl::{HashRing, RangeDiff};

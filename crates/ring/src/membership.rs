@@ -5,13 +5,27 @@ use std::fmt::Debug;
 
 use crate::ring_impl::HashRing;
 
-/// Liveness status of a member node.
+/// Liveness / lifecycle status of a member node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum NodeStatus {
     /// Accepting requests.
     Up,
     /// Suspected or confirmed failed; skipped by routing.
     Down,
+    /// Joining the ring: routable (it owns ranges and accepts writes) but
+    /// still streaming its newly-owned key ranges from current owners.
+    Joining,
+    /// Leaving the ring: out of every preference list of the new ring
+    /// epoch, still reachable while it drains its ranges to successors.
+    Leaving,
+}
+
+impl NodeStatus {
+    /// Whether a node in this state can serve requests.
+    #[must_use]
+    pub fn is_routable(self) -> bool {
+        !matches!(self, NodeStatus::Down)
+    }
 }
 
 /// Tracks which members of the cluster are currently believed alive, and
@@ -22,6 +36,12 @@ pub enum NodeStatus {
 /// carries a *hint* naming the intended node so it can hand the data off
 /// when the node recovers; [`Membership::sloppy_preference_list`] returns
 /// exactly those `(intended, fallback)` pairs.
+///
+/// Besides `Up`/`Down`, elastic membership adds the transitional
+/// [`NodeStatus::Joining`] and [`NodeStatus::Leaving`] states: both are
+/// routable (a joiner owns ranges immediately; a leaver stays reachable
+/// while draining), but neither is a target for anti-entropy or handoff,
+/// which use [`Membership::is_up`].
 #[derive(Clone, Debug)]
 pub struct Membership<N: Ord> {
     status: BTreeMap<N, NodeStatus>,
@@ -46,10 +66,45 @@ impl<N: Clone + Ord + Debug> Membership<N> {
         self.status.insert(node.clone(), NodeStatus::Up);
     }
 
+    /// Sets a node's lifecycle status explicitly (inserting it if new).
+    pub fn set_status(&mut self, node: &N, status: NodeStatus) {
+        self.status.insert(node.clone(), status);
+    }
+
+    /// The node's current status, if it is a member.
+    #[must_use]
+    pub fn status(&self, node: &N) -> Option<NodeStatus> {
+        self.status.get(node).copied()
+    }
+
+    /// Forgets a node entirely (it left the cluster). Returns whether it
+    /// was a member.
+    pub fn remove(&mut self, node: &N) -> bool {
+        self.status.remove(node).is_some()
+    }
+
+    /// Reconciles the member set with an authoritative list (e.g. from a
+    /// ring-epoch announcement): unknown members are inserted as up,
+    /// members absent from the list are forgotten, and known members keep
+    /// their current status.
+    pub fn sync_members(&mut self, members: &[N]) {
+        self.status.retain(|n, _| members.contains(n));
+        for m in members {
+            self.status.entry(m.clone()).or_insert(NodeStatus::Up);
+        }
+    }
+
     /// Whether the node is currently believed up (unknown ⇒ down).
     #[must_use]
     pub fn is_up(&self, node: &N) -> bool {
         matches!(self.status.get(node), Some(NodeStatus::Up))
+    }
+
+    /// Whether the node can serve requests: up, joining, or leaving
+    /// (unknown ⇒ no).
+    #[must_use]
+    pub fn is_routable(&self, node: &N) -> bool {
+        self.status.get(node).is_some_and(|s| s.is_routable())
     }
 
     /// Nodes currently up, in sorted order.
@@ -60,6 +115,12 @@ impl<N: Clone + Ord + Debug> Membership<N> {
             .filter(|(_, s)| **s == NodeStatus::Up)
             .map(|(n, _)| n.clone())
             .collect()
+    }
+
+    /// All members regardless of status, in sorted order.
+    #[must_use]
+    pub fn members(&self) -> Vec<N> {
+        self.status.keys().cloned().collect()
     }
 
     /// Number of members regardless of status.
@@ -74,12 +135,12 @@ impl<N: Clone + Ord + Debug> Membership<N> {
         self.status.is_empty()
     }
 
-    /// The first `n` *up* nodes for `key`, plus the substitutions made:
-    /// each `(intended, fallback)` pair records a down preferred replica
-    /// and the extra node standing in for it (the hinted-handoff target
-    /// and holder, respectively).
+    /// The first `n` *routable* nodes for `key`, plus the substitutions
+    /// made: each `(intended, fallback)` pair records a down preferred
+    /// replica and the extra node standing in for it (the hinted-handoff
+    /// target and holder, respectively).
     ///
-    /// Returns fewer than `n` active nodes when fewer are up.
+    /// Returns fewer than `n` active nodes when fewer are routable.
     #[must_use]
     pub fn sloppy_preference_list(
         &self,
@@ -94,13 +155,13 @@ impl<N: Clone + Ord + Debug> Membership<N> {
         let mut substitutions: Vec<(N, N)> = Vec::new();
         let mut fallbacks = extended.iter().skip(ideal.len());
         for node in &ideal {
-            if self.is_up(node) {
+            if self.is_routable(node) {
                 active.push(node.clone());
             } else {
-                // next up node not already used
+                // next routable node not already used
                 let fallback = fallbacks
                     .by_ref()
-                    .find(|f| self.is_up(f) && !active.contains(*f));
+                    .find(|f| self.is_routable(f) && !active.contains(*f));
                 if let Some(f) = fallback {
                     active.push(f.clone());
                     substitutions.push((node.clone(), f.clone()));
@@ -176,6 +237,51 @@ mod tests {
         assert_eq!(m.up_nodes(), vec![2]);
         assert_eq!(m.len(), 2);
         assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn joining_and_leaving_are_routable_but_not_up() {
+        let mut m = Membership::new([1u32, 2, 3]);
+        m.set_status(&1, NodeStatus::Joining);
+        m.set_status(&2, NodeStatus::Leaving);
+        assert!(m.is_routable(&1) && m.is_routable(&2) && m.is_routable(&3));
+        assert!(!m.is_up(&1) && !m.is_up(&2) && m.is_up(&3));
+        assert_eq!(m.up_nodes(), vec![3]);
+        assert_eq!(m.status(&1), Some(NodeStatus::Joining));
+        assert!(!m.is_routable(&9), "unknown nodes are not routable");
+        m.mark_down(&1);
+        assert!(!m.is_routable(&1));
+    }
+
+    #[test]
+    fn joining_nodes_participate_in_routing() {
+        let r = ring();
+        let ideal = r.preference_list(b"k", 3);
+        let mut m = Membership::new(0..5u32);
+        m.set_status(&ideal[0], NodeStatus::Joining);
+        let (active, subs) = m.sloppy_preference_list(&r, b"k", 3);
+        assert_eq!(active, ideal, "a joiner serves its ranges immediately");
+        assert!(subs.is_empty());
+    }
+
+    #[test]
+    fn remove_forgets_a_member() {
+        let mut m = Membership::new([1u32, 2]);
+        assert!(m.remove(&1));
+        assert!(!m.remove(&1));
+        assert_eq!(m.members(), vec![2]);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn sync_members_reconciles_without_clobbering_status() {
+        let mut m = Membership::new([1u32, 2, 3]);
+        m.mark_down(&2);
+        m.sync_members(&[2, 3, 4]);
+        assert_eq!(m.members(), vec![2, 3, 4]);
+        assert!(!m.is_up(&2), "known member keeps its Down status");
+        assert!(m.is_up(&4), "new member starts up");
+        assert_eq!(m.status(&1), None, "absent member forgotten");
     }
 
     #[test]

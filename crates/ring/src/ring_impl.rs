@@ -1,9 +1,48 @@
-//! [`HashRing`]: virtual-node consistent hashing.
+//! [`HashRing`]: virtual-node consistent hashing with ring epochs.
 
 use std::collections::BTreeMap;
 use std::fmt::Debug;
 
 use crate::hash::{hash_key, hash_with_seed};
+
+/// A key range on the ring together with its replica sets before and
+/// after a membership change, as produced by
+/// [`HashRing::owned_ranges_diff`].
+///
+/// The range covers every ring position `h` with `start < h <= end`,
+/// wrapping around zero when `start > end`; when `start == end` the range
+/// is the whole ring (a one-boundary ring).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RangeDiff<N> {
+    /// Exclusive lower boundary of the arc.
+    pub start: u64,
+    /// Inclusive upper boundary of the arc.
+    pub end: u64,
+    /// The preference list of the arc before the change.
+    pub old_owners: Vec<N>,
+    /// The preference list of the arc after the change.
+    pub new_owners: Vec<N>,
+}
+
+impl<N> RangeDiff<N> {
+    /// Whether ring position `h` falls inside this arc.
+    #[must_use]
+    pub fn contains(&self, h: u64) -> bool {
+        if self.start == self.end {
+            true // single-boundary ring: the arc is the full circle
+        } else if self.start < self.end {
+            h > self.start && h <= self.end
+        } else {
+            h > self.start || h <= self.end
+        }
+    }
+
+    /// Whether `key` hashes inside this arc.
+    #[must_use]
+    pub fn contains_key(&self, key: &[u8]) -> bool {
+        self.contains(hash_key(key))
+    }
+}
 
 /// A consistent-hashing ring with virtual nodes.
 ///
@@ -13,6 +52,10 @@ use crate::hash::{hash_key, hash_with_seed};
 /// load distribution and bound the data movement when membership changes,
 /// exactly as in Dynamo/Riak.
 ///
+/// Every membership change ([`HashRing::add_node`],
+/// [`HashRing::remove_node`]) bumps the ring's **epoch**, so replicas and
+/// clients can detect stale routing views and resynchronise.
+///
 /// # Examples
 ///
 /// ```
@@ -21,12 +64,14 @@ use crate::hash::{hash_key, hash_with_seed};
 /// let prefs = ring.preference_list(b"k", 2);
 /// assert_eq!(prefs.len(), 2);
 /// assert_ne!(prefs[0], prefs[1]);
+/// assert_eq!(ring.epoch(), 3, "one epoch per membership change");
 /// ```
 #[derive(Clone, Debug)]
 pub struct HashRing<N: Ord> {
     tokens: BTreeMap<u64, N>,
     nodes: Vec<N>,
     vnodes: u32,
+    epoch: u64,
 }
 
 impl<N: Clone + Ord + Debug> HashRing<N> {
@@ -51,6 +96,7 @@ impl<N: Clone + Ord + Debug> HashRing<N> {
             tokens: BTreeMap::new(),
             nodes: Vec::new(),
             vnodes,
+            epoch: 0,
         };
         for n in nodes {
             ring.add_node(n);
@@ -58,25 +104,69 @@ impl<N: Clone + Ord + Debug> HashRing<N> {
         ring
     }
 
-    /// Adds a node (idempotent).
+    /// Rebuilds the ring a given member set and epoch describe.
+    ///
+    /// Token placement is a pure function of the member *set* (members are
+    /// sorted before placement), so every node that learns `(members,
+    /// epoch)` — e.g. from a membership announcement — reconstructs an
+    /// identical ring.
+    #[must_use]
+    pub fn from_members(members: impl IntoIterator<Item = N>, vnodes: u32, epoch: u64) -> Self {
+        let mut members: Vec<N> = members.into_iter().collect();
+        members.sort();
+        members.dedup();
+        let mut ring = Self::with_vnodes(members, vnodes);
+        ring.epoch = epoch;
+        ring
+    }
+
+    /// The ring's membership epoch: bumped once per effective
+    /// [`HashRing::add_node`] / [`HashRing::remove_node`].
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Virtual nodes per physical node.
+    #[must_use]
+    pub fn vnodes(&self) -> u32 {
+        self.vnodes
+    }
+
+    /// Adds a node (idempotent; a no-op does not bump the epoch).
     pub fn add_node(&mut self, node: N) {
         if self.nodes.contains(&node) {
             return;
         }
         for v in 0..self.vnodes {
-            let token = hash_with_seed(format!("{node:?}").as_bytes(), u64::from(v));
-            self.tokens.insert(token, node.clone());
+            // Probe for a free token: a raw `insert` would silently stomp
+            // another node's vnode on a (rare but possible) 64-bit hash
+            // collision, and removing the stomping node later would drop
+            // the stomped node's coverage entirely.
+            let mut attempt: u64 = 0;
+            loop {
+                let seed = u64::from(v) | (attempt << 32);
+                let token = hash_with_seed(format!("{node:?}").as_bytes(), seed);
+                if let std::collections::btree_map::Entry::Vacant(slot) = self.tokens.entry(token) {
+                    slot.insert(node.clone());
+                    break;
+                }
+                attempt += 1;
+            }
         }
         self.nodes.push(node);
         self.nodes.sort();
+        self.epoch += 1;
     }
 
-    /// Removes a node and its tokens. Returns whether it was present.
+    /// Removes a node and its tokens. Returns whether it was present (the
+    /// epoch is bumped only when it was).
     pub fn remove_node(&mut self, node: &N) -> bool {
         let present = self.nodes.iter().any(|n| n == node);
         if present {
             self.tokens.retain(|_, n| n != node);
             self.nodes.retain(|n| n != node);
+            self.epoch += 1;
         }
         present
     }
@@ -104,13 +194,19 @@ impl<N: Clone + Ord + Debug> HashRing<N> {
     /// Returns fewer than `n` nodes only when the ring has fewer members.
     #[must_use]
     pub fn preference_list(&self, key: &[u8], n: usize) -> Vec<N> {
+        self.preference_list_at(hash_key(key), n)
+    }
+
+    /// The first `n` distinct nodes clockwise from ring position `point`
+    /// (inclusive) — the preference list of any key hashing to `point`.
+    #[must_use]
+    pub fn preference_list_at(&self, point: u64, n: usize) -> Vec<N> {
         let want = n.min(self.nodes.len());
         let mut out: Vec<N> = Vec::with_capacity(want);
         if want == 0 {
             return out;
         }
-        let start = hash_key(key);
-        for (_, node) in self.tokens.range(start..).chain(self.tokens.range(..start)) {
+        for (_, node) in self.tokens.range(point..).chain(self.tokens.range(..point)) {
             if !out.contains(node) {
                 out.push(node.clone());
                 if out.len() == want {
@@ -125,6 +221,48 @@ impl<N: Clone + Ord + Debug> HashRing<N> {
     #[must_use]
     pub fn primary(&self, key: &[u8]) -> Option<N> {
         self.preference_list(key, 1).into_iter().next()
+    }
+
+    /// The key ranges whose `n`-replica preference list differs between
+    /// `old` and `new` — exactly the `(key-range, replica set)` pairs a
+    /// membership change moved.
+    ///
+    /// The union of both rings' tokens partitions the ring into arcs on
+    /// which both preference lists are constant; one [`RangeDiff`] is
+    /// emitted per arc whose old and new owner lists differ. Joining
+    /// nodes use this to learn which ranges to stream from current
+    /// owners; leaving nodes use it to plan their drain.
+    #[must_use]
+    pub fn owned_ranges_diff(old: &Self, new: &Self, n: usize) -> Vec<RangeDiff<N>> {
+        let mut bounds: Vec<u64> = old
+            .tokens
+            .keys()
+            .chain(new.tokens.keys())
+            .copied()
+            .collect();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let Some(&last) = bounds.last() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut prev = last;
+        for &end in &bounds {
+            // No token of either ring lies strictly inside (prev, end], so
+            // every position in the arc shares the walk starting at `end`.
+            let old_owners = old.preference_list_at(end, n);
+            let new_owners = new.preference_list_at(end, n);
+            if old_owners != new_owners {
+                out.push(RangeDiff {
+                    start: prev,
+                    end,
+                    old_owners,
+                    new_owners,
+                });
+            }
+            prev = end;
+        }
+        out
     }
 }
 
@@ -168,9 +306,11 @@ mod tests {
     #[test]
     fn add_node_is_idempotent() {
         let mut ring: HashRing<u32> = HashRing::with_vnodes([1, 2], 8);
+        let epoch = ring.epoch();
         ring.add_node(1);
         assert_eq!(ring.len(), 2);
         assert_eq!(ring.nodes(), &[1, 2]);
+        assert_eq!(ring.epoch(), epoch, "no-op add must not bump the epoch");
     }
 
     #[test]
@@ -220,5 +360,129 @@ mod tests {
     #[should_panic(expected = "at least one token")]
     fn zero_vnodes_rejected() {
         let _: HashRing<u32> = HashRing::with_vnodes([1], 0);
+    }
+
+    #[test]
+    fn epochs_count_membership_changes() {
+        let mut ring: HashRing<u32> = HashRing::with_vnodes(0..3, 8);
+        assert_eq!(ring.epoch(), 3, "one bump per constructed member");
+        ring.add_node(7);
+        assert_eq!(ring.epoch(), 4);
+        assert!(ring.remove_node(&0));
+        assert_eq!(ring.epoch(), 5);
+        assert!(!ring.remove_node(&0));
+        assert_eq!(ring.epoch(), 5, "failed removal must not bump");
+    }
+
+    #[test]
+    fn from_members_is_order_independent_and_matches_incremental() {
+        let a: HashRing<u32> = HashRing::from_members([3, 1, 2], 16, 9);
+        let b: HashRing<u32> = HashRing::from_members([2, 3, 1], 16, 9);
+        assert_eq!(a.tokens, b.tokens);
+        assert_eq!(a.nodes(), b.nodes());
+        assert_eq!(a.epoch(), 9);
+
+        // incremental growth from the same sorted set places identically
+        let mut inc: HashRing<u32> = HashRing::with_vnodes([1u32, 2], 16);
+        inc.add_node(3);
+        assert_eq!(inc.tokens, a.tokens);
+    }
+
+    #[test]
+    fn token_collision_probes_instead_of_stomping() {
+        let mut ring: HashRing<u32> = HashRing::with_vnodes([1], 4);
+        // Occupy node 2's first-choice token with node 1's ownership,
+        // simulating a 64-bit hash collision between the two nodes.
+        let stolen = hash_with_seed(format!("{:?}", 2u32).as_bytes(), 0);
+        assert!(
+            ring.tokens.insert(stolen, 1).is_none(),
+            "the forced token must not already exist"
+        );
+        ring.add_node(2);
+        // Node 2 still placed all its vnodes (one probed to a new seed).
+        assert_eq!(ring.tokens.values().filter(|n| **n == 2).count(), 4);
+        assert_eq!(
+            ring.tokens.get(&stolen),
+            Some(&1),
+            "occupant keeps its token"
+        );
+        // Removing the occupant must leave node 2's coverage intact.
+        assert!(ring.remove_node(&1));
+        assert_eq!(ring.tokens.values().filter(|n| **n == 2).count(), 4);
+        assert_eq!(ring.preference_list(b"k", 1), vec![2]);
+    }
+
+    #[test]
+    fn preference_list_at_matches_key_walks() {
+        let ring: HashRing<u32> = HashRing::with_vnodes(0..5, 16);
+        for i in 0..50 {
+            let key = format!("k{i}");
+            assert_eq!(
+                ring.preference_list(key.as_bytes(), 3),
+                ring.preference_list_at(hash_key(key.as_bytes()), 3)
+            );
+        }
+    }
+
+    #[test]
+    fn owned_ranges_diff_covers_exactly_the_moved_keys() {
+        let old: HashRing<u32> = HashRing::with_vnodes(0..4, 16);
+        let mut new = old.clone();
+        new.add_node(4);
+        let diffs = HashRing::owned_ranges_diff(&old, &new, 3);
+        assert!(!diffs.is_empty(), "adding a node must move some ranges");
+        for d in &diffs {
+            assert_ne!(d.old_owners, d.new_owners);
+            assert!(
+                d.new_owners.contains(&4) || d.old_owners.len() != d.new_owners.len(),
+                "every moved arc involves the joiner: {d:?}"
+            );
+        }
+        // Ground truth: per-key preference lists changed iff some diff
+        // arc contains the key — checked over many keys.
+        for i in 0..500 {
+            let key = format!("key-{i}");
+            let h = hash_key(key.as_bytes());
+            let moved =
+                old.preference_list(key.as_bytes(), 3) != new.preference_list(key.as_bytes(), 3);
+            let in_diff = diffs.iter().any(|d| d.contains(h));
+            assert_eq!(moved, in_diff, "key {key} misclassified");
+            if moved {
+                let d = diffs.iter().find(|d| d.contains(h)).unwrap();
+                assert_eq!(d.old_owners, old.preference_list(key.as_bytes(), 3));
+                assert_eq!(d.new_owners, new.preference_list(key.as_bytes(), 3));
+            }
+        }
+    }
+
+    #[test]
+    fn owned_ranges_diff_identical_rings_is_empty() {
+        let ring: HashRing<u32> = HashRing::with_vnodes(0..4, 16);
+        assert!(HashRing::owned_ranges_diff(&ring, &ring, 3).is_empty());
+        let empty: HashRing<u32> = HashRing::with_vnodes(std::iter::empty(), 8);
+        assert!(HashRing::owned_ranges_diff(&empty, &empty, 3).is_empty());
+    }
+
+    #[test]
+    fn range_diff_contains_handles_wrap_and_full_circle() {
+        let wrap = RangeDiff::<u32> {
+            start: u64::MAX - 10,
+            end: 10,
+            old_owners: vec![],
+            new_owners: vec![],
+        };
+        assert!(wrap.contains(5));
+        assert!(wrap.contains(u64::MAX));
+        assert!(!wrap.contains(11));
+        assert!(!wrap.contains(u64::MAX - 10), "start is exclusive");
+        let full = RangeDiff::<u32> {
+            start: 42,
+            end: 42,
+            old_owners: vec![],
+            new_owners: vec![],
+        };
+        assert!(full.contains(0));
+        assert!(full.contains(42));
+        assert!(full.contains(u64::MAX));
     }
 }

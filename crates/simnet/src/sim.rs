@@ -211,6 +211,22 @@ impl<P: Process> Simulation<P> {
         &self.processes
     }
 
+    /// Enqueues `msg` for delivery to `to` at the current instant, as if
+    /// `to` had sent it to itself — a harness-level injection point for
+    /// control-plane events (e.g. membership changes) and protocol-level
+    /// tests, bypassing the network.
+    pub fn post(&mut self, to: NodeId, msg: P::Msg) {
+        self.queue.push(
+            self.now,
+            Event::Deliver {
+                from: to,
+                to,
+                msg,
+                bytes: 0,
+            },
+        );
+    }
+
     /// The execution trace (enable it before running).
     #[must_use]
     pub fn trace(&self) -> &Trace {

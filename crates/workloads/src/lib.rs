@@ -8,6 +8,8 @@
 //! * [`zipf::Zipf`] — skewed popularity sampling,
 //! * [`keys::KeySpace`] — named keys with uniform or Zipfian popularity,
 //! * [`ops::OpGenerator`] — read/write operation streams,
+//! * [`churn::ChurnPlan`] — deterministic elastic-membership schedules
+//!   (node joins/leaves to replay while a workload runs),
 //! * [`stats::Histogram`] — log-bucketed latency/size histograms with
 //!   percentiles,
 //! * [`stats::Summary`] — streaming mean/min/max.
@@ -28,11 +30,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod churn;
 pub mod keys;
 pub mod ops;
 pub mod stats;
 pub mod zipf;
 
+pub use churn::{ChurnAction, ChurnEvent, ChurnPlan};
 pub use keys::{KeySpace, Popularity};
 pub use ops::{Op, OpGenerator, OpMix};
 pub use stats::{Histogram, Summary};

@@ -5,6 +5,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# The elastic-membership example is load-bearing for CI's example-smoke
+# job: fail loudly if it ever disappears instead of silently shrinking
+# coverage (the glob below would not notice).
+if [ ! -f examples/elastic_cluster.rs ]; then
+    echo "examples/elastic_cluster.rs is missing" >&2
+    exit 1
+fi
+
 status=0
 for f in examples/*.rs; do
     name="$(basename "$f" .rs)"
