@@ -360,7 +360,7 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
     }
 
     /// Entry point: dispatches one message.
-    pub fn on_message(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, _from: NodeId, msg: Msg<M>) {
+    pub fn on_message(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, from: NodeId, msg: Msg<M>) {
         match msg {
             Msg::ClientGetResp {
                 req,
@@ -433,7 +433,13 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
                 self.think_then_continue(ctx);
             }
             // a coordinator noticed us routing with a stale ring epoch
-            Msg::RingEpoch { epoch, members } => self.sync_view(&members, epoch),
+            Msg::RingEpoch { view } => self.sync_view(&view.members, view.epoch),
+            // a server noticed us routing with a *newer* epoch than its
+            // own and asks for the full view
+            Msg::RingPull => {
+                let view = self.ring.view();
+                self.send(ctx, from, Msg::RingEpoch { view });
+            }
             // clients receive nothing else
             _ => {}
         }

@@ -5,7 +5,7 @@ use std::collections::BTreeSet;
 
 use dvv::mechanisms::Mechanism;
 use dvv::{ClientId, ReplicaId};
-use ring::{HashRing, Membership};
+use ring::{HashRing, Membership, RingView};
 use simnet::{Duration, NetworkConfig, NodeId, Process, ProcessCtx, SimTime, Simulation, TimerId};
 use workloads::Histogram;
 
@@ -14,7 +14,7 @@ use crate::config::{ClientConfig, StoreConfig};
 use crate::messages::Msg;
 use crate::node::StoreNode;
 use crate::oracle::{AnomalyReport, Oracle};
-use crate::value::{StampedValue, WriteId};
+use crate::value::{Key, StampedValue, WriteId};
 
 /// A simulation process: either a replica server or a client session.
 ///
@@ -77,6 +77,15 @@ pub struct ClusterConfig {
     pub network: NetworkConfig,
     /// Hard stop on virtual time (guards against misconfigured runs).
     pub deadline: Duration,
+    /// How long a live membership change is supervised before it is
+    /// declared unsettled.
+    pub membership_settle_budget: Duration,
+    /// Safety valve: when `true`, [`Cluster::add_node_live`] and
+    /// [`Cluster::remove_node_live`] force-synchronise every process's
+    /// ring view after the change (the pre-gossip behaviour). The
+    /// default leaves dissemination entirely to gossip and only
+    /// debug-asserts that the views converged.
+    pub force_view_sync: bool,
 }
 
 impl Default for ClusterConfig {
@@ -90,6 +99,8 @@ impl Default for ClusterConfig {
             client: ClientConfig::default(),
             network: NetworkConfig::default(),
             deadline: Duration::from_secs(600),
+            membership_settle_budget: Duration::from_secs(30),
+            force_view_sync: false,
         }
     }
 }
@@ -129,9 +140,12 @@ pub struct MetadataReport {
 /// spare slot and streams its newly-owned key ranges from current owners
 /// while the workload keeps running; [`Cluster::remove_node_live`] drains
 /// a member's ranges to their successors before retiring it. Both drive
-/// the protocol through the simulated network (announcements, range
-/// transfers, acks, stale-epoch re-routing) and only force-synchronise
-/// every process's routing view once the transfer protocol has settled.
+/// the protocol through the simulated network: the change is announced
+/// to its *subject* only, and every other process learns the new ring
+/// view transitively by gossip (periodic digests, AAE piggybacks, eager
+/// pushes, and stale-epoch request re-routing). Force-synchronising the
+/// views is a configurable safety valve
+/// ([`ClusterConfig::force_view_sync`]), not a correctness step.
 #[derive(Debug)]
 pub struct Cluster<M: Mechanism<StampedValue>> {
     sim: Simulation<StoreProc<M>>,
@@ -144,9 +158,14 @@ pub struct Cluster<M: Mechanism<StampedValue>> {
     ring_epoch: u64,
     store_n: usize,
     deadline: SimTime,
+    settle_budget: Duration,
+    force_view_sync: bool,
 }
 
 impl<M: Mechanism<StampedValue>> Cluster<M> {
+    /// Virtual nodes per server on the cluster's hash ring.
+    pub const VNODES: u32 = 32;
+
     /// Builds a cluster. All randomness derives from `seed`.
     pub fn new(seed: u64, mech: M, config: ClusterConfig) -> Self {
         assert!(config.servers > 0, "need at least one server");
@@ -155,7 +174,7 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
             config.store.n <= config.servers,
             "replication factor exceeds server count"
         );
-        let vnodes = 32;
+        let vnodes = Self::VNODES;
         let server_slots = config.servers + config.spare_servers;
         let replicas: Vec<ReplicaId> = (0..config.servers as u32).map(ReplicaId).collect();
         let ring = HashRing::with_vnodes(replicas.iter().copied(), vnodes);
@@ -205,6 +224,8 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
             ring_epoch: ring.epoch(),
             store_n: config.store.n,
             deadline: SimTime::ZERO + config.deadline,
+            settle_budget: config.membership_settle_budget,
+            force_view_sync: config.force_view_sync,
         }
     }
 
@@ -284,9 +305,12 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
         self.members.iter().map(|i| ReplicaId(*i as u32)).collect()
     }
 
-    /// Force-synchronises every process's ring and membership view to the
-    /// current member set — the final step of a membership change, after
-    /// the transfer protocol has settled (or its supervision timed out).
+    /// Force-synchronises every process's ring and membership view to
+    /// the current member set. With gossip dissemination this is a
+    /// **safety valve**, not part of a membership change's happy path: it
+    /// runs when [`ClusterConfig::force_view_sync`] is set, and to
+    /// recover from a supervision timeout (where the protocol has no
+    /// in-band re-admission story yet).
     fn sync_all_views(&mut self) {
         let members = self.member_replicas();
         let epoch = self.ring_epoch;
@@ -295,6 +319,19 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
                 StoreProc::Server(s) => s.sync_view(&members, epoch),
                 StoreProc::Client(c) => c.sync_view(&members, epoch),
             }
+        }
+    }
+
+    /// Debug assertion that gossip alone already converged every member
+    /// server's ring view — what `sync_all_views` used to force. Called
+    /// on the happy path of a settled membership change.
+    fn debug_assert_views_converged(&self) {
+        for &i in &self.members {
+            debug_assert_eq!(
+                self.server_node(i).ring_epoch(),
+                self.ring_epoch,
+                "server {i} did not converge to the current ring view via gossip"
+            );
         }
     }
 
@@ -323,13 +360,18 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
     }
 
     /// Adds the spare server slot `slot` to the ring **live**: the
-    /// control plane posts a join announcement to the joiner, which
-    /// broadcasts the new ring epoch; current owners stream the ranges
-    /// the joiner gained ([`Msg::RangeTransfer`]) before routing views
-    /// are finalised. The workload may keep running throughout.
+    /// control plane posts a join announcement to the joiner — and to
+    /// the joiner *only*. Every other process learns the new ring view
+    /// by gossip; owners that adopt it stream the ranges the joiner
+    /// gained ([`Msg::RangeTransfer`]). The workload may keep running
+    /// throughout.
     ///
-    /// Returns whether the transfer protocol settled within the
-    /// supervision budget (views are force-synchronised either way).
+    /// Returns whether every member adopted the new view and the
+    /// transfer protocol settled within the supervision budget. An
+    /// unsettled join (e.g. a member partitioned away from every gossip
+    /// path) is left to converge in the background — gossip keeps
+    /// running — unless [`ClusterConfig::force_view_sync`] asks for the
+    /// old force-synchronised behaviour.
     ///
     /// # Panics
     ///
@@ -345,28 +387,31 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
         self.sim.post(
             NodeId(slot as u32),
             Msg::JoinAnnounce {
-                epoch,
-                members,
+                view: RingView::new(epoch, members),
                 who,
                 joining: true,
             },
         );
-        let settled = self.run_until_settled(Duration::from_secs(30), |c| {
+        let settled = self.run_until_settled(self.settle_budget, |c| {
             c.members.iter().all(|&i| {
                 let s = c.server_node(i);
                 s.ring_epoch() == epoch && s.transfer_backlog() == 0
             })
         });
-        self.sync_all_views();
+        if self.force_view_sync {
+            self.sync_all_views();
+        } else if settled {
+            self.debug_assert_views_converged();
+        }
         settled
     }
 
-    /// Removes member `slot` from the ring **live**: the leaver
-    /// broadcasts the new (smaller) ring, drains every key range it
-    /// holds to the range's successors, and only retires (clearing its
-    /// store) once every transfer batch is acknowledged — so no
-    /// acknowledged write can be lost to the departure. The workload may
-    /// keep running throughout.
+    /// Removes member `slot` from the ring **live**: the leaver adopts
+    /// the new (smaller) ring — gossip spreads it from there — drains
+    /// every key range it holds to the range's successors, and only
+    /// retires (clearing its store) once every transfer batch is
+    /// acknowledged, so no acknowledged write can be lost to the
+    /// departure. The workload may keep running throughout.
     ///
     /// Returns whether the drain completed within the supervision budget
     /// (the node is only retired if it did).
@@ -389,13 +434,12 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
         self.sim.post(
             NodeId(slot as u32),
             Msg::JoinAnnounce {
-                epoch,
-                members,
+                view: RingView::new(epoch, members),
                 who,
                 joining: false,
             },
         );
-        let settled = self.run_until_settled(Duration::from_secs(30), |c| {
+        let settled = self.run_until_settled(self.settle_budget, |c| {
             let leaver = c.server_node(slot);
             leaver.drain_complete()
                 && c.members
@@ -406,20 +450,29 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
             if let StoreProc::Server(s) = self.sim.process_mut(slot) {
                 s.finish_leave();
             }
+            if self.force_view_sync {
+                self.sync_all_views();
+            } else {
+                self.debug_assert_views_converged();
+            }
         } else {
             // Drain did not finish: re-admit the leaver under a *fresh*
             // epoch. Re-using the bumped epoch would permanently split
             // routing views — processes that already adopted the
             // leaver-less ring at that epoch would never accept the
-            // re-admitted member set, since view sync only applies
-            // strictly newer epochs.
+            // re-admitted member set, since view adoption only applies
+            // strictly newer epochs. The re-admission is force-synced
+            // unconditionally: supervision already timed out (typically a
+            // partition), gossip may be unable to reach anyone, and the
+            // protocol has no in-band re-admission message yet (that is
+            // the concurrent-membership-changes follow-on).
             self.members.insert(slot);
             self.ring_epoch += 1;
             if let StoreProc::Server(s) = self.sim.process_mut(slot) {
                 s.cancel_leave();
             }
+            self.sync_all_views();
         }
-        self.sync_all_views();
         settled && !self.members.contains(&slot)
     }
 
@@ -565,6 +618,27 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
             union.extend(self.surviving_at(i, key));
         }
         union
+    }
+
+    /// The residual-copy audit: every `(member slot, key)` pair where a
+    /// member holds a key outside the key's current preference list.
+    /// After a quiescent period (transfers acknowledged, hints handed
+    /// off, no client traffic in flight) this must be empty — residual
+    /// copies are either retired on transfer/handoff ack or carry a hint
+    /// obligation that will retire them.
+    pub fn residual_copies(&self) -> Vec<(usize, Key)> {
+        let ring: HashRing<ReplicaId> =
+            HashRing::from_members(self.member_replicas(), Self::VNODES, self.ring_epoch);
+        let mut out = Vec::new();
+        for i in self.member_slots() {
+            let me = ReplicaId(i as u32);
+            for key in self.server_node(i).data().keys() {
+                if !ring.preference_list(key, self.store_n).contains(&me) {
+                    out.push((i, key.clone()));
+                }
+            }
+        }
+        out
     }
 
     /// Aggregates all clients' latency statistics.

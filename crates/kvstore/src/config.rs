@@ -21,9 +21,18 @@ pub struct StoreConfig {
     pub read_repair: bool,
     /// Period of the hinted-handoff retry timer (0 disables).
     pub handoff_interval: Duration,
-    /// Retry period for unacknowledged range transfers and membership
-    /// announcements during a join/leave.
+    /// How long a sent handoff stays *in flight* before the handoff
+    /// timer may re-send it. Without this guard a slow or unreachable
+    /// intended owner would receive a duplicate `Handoff` on every
+    /// handoff tick.
+    pub handoff_retry_interval: Duration,
+    /// Retry period for unacknowledged range transfers during a
+    /// join/leave.
     pub transfer_retry_interval: Duration,
+    /// Period of the ring-view gossip timer on each server (0 disables
+    /// the periodic timer; view digests still piggyback on anti-entropy
+    /// roots and adopting a new view still pushes eagerly).
+    pub gossip_interval: Duration,
     /// Fixed per-message envelope overhead in bytes (headers, key, ids).
     pub header_bytes: usize,
 }
@@ -39,7 +48,9 @@ impl Default for StoreConfig {
             anti_entropy_interval: Duration::from_millis(500),
             read_repair: true,
             handoff_interval: Duration::from_millis(200),
+            handoff_retry_interval: Duration::from_millis(600),
             transfer_retry_interval: Duration::from_millis(25),
+            gossip_interval: Duration::from_millis(100),
             header_bytes: 16,
         }
     }

@@ -2,6 +2,7 @@
 
 use dvv::mechanisms::Mechanism;
 use dvv::ReplicaId;
+use ring::RingView;
 
 use crate::value::{Key, StampedValue};
 
@@ -104,11 +105,20 @@ pub enum Msg<M: Mechanism<StampedValue>> {
         key: Key,
         /// Merged state.
         state: M::State,
+        /// When the receiver is a sloppy-quorum fallback, the down
+        /// replica it stands in for — recorded as a hint obligation so
+        /// the repaired copy is handed off and retired rather than
+        /// lingering untracked (mirrors [`Msg::RepPut`]).
+        hint: Option<ReplicaId>,
     },
-    /// Anti-entropy round 1: initiator's Merkle root.
+    /// Anti-entropy round 1: initiator's Merkle root, with the sender's
+    /// ring epoch piggybacked as a gossip digest.
     AaeRoot {
-        /// Root hash over the sender's keyspace.
+        /// Root hash over the keys both ends replicate.
         root: u64,
+        /// The sender's ring epoch (gossip piggyback): a receiver with a
+        /// newer view pushes it; a receiver with an older view pulls.
+        epoch: u64,
     },
     /// Anti-entropy round 2: responder's leaf hashes (roots differed).
     AaeLeaves {
@@ -157,16 +167,14 @@ pub enum Msg<M: Mechanism<StampedValue>> {
         /// Full post-write state at the owner.
         state: M::State,
     },
-    /// Announces a membership change (join or leave) for ring epoch
-    /// `epoch`: posted to the subject node by the control plane, then
-    /// broadcast by the subject to every other member. Receivers rebuild
-    /// their ring from `members` and, for joins, start streaming the
-    /// ranges the subject now owns.
+    /// Announces a membership change (join or leave): posted to the
+    /// *subject* node by the control plane. The subject adopts the new
+    /// view and gossip disseminates it epidemically from there — no
+    /// broadcast. Receivers that adopt the view rebuild their ring from
+    /// it and, for joins, start streaming the ranges the subject gained.
     JoinAnnounce {
-        /// The new ring epoch.
-        epoch: u64,
-        /// The complete member set at `epoch`.
-        members: Vec<ReplicaId>,
+        /// The new ring view (epoch + complete member set).
+        view: RingView<ReplicaId>,
         /// The node joining or leaving.
         who: ReplicaId,
         /// `true` for a join, `false` for a leave.
@@ -188,15 +196,26 @@ pub enum Msg<M: Mechanism<StampedValue>> {
         /// The acknowledged transfer id.
         id: u64,
     },
-    /// Ring-view synchronisation push: sent to peers observed routing
-    /// with a stale epoch. The receiver rebuilds its ring from `members`
-    /// when `epoch` is newer than its own.
+    /// Ring-view push: the sender's full view, sent to peers observed
+    /// routing with a stale epoch, in answer to a [`Msg::RingPull`], and
+    /// by gossip on digest mismatch. The receiver adopts the view when
+    /// its epoch is newer than its own.
     RingEpoch {
+        /// The sender's complete ring view.
+        view: RingView<ReplicaId>,
+    },
+    /// Periodic gossip: the sender's ring-view digest (its epoch). A
+    /// receiver with a newer view pushes [`Msg::RingEpoch`]; a receiver
+    /// with an older view answers [`Msg::RingPull`]; equal digests end
+    /// the round.
+    GossipDigest {
         /// The sender's ring epoch.
         epoch: u64,
-        /// The complete member set at that epoch.
-        members: Vec<ReplicaId>,
     },
+    /// Ring-view pull request: the sender learned (from a digest or a
+    /// request epoch) that the receiver holds a newer view and asks for
+    /// it in full. Answered with [`Msg::RingEpoch`].
+    RingPull,
     /// Fallback → recovered replica: hinted state handed off.
     Handoff {
         /// Key handed off.
@@ -240,8 +259,10 @@ impl<M: Mechanism<StampedValue>> Msg<M> {
                 key, state, hint, ..
             } => key.len() + 8 + state_wire_size(mech, state) + if hint.is_some() { 4 } else { 0 },
             Msg::RepPutAck { .. } => 8,
-            Msg::ReadRepair { key, state } => key.len() + state_wire_size(mech, state),
-            Msg::AaeRoot { .. } => 8,
+            Msg::ReadRepair { key, state, hint } => {
+                key.len() + state_wire_size(mech, state) + if hint.is_some() { 4 } else { 0 }
+            }
+            Msg::AaeRoot { .. } => 16,
             Msg::AaeLeaves { leaves } => leaves.iter().map(|(k, _)| k.len() + 10).sum(),
             Msg::AaeStates { states, want } => {
                 states
@@ -268,7 +289,7 @@ impl<M: Mechanism<StampedValue>> Msg<M> {
                     + if hint.is_some() { 4 } else { 0 }
             }
             Msg::RepWriteResp { key, state, .. } => key.len() + 8 + state_wire_size(mech, state),
-            Msg::JoinAnnounce { members, .. } => 8 + 4 * members.len() + 5,
+            Msg::JoinAnnounce { view, .. } => 8 + 4 * view.members.len() + 5,
             Msg::RangeTransfer { entries, .. } => {
                 8 + entries
                     .iter()
@@ -276,7 +297,9 @@ impl<M: Mechanism<StampedValue>> Msg<M> {
                     .sum::<usize>()
             }
             Msg::TransferAck { .. } => 8,
-            Msg::RingEpoch { members, .. } => 8 + 4 * members.len(),
+            Msg::RingEpoch { view } => 8 + 4 * view.members.len(),
+            Msg::GossipDigest { .. } => 8,
+            Msg::RingPull => 1,
             Msg::Handoff { key, state } => key.len() + state_wire_size(mech, state),
             Msg::HandoffAck { key } => key.len(),
         }
@@ -356,14 +379,12 @@ mod tests {
     fn membership_messages_scale_with_members_and_entries() {
         let mech = DvvMechanism;
         let announce: Msg<M> = Msg::JoinAnnounce {
-            epoch: 3,
-            members: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+            view: RingView::new(3, vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)]),
             who: ReplicaId(2),
             joining: true,
         };
         let small: Msg<M> = Msg::JoinAnnounce {
-            epoch: 3,
-            members: vec![ReplicaId(0)],
+            view: RingView::new(3, vec![ReplicaId(0)]),
             who: ReplicaId(0),
             joining: false,
         };
@@ -382,10 +403,40 @@ mod tests {
         let ack: Msg<M> = Msg::TransferAck { id: 1 };
         assert_eq!(ack.wire_size(&mech), 8);
         let epoch: Msg<M> = Msg::RingEpoch {
-            epoch: 3,
-            members: vec![ReplicaId(0), ReplicaId(1)],
+            view: RingView::new(3, vec![ReplicaId(0), ReplicaId(1)]),
         };
         assert_eq!(epoch.wire_size(&mech), 16);
+    }
+
+    #[test]
+    fn gossip_messages_are_tiny() {
+        let mech = DvvMechanism;
+        let digest: Msg<M> = Msg::GossipDigest { epoch: 9 };
+        assert_eq!(digest.wire_size(&mech), 8);
+        let pull: Msg<M> = Msg::RingPull;
+        assert_eq!(pull.wire_size(&mech), 1);
+        // a digest is strictly cheaper than any full view push
+        let push: Msg<M> = Msg::RingEpoch {
+            view: RingView::new(9, vec![ReplicaId(0)]),
+        };
+        assert!(digest.wire_size(&mech) < push.wire_size(&mech));
+    }
+
+    #[test]
+    fn read_repair_hint_adds_bytes() {
+        let mech = DvvMechanism;
+        let st = sample_state();
+        let plain: Msg<M> = Msg::ReadRepair {
+            key: b"k".to_vec(),
+            state: st.clone(),
+            hint: None,
+        };
+        let hinted: Msg<M> = Msg::ReadRepair {
+            key: b"k".to_vec(),
+            state: st,
+            hint: Some(ReplicaId(4)),
+        };
+        assert_eq!(hinted.wire_size(&mech), plain.wire_size(&mech) + 4);
     }
 
     #[test]
@@ -409,8 +460,9 @@ mod tests {
 
     #[test]
     fn aae_root_is_tiny() {
+        // 8 bytes of Merkle root + 8 bytes of piggybacked ring digest
         let mech = DvvMechanism;
-        let m: Msg<M> = Msg::AaeRoot { root: 42 };
-        assert_eq!(m.wire_size(&mech), 8);
+        let m: Msg<M> = Msg::AaeRoot { root: 42, epoch: 3 };
+        assert_eq!(m.wire_size(&mech), 16);
     }
 }

@@ -1,13 +1,14 @@
 //! [`StoreNode`]: a replica server — ownership-aware request
 //! coordination, replication, read repair, anti-entropy, hinted handoff,
-//! and elastic membership (live join/leave with key-range transfer).
+//! and elastic membership (live join/leave with key-range transfer,
+//! disseminated by epidemic ring-view gossip).
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use dvv::mechanisms::{Mechanism, WriteOrigin};
 use dvv::{ClientId, ReplicaId};
-use ring::{HashRing, Membership, NodeStatus};
-use simnet::{NodeId, ProcessCtx, TimerId};
+use ring::{HashRing, Membership, RingView};
+use simnet::{NodeId, ProcessCtx, SimTime, TimerId};
 
 use crate::config::StoreConfig;
 use crate::merkle::{fingerprint, MerkleSummary};
@@ -34,10 +35,15 @@ pub struct NodeStats {
     /// Requests coordinated without local participation because this node
     /// was not in the key's preference list.
     pub remote_coordinations: u64,
-    /// Range-transfer batches sent (join donations and leave drains).
+    /// Range-transfer batches actually sent, retries included (join
+    /// donations, leave drains, and residual-copy retirement).
     pub transfers_out: u64,
-    /// Range-transfer batches received and merged.
+    /// Distinct range-transfer batches received and merged (duplicate
+    /// deliveries of a retried batch are deduplicated by transfer id).
     pub transfers_in: u64,
+    /// Ring-view gossip rounds initiated (periodic digests and eager
+    /// pushes after adopting a new view).
+    pub gossip_rounds: u64,
 }
 
 /// Coordinator-side bookkeeping for one in-flight request.
@@ -55,6 +61,10 @@ enum Pending<M: Mechanism<StampedValue>> {
         owner: bool,
         /// replica → fingerprint of the state it returned (for repair)
         seen: Vec<(ReplicaId, u64)>,
+        /// The sloppy-quorum substitutions at coordination time:
+        /// `(intended, fallback)` pairs, so read repair pushed to a
+        /// fallback carries the matching hint.
+        subs: Vec<(ReplicaId, ReplicaId)>,
     },
     Put {
         key: Key,
@@ -80,6 +90,7 @@ enum TimerKind {
     AntiEntropy,
     Handoff,
     Transfer,
+    Gossip,
 }
 
 /// One unacknowledged outbound range-transfer batch.
@@ -93,6 +104,11 @@ struct TransferJob {
     to: ReplicaId,
     keys: Vec<(Key, u64)>,
 }
+
+/// In-flight record for a sent handoff: `(sent_at, fingerprint of the
+/// state that was sent)`. `None` means the obligation has no handoff in
+/// flight.
+type HintFlight = Option<(SimTime, u64)>;
 
 /// A replica server process.
 ///
@@ -108,6 +124,13 @@ struct TransferJob {
 /// quorum strength (a non-owner must not substitute for a real replica)
 /// and for elastic membership, where a node that just left the ring
 /// keeps coordinating stale client requests without polluting its store.
+///
+/// Ring views spread by **gossip**: a membership change is announced to
+/// its subject only; every other process learns the new view from
+/// periodic digest exchanges ([`Msg::GossipDigest`]), digests
+/// piggybacked on anti-entropy roots, eager pushes after adopting a
+/// view, and request epochs (a request from a peer with a *newer* view
+/// triggers an immediate pull).
 #[derive(Debug)]
 pub struct StoreNode<M: Mechanism<StampedValue>> {
     replica: ReplicaId,
@@ -116,9 +139,10 @@ pub struct StoreNode<M: Mechanism<StampedValue>> {
     ring: HashRing<ReplicaId>,
     membership: Membership<ReplicaId>,
     data: BTreeMap<Key, M::State>,
-    /// Hinted states held for down replicas: `(key, intended) → ()` —
-    /// the state itself lives in `data`; this records the obligation.
-    hints: BTreeMap<(Key, ReplicaId), ()>,
+    /// Hinted states held for other replicas: `(key, intended)` → the
+    /// in-flight record of the last handoff attempt. The state itself
+    /// lives in `data`; this records the obligation.
+    hints: BTreeMap<(Key, ReplicaId), HintFlight>,
     pending: BTreeMap<ReqId, Pending<M>>,
     timers: BTreeMap<TimerId, TimerKind>,
     /// Whether this node is a serving cluster member. Spare capacity is
@@ -129,10 +153,13 @@ pub struct StoreNode<M: Mechanism<StampedValue>> {
     /// Unacknowledged outbound range transfers, by transfer id.
     outbound: BTreeMap<u64, TransferJob>,
     next_transfer: u64,
+    /// Recently merged transfer ids, per donor — dedupes the receipt
+    /// counter when a retried batch is delivered more than once. Ids are
+    /// monotone per donor, so each set is pruned to a recent window
+    /// rather than growing forever.
+    transfers_seen: BTreeMap<NodeId, BTreeSet<u64>>,
     /// Keys written while leaving, awaiting (re-)drain.
     drain_dirty: BTreeSet<Key>,
-    /// Membership announcement to rebroadcast until the change settles.
-    announce: Option<(u64, Vec<ReplicaId>, ReplicaId, bool)>,
     stats: NodeStats,
 }
 
@@ -160,8 +187,8 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             leaving: false,
             outbound: BTreeMap::new(),
             next_transfer: 0,
+            transfers_seen: BTreeMap::new(),
             drain_dirty: BTreeSet::new(),
-            announce: None,
             stats: NodeStats::default(),
         }
     }
@@ -233,42 +260,30 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     }
 
     /// Control-plane view synchronisation: adopts `(members, epoch)` when
-    /// newer, reconciles membership (transition states settle to `Up`,
-    /// failure-detector `Down` marks survive), and retires any pending
-    /// announcement. The harness calls this on every process once a
-    /// membership change completes.
+    /// newer and reconciles membership (new members are inserted up,
+    /// failure-detector `Down` marks survive — the gossip path never puts
+    /// members in the ring crate's `Joining`/`Leaving` transition states,
+    /// so there is nothing to settle). With gossip dissemination this is
+    /// a **safety valve**, not a correctness step — the harness only
+    /// forces it when configured to, or to recover from a supervision
+    /// timeout.
     pub fn sync_view(&mut self, members: &[ReplicaId], epoch: u64) {
         if epoch > self.ring.epoch() {
             self.ring = HashRing::from_members(members.iter().copied(), self.ring.vnodes(), epoch);
         }
         self.membership.sync_members(members);
-        for m in members {
-            if matches!(
-                self.membership.status(m),
-                Some(NodeStatus::Joining | NodeStatus::Leaving)
-            ) {
-                self.membership.mark_up(m);
-            }
-        }
-        if self
-            .announce
-            .as_ref()
-            .is_some_and(|(e, ..)| *e <= self.ring.epoch())
-        {
-            self.announce = None;
-        }
     }
 
     /// Aborts an unfinished leave (the control plane re-admitted this
-    /// node): stops draining and drops the pending announcement and
-    /// transfer backlog. Data already transferred stays merged at the
-    /// targets (harmless — merges are monotone); data not yet sent stays
-    /// here, where it is once again owned.
+    /// node): stops draining but keeps the unacknowledged transfer
+    /// backlog. The retry machinery lets those batches finish on their
+    /// own: on ack, keys this (re-admitted) node owns again are simply
+    /// kept, while keys it holds without owning — e.g. residual copies
+    /// queued for retirement before the leave — are still dropped, so no
+    /// copy goes back to being unaccounted. Data already transferred
+    /// stays merged at the targets (harmless — merges are monotone).
     pub fn cancel_leave(&mut self) {
         self.leaving = false;
-        self.announce = None;
-        self.outbound.clear();
-        self.drain_dirty.clear();
     }
 
     /// Completes a leave after the drain: clears the (fully drained)
@@ -284,7 +299,6 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         self.pending.clear();
         self.timers.clear();
         self.outbound.clear();
-        self.announce = None;
         self.leaving = false;
         self.active = false;
     }
@@ -297,6 +311,11 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     /// The keys of all currently held hint obligations.
     pub fn hinted_keys(&self) -> Vec<Key> {
         self.hints.keys().map(|(k, _)| k.clone()).collect()
+    }
+
+    /// The `(key, intended owner)` pairs of all held hint obligations.
+    pub fn hint_obligations(&self) -> Vec<(Key, ReplicaId)> {
+        self.hints.keys().cloned().collect()
     }
 
     /// Total causal-metadata bytes across all keys at this replica.
@@ -335,7 +354,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     /// garbage collection or moved away by a range transfer).
     fn purge_orphan_hints(&mut self) {
         let data = &self.data;
-        self.hints.retain(|(k, _), ()| data.contains_key(k));
+        self.hints.retain(|(k, _), _| data.contains_key(k));
     }
 
     /// Mean sibling count across keys (0 when no keys).
@@ -347,10 +366,18 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         total as f64 / self.data.len() as f64
     }
 
-    fn merkle_summary(&self) -> MerkleSummary {
+    /// Merkle summary over the keys this node and `peer` both replicate
+    /// under the current ring. Scoping anti-entropy to the shared replica
+    /// set keeps AAE from planting copies on nodes that do not own them
+    /// (whole-keyspace AAE would slowly turn every node into a replica of
+    /// everything, defeating the residual-copy audit).
+    fn merkle_summary_shared(&self, peer: ReplicaId) -> MerkleSummary {
         let mut m = MerkleSummary::new();
         for (k, s) in &self.data {
-            m.set(k.clone(), fingerprint(s));
+            let prefs = self.ring.preference_list(k, self.config.n);
+            if prefs.contains(&self.replica) && prefs.contains(&peer) {
+                m.set(k.clone(), fingerprint(s));
+            }
         }
         m
     }
@@ -374,23 +401,209 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
 
     /// Post-merge hook: a leaving node owes every newly merged key to the
     /// new owners, even if it was queued (or acked) before.
-    fn note_data_merged(&mut self, key: &Key) {
+    fn note_data_merged(&mut self, key: &[u8]) {
         if self.leaving {
-            self.drain_dirty.insert(key.clone());
+            self.drain_dirty.insert(key.to_vec());
         }
     }
 
-    /// Pushes our ring view to a peer that routed with a stale epoch.
-    fn note_request_epoch(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, from: NodeId, epoch: u64) {
+    /// Records who a locally held copy is really for: an explicit hint
+    /// (the sloppy-quorum substitute case), or — when this node holds a
+    /// key outside its own preference list with no hint — a self-assigned
+    /// obligation to hand the copy to the key's current primary. Every
+    /// state-bearing receive path runs through this, so no residual copy
+    /// survives unaccounted: it is either owned, or it has a handoff
+    /// obligation that retires it once acknowledged.
+    fn note_hold_obligation(&mut self, key: &[u8], hint: Option<ReplicaId>) {
+        if let Some(intended) = hint {
+            if intended == self.replica {
+                return; // the copy is for us — nothing to track
+            }
+            if self.ring.nodes().contains(&intended) {
+                self.hints.entry((key.to_vec(), intended)).or_insert(None);
+                return;
+            }
+            // the named owner is no longer a ring member (a stale
+            // coordinator's view named it): an obligation aimed at it
+            // could never be handed off — fall through to the
+            // self-assigned path instead
+        }
+        if !self.owns(key) {
+            if let Some(primary) = self.ring.primary(key) {
+                if primary != self.replica {
+                    self.hints.entry((key.to_vec(), primary)).or_insert(None);
+                }
+            }
+        }
+    }
+
+    /// Merges a state received from a peer and records the hold
+    /// obligation it implies (see [`Self::note_hold_obligation`]).
+    fn absorb_remote_state(&mut self, key: &Key, state: &M::State, hint: Option<ReplicaId>) {
+        let local = self.data.entry(key.clone()).or_default();
+        self.mech.merge(local, state);
+        self.note_data_merged(key);
+        self.note_hold_obligation(key, hint);
+    }
+
+    // --- ring-view gossip --------------------------------------------------
+
+    /// Reacts to a peer's observed ring epoch (request header, gossip
+    /// digest, or AAE piggyback): a peer behind our view gets the full
+    /// view pushed; a peer ahead of us is asked for its view — so a stale
+    /// coordinator self-heals immediately instead of silently routing on
+    /// an old ring.
+    fn note_peer_epoch(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, from: NodeId, epoch: u64) {
         if epoch < self.ring.epoch() {
-            self.send(
-                ctx,
-                from,
-                Msg::RingEpoch {
-                    epoch: self.ring.epoch(),
-                    members: self.ring.nodes().to_vec(),
-                },
-            );
+            let view = self.ring.view();
+            self.send(ctx, from, Msg::RingEpoch { view });
+        } else if epoch > self.ring.epoch() {
+            self.send(ctx, from, Msg::RingPull);
+        }
+    }
+
+    /// One gossip round: sends this node's view digest to up to `fanout`
+    /// distinct random up ring peers.
+    fn gossip_once(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, fanout: usize) {
+        let mut peers: Vec<ReplicaId> = self
+            .membership
+            .up_nodes()
+            .into_iter()
+            .filter(|p| *p != self.replica && self.ring.nodes().contains(p))
+            .collect();
+        if peers.is_empty() {
+            return;
+        }
+        self.stats.gossip_rounds += 1;
+        let epoch = self.ring.epoch();
+        for _ in 0..fanout.min(peers.len()) {
+            let idx = ctx.rng().range_u64(0, peers.len() as u64) as usize;
+            let peer = peers.swap_remove(idx);
+            self.send(ctx, NodeId(peer.0), Msg::GossipDigest { epoch });
+        }
+    }
+
+    fn handle_gossip_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+        self.gossip_once(ctx, 1);
+        if self.config.gossip_interval > simnet::Duration::ZERO {
+            let t = ctx.set_timer(self.config.gossip_interval);
+            self.timers.insert(t, TimerKind::Gossip);
+        }
+    }
+
+    /// Adopts a strictly newer ring view: rebuilds the ring, reconciles
+    /// membership (new members start up, departed members are forgotten,
+    /// failure-detector marks survive), retargets hint obligations aimed
+    /// at departed nodes, queues the data motion the change implies
+    /// (donations to owners that gained ranges, retirement of residual
+    /// copies this node holds but no longer owns), and pushes the view on
+    /// eagerly. Returns whether the view was adopted.
+    fn adopt_view(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, view: &RingView<ReplicaId>) -> bool {
+        if !view.supersedes(self.ring.epoch()) {
+            return false;
+        }
+        let vnodes = self.ring.vnodes();
+        let old_ring = std::mem::replace(&mut self.ring, view.to_ring(vnodes));
+        self.membership.sync_members(&view.members);
+        // hints aimed at a non-member can never be handed off; retarget
+        // each such obligation to the key's new primary (scanning the
+        // hints themselves, not just the old ring's members, also cures
+        // obligations a stale coordinator aimed at an already-gone node)
+        let stale_intendeds: BTreeSet<ReplicaId> = self
+            .hints
+            .keys()
+            .map(|(_, intended)| *intended)
+            .filter(|intended| !view.members.contains(intended))
+            .collect();
+        for gone in stale_intendeds {
+            self.retarget_hints(gone);
+        }
+        if self.active {
+            // transfers aimed at a departed member can never be acked:
+            // drop those jobs — queue_rebalance below re-plans every
+            // still-held key (non-owned keys go to their current primary)
+            self.outbound
+                .retain(|_, job| view.members.contains(&job.to));
+            self.queue_rebalance(ctx, &old_ring);
+            // eager epidemic push: a new view spreads at message latency,
+            // with the periodic digest timer as the partition-proof
+            // backstop
+            self.gossip_once(ctx, 2);
+        }
+        true
+    }
+
+    /// Moves every hint obligation aimed at `gone` to the key's current
+    /// primary (dropping it when this node *is* the primary).
+    fn retarget_hints(&mut self, gone: ReplicaId) {
+        let retarget: Vec<Key> = self
+            .hints
+            .keys()
+            .filter(|(_, intended)| *intended == gone)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in retarget {
+            self.hints.remove(&(key.clone(), gone));
+            if let Some(primary) = self.ring.primary(&key) {
+                if primary != self.replica {
+                    self.hints.entry((key, primary)).or_insert(None);
+                }
+            }
+        }
+    }
+
+    /// Plans the data motion a view change implies, over every held key:
+    ///
+    /// * **donation** — owners that *gained* the key (in the new
+    ///   preference list, not in the old) are streamed a copy, so a
+    ///   joiner receives its ranges from whoever holds them;
+    /// * **residual retirement** — a key this node holds but no longer
+    ///   owns is additionally streamed to its current primary, and
+    ///   dropped once acknowledged ([`Self::handle_transfer_ack`]), so
+    ///   copies acquired via AAE, read repair, or old ownership do not
+    ///   persist forever on non-owners.
+    ///
+    /// A leaving node owns nothing under the new ring, so this doubles as
+    /// the drain plan.
+    fn queue_rebalance(
+        &mut self,
+        ctx: &mut ProcessCtx<'_, Msg<M>>,
+        old_ring: &HashRing<ReplicaId>,
+    ) {
+        let mut per_target: BTreeMap<ReplicaId, Vec<Key>> = BTreeMap::new();
+        for key in self.data.keys().cloned().collect::<Vec<_>>() {
+            let new_owners = self.ring.preference_list(&key, self.config.n);
+            let old_owners = old_ring.preference_list(&key, self.config.n);
+            let mut targets: Vec<ReplicaId> = new_owners
+                .iter()
+                .filter(|o| !old_owners.contains(o))
+                .copied()
+                .collect();
+            if !new_owners.contains(&self.replica) {
+                // residual copy: guarantee it lands on a current owner
+                // even when the range's replica set is otherwise
+                // unchanged
+                if let Some(primary) = new_owners.first() {
+                    if !targets.contains(primary) {
+                        targets.push(*primary);
+                    }
+                }
+            }
+            for t in targets {
+                if t != self.replica {
+                    per_target.entry(t).or_default().push(key.clone());
+                }
+            }
+        }
+        let mut queued = false;
+        for (t, keys) in per_target {
+            if let Some(id) = self.queue_transfer(t, keys) {
+                self.send_transfer(ctx, id);
+                queued = true;
+            }
+        }
+        if queued {
+            self.ensure_transfer_timer(ctx);
         }
     }
 
@@ -407,8 +620,8 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         key: Key,
         epoch: u64,
     ) {
-        self.note_request_epoch(ctx, from, epoch);
-        let (active, _) = self.active_replicas(&key);
+        self.note_peer_epoch(ctx, from, epoch);
+        let (active, subs) = self.active_replicas(&key);
         if active.is_empty() {
             self.stats.quorum_timeouts += 1;
             self.send(
@@ -446,6 +659,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 replied: false,
                 owner,
                 seen,
+                subs,
             },
         );
         for peer in &active {
@@ -507,12 +721,13 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 acc,
                 seen,
                 owner,
+                subs,
                 ..
             }) = self.pending.remove(&req)
             else {
                 return;
             };
-            self.finish_read_repair(ctx, &key, acc, &seen, owner);
+            self.finish_read_repair(ctx, &key, acc, &seen, owner, &subs);
         }
     }
 
@@ -523,13 +738,24 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         merged: M::State,
         seen: &[(ReplicaId, u64)],
         owner: bool,
+        subs: &[(ReplicaId, ReplicaId)],
     ) {
+        let hint_for = |peer: &ReplicaId| {
+            subs.iter()
+                .find(|(_, fallback)| fallback == peer)
+                .map(|(intended, _)| *intended)
+        };
         // An owner folds the merged state into its own store first; a
         // non-owner coordinator must not keep any state for the key.
         let canonical = if owner {
             let local = self.data.entry(key.to_vec()).or_default();
             self.mech.merge(local, &merged);
-            self.data.get(key).cloned().unwrap_or_default()
+            let folded = self.data.get(key).cloned().unwrap_or_default();
+            self.note_data_merged(key);
+            // the coordinator itself may be a sloppy fallback for a down
+            // owner: track that copy like any other hinted state
+            self.note_hold_obligation(key, hint_for(&self.replica));
+            folded
         } else {
             merged
         };
@@ -546,6 +772,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                     Msg::ReadRepair {
                         key: key.to_vec(),
                         state: canonical.clone(),
+                        hint: hint_for(peer),
                     },
                 );
             }
@@ -563,7 +790,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         put_ctx: M::Context,
         epoch: u64,
     ) {
-        self.note_request_epoch(ctx, from, epoch);
+        self.note_peer_epoch(ctx, from, epoch);
         let (active, substitutions) = self.active_replicas(&key);
         if active.is_empty() {
             self.stats.quorum_timeouts += 1;
@@ -598,6 +825,9 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             );
             let state = state.clone();
             self.note_data_merged(&key);
+            // a coordinator standing in for a down owner holds its copy
+            // under a hint obligation, like any other fallback
+            self.note_hold_obligation(&key, hint_for(&self.replica));
             self.pending.insert(
                 req,
                 Pending::Put {
@@ -731,6 +961,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 acc,
                 seen,
                 owner,
+                subs,
                 ..
             } => {
                 let client = *client;
@@ -739,10 +970,11 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 let merged = acc.clone();
                 let seen = seen.clone();
                 let owner = *owner;
+                let subs = subs.clone();
                 self.pending.remove(&req);
                 if replied {
                     // reply already sent; late repair with what arrived
-                    self.finish_read_repair(ctx, &key, merged, &seen, owner);
+                    self.finish_read_repair(ctx, &key, merged, &seen, owner, &subs);
                 } else {
                     self.stats.quorum_timeouts += 1;
                     self.send(
@@ -791,8 +1023,15 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         if !peers.is_empty() {
             let peer = *ctx.rng().pick(&peers);
             self.stats.aae_rounds += 1;
-            let root = self.merkle_summary().root();
-            self.send(ctx, NodeId(peer.0), Msg::AaeRoot { root });
+            let root = self.merkle_summary_shared(peer).root();
+            self.send(
+                ctx,
+                NodeId(peer.0),
+                Msg::AaeRoot {
+                    root,
+                    epoch: self.ring.epoch(),
+                },
+            );
         }
         // re-arm
         if self.config.anti_entropy_interval > simnet::Duration::ZERO {
@@ -802,16 +1041,25 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     }
 
     fn handle_handoff_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+        let now = ctx.now();
+        let retry = self.config.handoff_retry_interval;
+        // a hint is due when its intended owner is up and no handoff is
+        // in flight (or the in-flight one is old enough to retry)
         let due: Vec<(Key, ReplicaId)> = self
             .hints
-            .keys()
-            .filter(|(_, intended)| self.membership.is_up(intended))
-            .cloned()
+            .iter()
+            .filter(|((_, intended), inflight)| {
+                self.membership.is_up(intended)
+                    && inflight.is_none_or(|(sent_at, _)| now >= sent_at + retry)
+            })
+            .map(|(k, _)| k.clone())
             .collect();
         for (key, intended) in due {
             match self.data.get(&key) {
                 Some(state) => {
                     let state = state.clone();
+                    let fp = fingerprint(&state);
+                    self.hints.insert((key.clone(), intended), Some((now, fp)));
                     self.send(
                         ctx,
                         NodeId(intended.0),
@@ -849,6 +1097,14 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             let t = ctx.set_timer(self.config.handoff_interval);
             self.timers.insert(t, TimerKind::Handoff);
         }
+        if self.config.gossip_interval > simnet::Duration::ZERO {
+            // stagger like AAE so the fleet's digests do not phase-lock
+            let first = simnet::Duration::from_micros(
+                self.config.gossip_interval.as_micros() + u64::from(self.replica.0) * 700,
+            );
+            let t = ctx.set_timer(first);
+            self.timers.insert(t, TimerKind::Gossip);
+        }
     }
 
     fn ensure_transfer_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
@@ -872,7 +1128,6 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         let id = self.next_transfer;
         self.next_transfer += 1;
         self.outbound.insert(id, TransferJob { to, keys: entries });
-        self.stats.transfers_out += 1;
         Some(id)
     }
 
@@ -880,142 +1135,64 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         let Some(job) = self.outbound.get(&id) else {
             return;
         };
+        if !self.membership.is_routable(&job.to) {
+            // don't flood a peer the failure detector marks down: the
+            // batch stays queued and the transfer timer retries it once
+            // the peer recovers (mirrors the handoff in-flight guard)
+            return;
+        }
         let to = NodeId(job.to.0);
         let entries: Vec<(Key, M::State)> = job
             .keys
             .iter()
             .filter_map(|(k, _)| self.data.get(k).map(|s| (k.clone(), s.clone())))
             .collect();
+        if entries.is_empty() {
+            // every key in the batch is gone (GC or a prior drop): the
+            // obligation is moot
+            self.outbound.remove(&id);
+            return;
+        }
+        // count the *actual* send, so retries show up and in/out totals
+        // stay comparable under loss
+        self.stats.transfers_out += 1;
         self.send(ctx, to, Msg::RangeTransfer { id, entries });
     }
 
-    fn broadcast_announce(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
-        let Some((epoch, members, who, joining)) = self.announce.clone() else {
-            return;
-        };
-        for peer in &members {
-            if *peer != self.replica {
-                self.send(
-                    ctx,
-                    NodeId(peer.0),
-                    Msg::JoinAnnounce {
-                        epoch,
-                        members: members.clone(),
-                        who,
-                        joining,
-                    },
-                );
-            }
-        }
-    }
-
-    /// Applies a membership announcement: adopt the new ring, then act by
-    /// role — the subject activates (join) or starts draining (leave);
-    /// other members donate the ranges a joiner gained, or retarget hint
-    /// obligations aimed at a leaver.
+    /// Applies a control-plane membership announcement. Only the
+    /// *subject* of the change receives one; every other process learns
+    /// the view transitively through gossip.
     fn handle_announce(
         &mut self,
         ctx: &mut ProcessCtx<'_, Msg<M>>,
-        epoch: u64,
-        members: Vec<ReplicaId>,
+        view: RingView<ReplicaId>,
         who: ReplicaId,
         joining: bool,
     ) {
-        if epoch <= self.ring.epoch() {
-            return; // stale or duplicate announcement
-        }
         if !(self.active || joining && who == self.replica) {
             return; // dormant spares only wake for their own join
         }
-        let old_ring = self.ring.clone();
-        self.ring = HashRing::from_members(members.iter().copied(), old_ring.vnodes(), epoch);
-        self.membership.sync_members(&members);
-        if joining {
-            self.membership.set_status(&who, NodeStatus::Joining);
-        }
         if who == self.replica {
-            self.announce = Some((epoch, members, who, joining));
+            if !view.supersedes(self.ring.epoch()) {
+                return; // stale or duplicate announcement
+            }
             if joining {
                 self.active = true;
                 self.leaving = false;
+                self.membership.mark_up(&self.replica);
+                self.adopt_view(ctx, &view);
                 self.arm_periodic_timers(ctx);
             } else {
                 self.leaving = true;
-                self.plan_drain(&old_ring);
-            }
-            self.broadcast_announce(ctx);
-            let ids: Vec<u64> = self.outbound.keys().copied().collect();
-            for id in ids {
-                self.send_transfer(ctx, id);
-            }
-            self.ensure_transfer_timer(ctx);
-        } else if joining {
-            // Donate the ranges the joiner now owns and we owned before.
-            let moved: Vec<ring::RangeDiff<ReplicaId>> =
-                HashRing::owned_ranges_diff(&old_ring, &self.ring, self.config.n)
-                    .into_iter()
-                    .filter(|d| {
-                        d.new_owners.contains(&who)
-                            && !d.old_owners.contains(&who)
-                            && d.old_owners.contains(&self.replica)
-                    })
-                    .collect();
-            let keys: Vec<Key> = self
-                .data
-                .keys()
-                .filter(|k| moved.iter().any(|d| d.contains_key(k)))
-                .cloned()
-                .collect();
-            if let Some(id) = self.queue_transfer(who, keys) {
-                self.send_transfer(ctx, id);
+                // adopting a ring without ourselves plans the drain:
+                // every held key is now non-owned and gets queued
+                self.adopt_view(ctx, &view);
                 self.ensure_transfer_timer(ctx);
             }
         } else {
-            // A peer is leaving: hints meant for it can never be handed
-            // off; retarget each obligation to the key's new primary.
-            let retarget: Vec<Key> = self
-                .hints
-                .keys()
-                .filter(|(_, intended)| *intended == who)
-                .map(|(k, _)| k.clone())
-                .collect();
-            for key in retarget {
-                self.hints.remove(&(key.clone(), who));
-                if let Some(primary) = self.ring.primary(&key) {
-                    if primary != self.replica {
-                        self.hints.insert((key, primary), ());
-                    }
-                }
-            }
-        }
-    }
-
-    /// Plans the leave-drain: every held key goes to the owners that
-    /// gained it (or, if ownership is otherwise unchanged, to the new
-    /// primary, so at least one current owner is guaranteed a copy).
-    fn plan_drain(&mut self, old_ring: &HashRing<ReplicaId>) {
-        let mut per_target: BTreeMap<ReplicaId, Vec<Key>> = BTreeMap::new();
-        for key in self.data.keys().cloned().collect::<Vec<_>>() {
-            let old_owners = old_ring.preference_list(&key, self.config.n);
-            let new_owners = self.ring.preference_list(&key, self.config.n);
-            let gained: Vec<ReplicaId> = new_owners
-                .iter()
-                .filter(|o| !old_owners.contains(o))
-                .copied()
-                .collect();
-            let targets = if gained.is_empty() {
-                new_owners.into_iter().take(1).collect()
-            } else {
-                gained
-            };
-            for t in targets {
-                if t != self.replica {
-                    per_target.entry(t).or_default().push(key.clone());
-                }
-            }
-        }
-        for (t, keys) in per_target {
-            self.queue_transfer(t, keys);
+            // not the subject (e.g. a harness-posted view push): treat it
+            // like any gossip-learned view
+            self.adopt_view(ctx, &view);
         }
     }
 
@@ -1052,14 +1229,6 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     }
 
     fn handle_transfer_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
-        // drop a retired announcement (view superseded or settled)
-        if self
-            .announce
-            .as_ref()
-            .is_some_and(|(e, ..)| *e < self.ring.epoch())
-        {
-            self.announce = None;
-        }
         // drain keys written since the last tick to their current owners
         let dirty: Vec<Key> = std::mem::take(&mut self.drain_dirty).into_iter().collect();
         let mut per_target: BTreeMap<ReplicaId, Vec<Key>> = BTreeMap::new();
@@ -1073,13 +1242,12 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         for (t, keys) in per_target {
             self.queue_transfer(t, keys);
         }
-        // rebroadcast the announcement and resend every unacked batch
-        self.broadcast_announce(ctx);
+        // resend every unacked batch
         let ids: Vec<u64> = self.outbound.keys().copied().collect();
         for id in ids {
             self.send_transfer(ctx, id);
         }
-        if self.announce.is_some() || !self.outbound.is_empty() || !self.drain_dirty.is_empty() {
+        if !self.outbound.is_empty() || !self.drain_dirty.is_empty() {
             let t = ctx.set_timer(self.config.transfer_retry_interval);
             self.timers.insert(t, TimerKind::Transfer);
         }
@@ -1088,15 +1256,28 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     /// Entry point: dispatches one message.
     pub fn on_message(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, from: NodeId, msg: Msg<M>) {
         if !self.active {
-            // dormant spares only wake for a join announcement
-            if let Msg::JoinAnnounce {
-                epoch,
-                members,
-                who,
-                joining,
-            } = msg
-            {
-                self.handle_announce(ctx, epoch, members, who, joining);
+            // A dormant node serves no data, but it stays a good ring
+            // citizen: it wakes for its own join, answers view pulls,
+            // passively adopts newer views, and points stale peers (e.g.
+            // clients still routing to a retired leaver) at its view.
+            match msg {
+                Msg::JoinAnnounce { view, who, joining } => {
+                    self.handle_announce(ctx, view, who, joining);
+                }
+                Msg::RingPull => {
+                    let view = self.ring.view();
+                    self.send(ctx, from, Msg::RingEpoch { view });
+                }
+                Msg::RingEpoch { view } => {
+                    self.adopt_view(ctx, &view);
+                }
+                Msg::GossipDigest { epoch }
+                | Msg::AaeRoot { epoch, .. }
+                | Msg::ClientGet { epoch, .. }
+                | Msg::ClientPut { epoch, .. } => {
+                    self.note_peer_epoch(ctx, from, epoch);
+                }
+                _ => {}
             }
             return;
         }
@@ -1136,12 +1317,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 state,
                 hint,
             } => {
-                let local = self.data.entry(key.clone()).or_default();
-                self.mech.merge(local, &state);
-                if let Some(intended) = hint {
-                    self.hints.insert((key.clone(), intended), ());
-                }
-                self.note_data_merged(&key);
+                self.absorb_remote_state(&key, &state, hint);
                 self.send(ctx, from, Msg::RepPutAck { req });
             }
             Msg::RepPutAck { req } => {
@@ -1168,10 +1344,8 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                     value,
                 );
                 let state = state.clone();
-                if let Some(intended) = hint {
-                    self.hints.insert((key.clone(), intended), ());
-                }
                 self.note_data_merged(&key);
+                self.note_hold_obligation(&key, hint);
                 self.send(ctx, from, Msg::RepWriteResp { req, key, state });
             }
             Msg::RepWriteResp { req, key: _, state } => {
@@ -1204,13 +1378,13 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 }
                 self.try_complete_put(ctx, req);
             }
-            Msg::ReadRepair { key, state } => {
-                let local = self.data.entry(key.clone()).or_default();
-                self.mech.merge(local, &state);
-                self.note_data_merged(&key);
+            Msg::ReadRepair { key, state, hint } => {
+                self.absorb_remote_state(&key, &state, hint);
             }
-            Msg::AaeRoot { root } => {
-                let mine = self.merkle_summary();
+            Msg::AaeRoot { root, epoch } => {
+                // the root doubles as a gossip digest carrier
+                self.note_peer_epoch(ctx, from, epoch);
+                let mine = self.merkle_summary_shared(ReplicaId(from.0));
                 if mine.root() != root {
                     self.send(
                         ctx,
@@ -1223,7 +1397,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             }
             Msg::AaeLeaves { leaves } => {
                 // we initiated this round; the responder's root differed
-                let mine = self.merkle_summary();
+                let mine = self.merkle_summary_shared(ReplicaId(from.0));
                 let mut theirs = MerkleSummary::new();
                 for (k, h) in leaves {
                     theirs.set(k, h);
@@ -1244,13 +1418,13 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                     .iter()
                     .filter_map(|k| self.data.get(k).map(|s| (k.clone(), s.clone())))
                     .collect();
-                self.send(ctx, from, Msg::AaeStates { states, want: keys });
+                if !states.is_empty() || !keys.is_empty() {
+                    self.send(ctx, from, Msg::AaeStates { states, want: keys });
+                }
             }
             Msg::AaeStates { states, want } => {
                 for (k, s) in states {
-                    let local = self.data.entry(k.clone()).or_default();
-                    self.mech.merge(local, &s);
-                    self.note_data_merged(&k);
+                    self.absorb_remote_state(&k, &s, None);
                 }
                 let back: Vec<(Key, M::State)> = want
                     .iter()
@@ -1260,45 +1434,72 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             }
             Msg::AaeStatesResp { states } => {
                 for (k, s) in states {
-                    let local = self.data.entry(k.clone()).or_default();
-                    self.mech.merge(local, &s);
-                    self.note_data_merged(&k);
+                    self.absorb_remote_state(&k, &s, None);
                 }
             }
             Msg::Handoff { key, state } => {
-                let local = self.data.entry(key.clone()).or_default();
-                self.mech.merge(local, &state);
-                self.note_data_merged(&key);
+                self.absorb_remote_state(&key, &state, None);
                 self.send(ctx, from, Msg::HandoffAck { key });
             }
             Msg::HandoffAck { key } => {
                 let intended = ReplicaId(from.0);
-                if self.hints.remove(&(key, intended)).is_some() {
-                    self.stats.handoffs += 1;
+                if let Some(inflight) = self.hints.remove(&(key.clone(), intended)) {
+                    match (inflight, self.data.get(&key).map(fingerprint)) {
+                        (Some((_, sent_fp)), Some(fp)) if fp == sent_fp => {
+                            // the intended owner holds exactly what we
+                            // sent: the obligation is met, and a copy we
+                            // do not own is retired rather than lingering
+                            // as an untracked residual
+                            self.stats.handoffs += 1;
+                            if !self.owns(&key) {
+                                self.data.remove(&key);
+                                self.purge_orphan_hints();
+                            }
+                        }
+                        (_, None) => {
+                            // backing data is gone (GC or a range
+                            // transfer): the obligation is moot
+                        }
+                        _ => {
+                            // the local state advanced past the sent
+                            // snapshot (or this ack matches no tracked
+                            // send): the obligation stands for the
+                            // fresher state — hand it off again later
+                            self.hints.insert((key, intended), None);
+                        }
+                    }
                 }
             }
-            Msg::JoinAnnounce {
-                epoch,
-                members,
-                who,
-                joining,
-            } => self.handle_announce(ctx, epoch, members, who, joining),
+            Msg::JoinAnnounce { view, who, joining } => {
+                self.handle_announce(ctx, view, who, joining)
+            }
             Msg::RangeTransfer { id, entries } => {
                 for (k, s) in entries {
-                    let local = self.data.entry(k.clone()).or_default();
-                    self.mech.merge(local, &s);
-                    self.note_data_merged(&k);
+                    self.absorb_remote_state(&k, &s, None);
                 }
-                self.stats.transfers_in += 1;
+                let seen = self.transfers_seen.entry(from).or_default();
+                if seen.insert(id) {
+                    self.stats.transfers_in += 1;
+                    // ids are monotone per donor: only a recent window can
+                    // still be in flight, so bound the dedupe memory (a
+                    // duplicate older than the window would merely
+                    // double-count a statistic, never corrupt state)
+                    while seen.len() > 128 {
+                        seen.pop_first();
+                    }
+                }
                 self.send(ctx, from, Msg::TransferAck { id });
             }
             Msg::TransferAck { id } => self.handle_transfer_ack(ctx, id),
-            Msg::RingEpoch { epoch, members } => {
-                if epoch > self.ring.epoch() {
-                    self.ring =
-                        HashRing::from_members(members.iter().copied(), self.ring.vnodes(), epoch);
-                    self.membership.sync_members(&members);
-                }
+            Msg::RingEpoch { view } => {
+                self.adopt_view(ctx, &view);
+            }
+            Msg::GossipDigest { epoch } => {
+                self.note_peer_epoch(ctx, from, epoch);
+            }
+            Msg::RingPull => {
+                let view = self.ring.view();
+                self.send(ctx, from, Msg::RingEpoch { view });
             }
             // client-facing responses never arrive at servers
             Msg::ClientGetResp { .. } | Msg::ClientPutResp { .. } => {}
@@ -1319,6 +1520,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             Some(TimerKind::AntiEntropy) => self.handle_aae_timer(ctx),
             Some(TimerKind::Handoff) => self.handle_handoff_timer(ctx),
             Some(TimerKind::Transfer) => self.handle_transfer_timer(ctx),
+            Some(TimerKind::Gossip) => self.handle_gossip_timer(ctx),
             None => {}
         }
     }

@@ -1,0 +1,550 @@
+//! Gossip-based ring dissemination and the residual-copy/replication
+//! bugfix sweep:
+//!
+//! * a membership change announced to one node must reach every server
+//!   transitively — including members that were partitioned during the
+//!   announce — through periodic digests, AAE piggybacks, eager pushes,
+//!   and request epochs (with the harness force-sync disabled);
+//! * read repair pushed to a sloppy-quorum fallback must record a hint
+//!   obligation so the repaired copy is handed off and retired;
+//! * transfer stats must count actual sends and dedupe duplicate
+//!   deliveries by transfer id;
+//! * the handoff timer must not flood duplicate `Handoff` messages at a
+//!   slow peer;
+//! * after churn under partition, no active server may end up holding a
+//!   key outside its preference list, and the pre-convergence
+//!   `surviving_union` no-loss oracle must stay clean across seeds.
+
+use dvv::mechanisms::{DvvMechanism, Mechanism, WriteOrigin};
+use dvv::{ClientId, ReplicaId, VersionVector};
+use kvstore::cluster::{Cluster, ClusterConfig, StoreProc};
+use kvstore::config::{ClientConfig, StoreConfig};
+use kvstore::messages::Msg;
+use kvstore::node::StoreNode;
+use kvstore::value::{Key, StampedValue, WriteId};
+use ring::{HashRing, Membership, RingView};
+use simnet::{Duration, NetworkConfig, NodeId, Simulation, TraceEvent};
+
+type M = DvvMechanism;
+
+/// Finds a key together with a server that is *not* in its preference
+/// list (requires more servers than the replication factor).
+fn key_with_outsider(servers: u32, n: usize) -> (Key, ReplicaId, Vec<ReplicaId>) {
+    let ring = HashRing::with_vnodes((0..servers).map(ReplicaId), Cluster::<M>::VNODES);
+    for i in 0..10_000 {
+        let key = format!("key-{i}").into_bytes();
+        let prefs = ring.preference_list(&key, n);
+        if let Some(outsider) = (0..servers).map(ReplicaId).find(|r| !prefs.contains(r)) {
+            return (key, outsider, prefs);
+        }
+    }
+    panic!("no key with a non-owner among {servers} servers");
+}
+
+fn sample_state(origin: ReplicaId) -> <M as Mechanism<StampedValue>>::State {
+    let mech = DvvMechanism;
+    let mut st = Default::default();
+    mech.write(
+        &mut st,
+        WriteOrigin::new(origin, ClientId(1)),
+        &VersionVector::new(),
+        StampedValue::new(WriteId::new(ClientId(1), 1), vec![0xAB; 24]),
+    );
+    st
+}
+
+#[test]
+fn gossip_spreads_a_join_through_a_partition() {
+    // Server 2 is partitioned away while a spare joins. The join cannot
+    // settle (a member is unreachable), but it is not rolled back either:
+    // once the partition heals, gossip alone must converge server 2 onto
+    // the new ring within bounded virtual time — no force-sync.
+    let mut cfg = ClusterConfig {
+        servers: 4,
+        spare_servers: 1,
+        clients: 2,
+        cycles_per_client: 10,
+        store: StoreConfig {
+            n: 2,
+            r: 2,
+            w: 2,
+            anti_entropy_interval: Duration::from_millis(50),
+            ..StoreConfig::default()
+        },
+        client: ClientConfig {
+            key_count: 6,
+            ..ClientConfig::default()
+        },
+        membership_settle_budget: Duration::from_secs(2),
+        ..ClusterConfig::default()
+    };
+    cfg.deadline = Duration::from_secs(1_000);
+    let mut c = Cluster::new(17, DvvMechanism, cfg);
+
+    c.run_for(Duration::from_millis(30));
+    let epoch_before = c.ring_epoch();
+
+    // cut server 2 off (node ids: servers 0..4, spare 4, clients 5..7)
+    let others: Vec<NodeId> = (0..7u32).map(NodeId).filter(|n| n.0 != 2).collect();
+    c.sim_mut().network_mut().partition_two(others, [NodeId(2)]);
+    c.set_replica_status(ReplicaId(2), false);
+
+    let settled = c.add_node_live(4);
+    assert!(!settled, "a partitioned member cannot adopt the view");
+    let epoch = c.ring_epoch();
+    assert_eq!(epoch, epoch_before + 1);
+    for i in [0usize, 1, 3, 4] {
+        assert_eq!(
+            c.server(i).ring_epoch(),
+            epoch,
+            "reachable member {i} must have adopted the join via gossip"
+        );
+    }
+    assert_eq!(
+        c.server(2).ring_epoch(),
+        epoch_before,
+        "the partitioned member must still be on the old view"
+    );
+    assert!(c.server(4).is_active(), "the joiner serves regardless");
+    assert!(
+        c.server(4).stats().transfers_in > 0,
+        "reachable owners streamed the joiner's ranges"
+    );
+
+    // heal: gossip (periodic digests + AAE piggybacks) must now close the
+    // gap without any harness help, within bounded virtual time
+    c.sim_mut().network_mut().heal();
+    c.set_replica_status(ReplicaId(2), true);
+    c.run_for(Duration::from_millis(500));
+    for i in c.member_slots() {
+        assert_eq!(
+            c.server(i).ring_epoch(),
+            epoch,
+            "server {i} did not converge via gossip after the heal"
+        );
+    }
+    let rounds: u64 = c
+        .member_slots()
+        .into_iter()
+        .map(|i| c.server(i).stats().gossip_rounds)
+        .sum();
+    assert!(rounds > 0, "convergence must have been gossip-driven");
+
+    // the workload still finishes and loses nothing
+    assert!(c.run(), "sessions finish after the healed join");
+    c.run_for(Duration::from_secs(2));
+    c.converge();
+    let report = c.anomaly_report();
+    assert!(report.is_clean(), "{report:?}");
+}
+
+#[test]
+fn aae_piggybacked_digests_converge_views_without_gossip_timer() {
+    // With the periodic gossip timer disabled, view digests still ride on
+    // anti-entropy roots (plus the eager push after adoption) — a join
+    // must settle and every member must converge onto the new epoch.
+    let mut cfg = ClusterConfig {
+        servers: 3,
+        spare_servers: 1,
+        clients: 2,
+        cycles_per_client: 10,
+        store: StoreConfig {
+            n: 2,
+            r: 2,
+            w: 2,
+            anti_entropy_interval: Duration::from_millis(50),
+            gossip_interval: Duration::ZERO,
+            ..StoreConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    cfg.deadline = Duration::from_secs(1_000);
+    let mut c = Cluster::new(11, DvvMechanism, cfg);
+
+    c.run_for(Duration::from_millis(30));
+    assert!(
+        c.add_node_live(3),
+        "join must settle on AAE piggybacks alone"
+    );
+    for i in c.member_slots() {
+        assert_eq!(c.server(i).ring_epoch(), c.ring_epoch(), "server {i}");
+    }
+    assert!(c.run());
+    c.converge();
+    assert!(c.anomaly_report().is_clean());
+}
+
+#[test]
+fn stale_coordinator_pulls_newer_view_from_request_epochs() {
+    // Both the gossip timer and AAE are off, so after the heal the *only*
+    // dissemination channel left is the request path: clients that
+    // learned the new epoch (from RingEpoch pushes) route to the stale
+    // server, whose `note_peer_epoch` sees a newer epoch in the request
+    // and pulls the full view — the reverse direction of stale-epoch
+    // re-routing.
+    let mut cfg = ClusterConfig {
+        servers: 4,
+        spare_servers: 1,
+        clients: 3,
+        // enough cycles that plenty of traffic remains after the failed
+        // join's supervision window — the request path IS the test
+        cycles_per_client: 150,
+        store: StoreConfig {
+            n: 2,
+            r: 2,
+            w: 2,
+            anti_entropy_interval: Duration::ZERO,
+            gossip_interval: Duration::ZERO,
+            ..StoreConfig::default()
+        },
+        client: ClientConfig {
+            // wide enough that the stale server owns keys under the new
+            // ring, so post-heal traffic actually routes to it
+            key_count: 24,
+            ..ClientConfig::default()
+        },
+        membership_settle_budget: Duration::from_millis(500),
+        ..ClusterConfig::default()
+    };
+    cfg.deadline = Duration::from_secs(1_000);
+    let mut c = Cluster::new(29, DvvMechanism, cfg);
+
+    c.run_for(Duration::from_millis(30));
+    let others: Vec<NodeId> = (0..8u32).map(NodeId).filter(|n| n.0 != 2).collect();
+    c.sim_mut().network_mut().partition_two(others, [NodeId(2)]);
+    c.set_replica_status(ReplicaId(2), false);
+    let old_epoch = c.server(2).ring_epoch();
+    assert!(!c.add_node_live(4), "join cannot settle past the partition");
+
+    c.sim_mut().network_mut().heal();
+    c.set_replica_status(ReplicaId(2), true);
+    assert_eq!(c.server(2).ring_epoch(), old_epoch, "still stale");
+
+    // client traffic alone must now catch server 2 up
+    assert!(c.run(), "sessions finish");
+    assert_eq!(
+        c.server(2).ring_epoch(),
+        c.ring_epoch(),
+        "a request carrying a newer epoch must have triggered a view pull"
+    );
+}
+
+#[test]
+fn read_repair_to_a_substitute_records_a_hint_and_retires_the_copy() {
+    // Owners p0/p1 hold a value; owner p2 is down, so a GET assembles its
+    // quorum with fallback `d`. The read repair pushed to `d` must carry
+    // the hint naming p2 — pre-fix it carried none, leaving an untracked
+    // residual copy at `d` forever. Once p2 recovers, the handoff must
+    // deliver the state and retire d's copy.
+    let (key, outsider, owners) = key_with_outsider(4, 3);
+    let mut cfg = ClusterConfig {
+        servers: 4,
+        clients: 1,
+        cycles_per_client: 0, // traffic injected via post()
+        store: StoreConfig {
+            n: 3,
+            r: 2,
+            w: 2,
+            anti_entropy_interval: Duration::ZERO,
+            gossip_interval: Duration::ZERO,
+            handoff_interval: Duration::from_millis(20),
+            handoff_retry_interval: Duration::from_millis(200),
+            ..StoreConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    cfg.deadline = Duration::from_secs(1_000);
+    let mut c = Cluster::new(7, DvvMechanism, cfg);
+    let epoch = c.ring_epoch();
+    let (p0, p2) = (owners[0], owners[2]);
+
+    // identical state at the two reachable owners; nothing at `d`
+    let state = sample_state(p0);
+    for owner in [owners[0], owners[1]] {
+        if let StoreProc::Server(s) = c.sim_mut().process_mut(owner.0 as usize) {
+            s.merge_state_direct(&key, &state);
+        }
+    }
+    c.set_replica_status(p2, false);
+
+    let get: Msg<M> = Msg::ClientGet {
+        req: 1,
+        key: key.clone(),
+        epoch,
+    };
+    c.sim_mut().post(NodeId(p0.0), get);
+    c.run_for(Duration::from_millis(10));
+
+    let fallback = c.server(outsider.0 as usize);
+    assert!(
+        fallback.data().contains_key(&key),
+        "the fallback received the read repair"
+    );
+    assert!(
+        fallback.hint_obligations().contains(&(key.clone(), p2)),
+        "the repaired copy must carry a hint for the down owner, got {:?}",
+        fallback.hint_obligations()
+    );
+    assert!(c.server(p0.0 as usize).stats().read_repairs >= 1);
+
+    // recovery: the hint drains and the residual copy is retired
+    c.set_replica_status(p2, true);
+    c.run_for(Duration::from_millis(500));
+    let fallback = c.server(outsider.0 as usize);
+    assert_eq!(fallback.hint_count(), 0, "hint must drain after recovery");
+    assert!(
+        !fallback.data().contains_key(&key),
+        "a handed-off copy the fallback does not own must be retired"
+    );
+    assert!(fallback.stats().handoffs >= 1);
+    assert!(
+        c.server(p2.0 as usize).data().contains_key(&key),
+        "the intended owner received the state"
+    );
+}
+
+#[test]
+fn transfer_stats_count_sends_and_dedupe_duplicate_receipts() {
+    // A leave-drain whose acks are lost: the donor re-sends the same
+    // batch every retry interval (each send counted), the receiver merges
+    // the duplicates but counts the batch once — so `transfers_in` can
+    // never exceed `transfers_out`, where pre-fix the receiver counted
+    // every duplicate and the donor counted the batch once.
+    let mech = DvvMechanism;
+    let replicas = [ReplicaId(0), ReplicaId(1)];
+    let ring = HashRing::with_vnodes(replicas, 16);
+    let membership = Membership::new(replicas);
+    let cfg = StoreConfig {
+        n: 1,
+        r: 1,
+        w: 1,
+        anti_entropy_interval: Duration::ZERO,
+        handoff_interval: Duration::ZERO,
+        gossip_interval: Duration::ZERO,
+        ..StoreConfig::default()
+    };
+    let mut sim: Simulation<StoreProc<M>> = Simulation::new(
+        5,
+        NetworkConfig::default(),
+        vec![
+            StoreProc::Server(StoreNode::new(
+                ReplicaId(0),
+                mech,
+                cfg,
+                ring.clone(),
+                membership.clone(),
+            )),
+            StoreProc::Server(StoreNode::new(
+                ReplicaId(1),
+                mech,
+                cfg,
+                ring.clone(),
+                membership,
+            )),
+        ],
+    );
+    for k in 0..4u8 {
+        let st = sample_state(ReplicaId(0));
+        if let StoreProc::Server(s) = sim.process_mut(0) {
+            s.merge_state_direct(&[b'k', k], &st);
+        }
+    }
+
+    // acks (and everything else) from 1 to 0 are lost
+    sim.network_mut().block_link(NodeId(1), NodeId(0));
+    sim.post(
+        NodeId(0),
+        Msg::JoinAnnounce {
+            view: RingView::new(ring.epoch() + 1, vec![ReplicaId(1)]),
+            who: ReplicaId(0),
+            joining: false,
+        },
+    );
+    sim.run_until(simnet::SimTime::ZERO + Duration::from_millis(200));
+
+    let (out_mid, in_mid) = match (sim.process(0), sim.process(1)) {
+        (StoreProc::Server(a), StoreProc::Server(b)) => {
+            (a.stats().transfers_out, b.stats().transfers_in)
+        }
+        _ => unreachable!(),
+    };
+    assert!(
+        out_mid >= 3,
+        "every retry send must be counted, got {out_mid}"
+    );
+    assert_eq!(in_mid, 1, "duplicate deliveries of one batch count once");
+
+    // heal the ack path: the drain completes and the totals stay sane
+    sim.network_mut().unblock_link(NodeId(1), NodeId(0));
+    sim.run_until(simnet::SimTime::ZERO + Duration::from_millis(400));
+    let (donor, receiver) = match (sim.process(0), sim.process(1)) {
+        (StoreProc::Server(a), StoreProc::Server(b)) => (a, b),
+        _ => unreachable!(),
+    };
+    assert!(donor.drain_complete(), "drain settles once acks flow");
+    assert_eq!(receiver.stats().transfers_in, 1);
+    assert!(
+        receiver.stats().transfers_in <= donor.stats().transfers_out,
+        "received batches can never exceed sent batches"
+    );
+    for k in 0..4u8 {
+        assert!(
+            receiver.data().contains_key([b'k', k].as_slice()),
+            "key {k} arrived despite the lossy ack path"
+        );
+    }
+}
+
+#[test]
+fn handoff_inflight_tracking_suppresses_duplicate_sends() {
+    // A hint whose intended owner looks up but does not answer: the
+    // handoff timer fires every 10ms, but only ONE Handoff may be in
+    // flight until the retry interval (200ms) passes — pre-fix every tick
+    // re-sent the state, flooding ~10 duplicates per 100ms.
+    let mech = DvvMechanism;
+    let replicas = [ReplicaId(0), ReplicaId(1)];
+    let ring = HashRing::with_vnodes(replicas, 16);
+    let membership = Membership::new(replicas);
+    let cfg = StoreConfig {
+        n: 2,
+        r: 1,
+        w: 1,
+        anti_entropy_interval: Duration::ZERO,
+        gossip_interval: Duration::ZERO,
+        handoff_interval: Duration::from_millis(10),
+        handoff_retry_interval: Duration::from_millis(200),
+        ..StoreConfig::default()
+    };
+    let mut sim: Simulation<StoreProc<M>> = Simulation::new(
+        9,
+        NetworkConfig::default(),
+        vec![
+            StoreProc::Server(StoreNode::new(
+                ReplicaId(0),
+                mech,
+                cfg,
+                ring.clone(),
+                membership.clone(),
+            )),
+            StoreProc::Server(StoreNode::new(ReplicaId(1), mech, cfg, ring, membership)),
+        ],
+    );
+    sim.trace_mut().enable();
+    // seed a hinted copy at node 1, intended for node 0
+    sim.post(
+        NodeId(1),
+        Msg::RepPut {
+            req: 1,
+            key: b"hinted".to_vec(),
+            state: sample_state(ReplicaId(0)),
+            hint: Some(ReplicaId(0)),
+        },
+    );
+    // node 0 is believed up but unreachable: handoffs are lost
+    sim.network_mut().block_link(NodeId(1), NodeId(0));
+    sim.run_until(simnet::SimTime::ZERO + Duration::from_millis(105));
+
+    let sends_1_to_0 = sim
+        .trace()
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Sent { from, to, .. } if *from == NodeId(1) && *to == NodeId(0)))
+        .count();
+    assert_eq!(
+        sends_1_to_0, 1,
+        "one handoff in flight per retry interval, not one per tick"
+    );
+
+    // once reachable, the retry goes through and the obligation drains
+    sim.network_mut().unblock_link(NodeId(1), NodeId(0));
+    sim.run_until(simnet::SimTime::ZERO + Duration::from_millis(600));
+    let (intended, fallback) = match (sim.process(0), sim.process(1)) {
+        (StoreProc::Server(a), StoreProc::Server(b)) => (a, b),
+        _ => unreachable!(),
+    };
+    assert_eq!(fallback.hint_count(), 0, "hint drained after the retry");
+    assert_eq!(fallback.stats().handoffs, 1);
+    assert!(intended.data().contains_key(b"hinted".as_slice()));
+    assert!(
+        fallback.data().contains_key(b"hinted".as_slice()),
+        "with n = 2 the fallback is itself an owner: the copy stays"
+    );
+}
+
+#[test]
+fn churn_under_partition_leaves_no_residual_copies_across_seeds() {
+    // The gossip property suite: traffic + a healed partition + live
+    // join/leave/join churn, with the harness force-sync disabled
+    // (default). After the workload and a quiescent period:
+    //  (a) every active server's epoch converged through gossip alone,
+    //  (b) no server holds a key outside its preference list,
+    //  (c) the pre-convergence surviving-union no-loss oracle is clean.
+    for seed in [5u64, 13, 21] {
+        let mut cfg = ClusterConfig {
+            servers: 3,
+            spare_servers: 2,
+            clients: 4,
+            cycles_per_client: 30,
+            store: StoreConfig {
+                n: 2,
+                r: 2,
+                w: 2,
+                anti_entropy_interval: Duration::from_millis(50),
+                ..StoreConfig::default()
+            },
+            client: ClientConfig {
+                key_count: 6,
+                ..ClientConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        cfg.deadline = Duration::from_secs(2_000);
+        let mut c = Cluster::new(seed, DvvMechanism, cfg);
+
+        // partitioned phase: sloppy quorums + hints carry the load
+        c.run_for(Duration::from_millis(30));
+        let others: Vec<NodeId> = (0..9u32).map(NodeId).filter(|n| n.0 != 1).collect();
+        c.sim_mut().network_mut().partition_two(others, [NodeId(1)]);
+        c.set_replica_status(ReplicaId(1), false);
+        c.run_for(Duration::from_millis(60));
+        c.sim_mut().network_mut().heal();
+        c.set_replica_status(ReplicaId(1), true);
+        c.run_for(Duration::from_millis(20));
+
+        // churn, disseminated by gossip only
+        assert!(c.add_node_live(3), "seed {seed}: join 3 settled");
+        assert!(c.remove_node_live(0), "seed {seed}: leave 0 settled");
+        assert!(c.add_node_live(4), "seed {seed}: join 4 settled");
+
+        assert!(c.run(), "seed {seed}: sessions finish after churn");
+        // quiesce: no client traffic; AAE, handoff and transfer retries
+        // get to finish their obligations
+        c.run_for(Duration::from_secs(3));
+
+        // (a) epochs converged with force-sync disabled
+        for i in c.member_slots() {
+            assert_eq!(
+                c.server(i).ring_epoch(),
+                c.ring_epoch(),
+                "seed {seed}: server {i} epoch diverged"
+            );
+        }
+        // (b) residual-copy audit
+        let residuals = c.residual_copies();
+        assert!(
+            residuals.is_empty(),
+            "seed {seed}: keys held outside preference lists: {residuals:?}"
+        );
+        // (c) no acked write lost, checked on the pre-convergence union
+        let oracle = c.oracle();
+        for key in oracle.keys() {
+            let (lost, _) = oracle.audit_key(&key, &c.surviving_union(&key));
+            assert_eq!(lost, 0, "seed {seed}: write lost for {key:?}");
+        }
+
+        c.converge();
+        let report = c.anomaly_report();
+        assert!(report.is_clean(), "seed {seed}: {report:?}");
+        assert!(report.acked_writes > 0, "seed {seed}: no acked writes");
+    }
+}

@@ -13,7 +13,10 @@
 //! * [`Membership`]: node liveness and lifecycle tracking (up / down /
 //!   joining / leaving), yielding *sloppy* preference lists (fallback
 //!   nodes stand in for down primaries, the precondition for hinted
-//!   handoff).
+//!   handoff),
+//! * [`RingView`]: the versioned `(epoch, member set)` snapshot a ring
+//!   can be rebuilt from — the unit of state exchanged by gossip-based
+//!   ring dissemination.
 //!
 //! ```
 //! use ring::{HashRing, Membership};
@@ -38,7 +41,9 @@
 pub mod hash;
 mod membership;
 mod ring_impl;
+mod view;
 
 pub use hash::hash_key;
 pub use membership::{Membership, NodeStatus};
 pub use ring_impl::{HashRing, RangeDiff};
+pub use view::RingView;

@@ -1,0 +1,117 @@
+//! [`RingView`]: a versioned snapshot of ring membership, the unit of
+//! state exchanged by epidemic (gossip) ring dissemination.
+
+use std::fmt::Debug;
+
+use crate::ring_impl::HashRing;
+
+/// A versioned ring-membership view: the complete member set at one ring
+/// epoch.
+///
+/// Because a [`HashRing`] is a pure function of `(member set, epoch)`
+/// (see [`HashRing::from_members`]), a `RingView` is all a process needs
+/// to reconstruct the full routing state of that epoch — which makes it
+/// the natural payload for gossip: peers exchange *digests* (just the
+/// epoch) cheaply and pull or push the full view only on mismatch.
+/// Views are totally ordered by epoch; adoption is last-writer-wins on
+/// the epoch, which is safe because the control plane issues epochs
+/// monotonically (one membership change settles before the next begins).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RingView<N> {
+    /// The ring epoch this view describes.
+    pub epoch: u64,
+    /// The complete member set at that epoch.
+    pub members: Vec<N>,
+}
+
+impl<N: Clone + Ord + Debug> RingView<N> {
+    /// Creates a view from an epoch and member set.
+    #[must_use]
+    pub fn new(epoch: u64, members: Vec<N>) -> Self {
+        RingView { epoch, members }
+    }
+
+    /// The digest a gossip round exchanges: just the epoch. Two views
+    /// with equal digests are identical (epochs are issued monotonically
+    /// with their member sets).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether this view supersedes a peer's `epoch` — i.e. the peer
+    /// should pull this full view.
+    #[must_use]
+    pub fn supersedes(&self, epoch: u64) -> bool {
+        self.epoch > epoch
+    }
+
+    /// Number of members in the view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the view has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Rebuilds the [`HashRing`] this view describes.
+    #[must_use]
+    pub fn to_ring(&self, vnodes: u32) -> HashRing<N> {
+        HashRing::from_members(self.members.iter().cloned(), vnodes, self.epoch)
+    }
+}
+
+impl<N: Clone + Ord + Debug> HashRing<N> {
+    /// This ring's membership view — the `(epoch, member set)` snapshot
+    /// gossip disseminates.
+    #[must_use]
+    pub fn view(&self) -> RingView<N> {
+        RingView::new(self.epoch(), self.nodes().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_round_trips_through_the_ring() {
+        let ring: HashRing<u32> = HashRing::with_vnodes(0..4, 16);
+        let view = ring.view();
+        assert_eq!(view.members, ring.nodes());
+        assert_eq!(view.epoch, ring.epoch());
+        assert_eq!(view.len(), 4);
+        assert!(!view.is_empty());
+        let rebuilt = view.to_ring(16);
+        assert_eq!(rebuilt.nodes(), ring.nodes());
+        assert_eq!(rebuilt.epoch(), ring.epoch());
+        for i in 0..50 {
+            let k = format!("k{i}");
+            assert_eq!(
+                rebuilt.preference_list(k.as_bytes(), 3),
+                ring.preference_list(k.as_bytes(), 3),
+                "rebuilt ring must route identically"
+            );
+        }
+    }
+
+    #[test]
+    fn supersedes_is_strict_epoch_order() {
+        let view: RingView<u32> = RingView::new(7, vec![1, 2, 3]);
+        assert!(view.supersedes(6));
+        assert!(!view.supersedes(7), "equal epochs are the same view");
+        assert!(!view.supersedes(8));
+        assert_eq!(view.digest(), 7);
+    }
+
+    #[test]
+    fn empty_view_builds_an_empty_ring() {
+        let view: RingView<u32> = RingView::new(0, Vec::new());
+        assert!(view.is_empty());
+        assert!(view.to_ring(8).is_empty());
+    }
+}

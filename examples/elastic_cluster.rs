@@ -1,8 +1,13 @@
 //! Elastic membership in action: while a workload runs, a spare node
 //! joins the ring (streaming its newly-owned key ranges from current
 //! owners) and then an original member leaves (draining its ranges to
-//! successors). The oracle confirms that not a single acknowledged write
-//! is lost across either membership change.
+//! successors). Each change is announced to its *subject only* — every
+//! other process converges onto the new ring view through gossip
+//! (periodic digests, AAE piggybacks, eager pushes, request epochs),
+//! with the harness force-sync disabled. The oracle confirms that not a
+//! single acknowledged write is lost across either membership change,
+//! and a final audit shows no server holds keys outside its preference
+//! list.
 //!
 //! Run with `cargo run --example elastic_cluster`.
 
@@ -44,7 +49,8 @@ fn main() {
         cluster.ring_epoch()
     );
 
-    println!("\nphase 2: s3 joins live — owners stream its ranges over the wire");
+    println!("\nphase 2: s3 joins live — the announce goes to s3 alone; gossip");
+    println!("  spreads the view and owners stream s3's ranges over the wire");
     let joined = cluster.add_node_live(3);
     let joiner = cluster.server(3);
     println!(
@@ -55,6 +61,15 @@ fn main() {
         joiner.data().len()
     );
     assert!(joined, "join transfers must settle");
+    for i in cluster.member_slots() {
+        let s = cluster.server(i);
+        println!(
+            "  s{i}: epoch={} gossip_rounds={} (converged with no force-sync)",
+            s.ring_epoch(),
+            s.stats().gossip_rounds
+        );
+        assert_eq!(s.ring_epoch(), cluster.ring_epoch());
+    }
     let new_ring = HashRing::with_vnodes((0..4u32).map(ReplicaId), 32);
     let owned_here = joiner
         .data()
@@ -77,6 +92,18 @@ fn main() {
 
     println!("\nphase 4: sessions finish on the reshaped cluster");
     assert!(cluster.run(), "all sessions finish");
+
+    println!("\nphase 5: residual-copy audit — after a quiescent period (and");
+    println!("  before the harness converge), no server may hold a key");
+    println!("  outside its preference list");
+    cluster.run_for(Duration::from_secs(3));
+    let residuals = cluster.residual_copies();
+    println!("  residual copies: {}", residuals.len());
+    assert!(
+        residuals.is_empty(),
+        "unretired residual copies: {residuals:?}"
+    );
+
     cluster.converge();
     let report = cluster.anomaly_report();
     println!(
