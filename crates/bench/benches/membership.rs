@@ -1,0 +1,105 @@
+//! Membership hot paths: the mergeable ring-view operations every gossip
+//! round leans on (merge, digest, ring rebuild) and an end-to-end live
+//! join driven through the simulated store. The CI `bench-baseline` lane
+//! runs this in fast mode and archives the JSON results
+//! (`BENCH_membership.json`), so a regression on these paths shows up in
+//! the perf trajectory rather than only under a soak run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvv::mechanisms::DvvMechanism;
+use dvv::ReplicaId;
+use kvstore::cluster::{Cluster, ClusterConfig};
+use kvstore::config::{ClientConfig, StoreConfig};
+use ring::{MemberStatus, RingView};
+use simnet::Duration;
+use std::hint::black_box;
+
+/// Two views that share `members` entries but diverge in `churn` fresh
+/// announcements each — the shape a gossip exchange actually merges.
+fn divergent_views(members: u32, churn: u32) -> (RingView<ReplicaId>, RingView<ReplicaId>) {
+    let base: RingView<ReplicaId> = RingView::from_members((0..members).map(ReplicaId));
+    let mut a = base.clone();
+    let mut b = base;
+    for i in 0..churn {
+        let subject = ReplicaId(i % members);
+        if i % 2 == 0 {
+            a.bump(&subject, MemberStatus::Leaving);
+        } else {
+            b.bump(&subject, MemberStatus::Up);
+        }
+    }
+    (a, b)
+}
+
+fn bench_view_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership_view");
+    for members in [8u32, 64] {
+        let (a, b) = divergent_views(members, members / 2);
+        group.bench_with_input(BenchmarkId::new("merge", members), &members, |bench, _| {
+            bench.iter(|| {
+                let mut m = a.clone();
+                m.merge(black_box(&b));
+                black_box(m)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("digest", members), &members, |bench, _| {
+            bench.iter(|| black_box(a.digest()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("to_ring", members),
+            &members,
+            |bench, _| bench.iter(|| black_box(a.to_ring(32)).len()),
+        );
+    }
+    group.finish();
+}
+
+fn join_settles(seed: u64) -> bool {
+    let cfg = ClusterConfig {
+        servers: 3,
+        spare_servers: 1,
+        clients: 2,
+        cycles_per_client: 5,
+        store: StoreConfig {
+            n: 2,
+            r: 2,
+            w: 2,
+            anti_entropy_interval: Duration::from_millis(50),
+            ..StoreConfig::default()
+        },
+        client: ClientConfig {
+            key_count: 6,
+            ..ClientConfig::default()
+        },
+        deadline: Duration::from_secs(1_000),
+        ..ClusterConfig::default()
+    };
+    let mut c = Cluster::new(seed, DvvMechanism, cfg);
+    c.run_for(Duration::from_millis(20));
+    let settled = c.add_node_live(3);
+    c.run();
+    settled
+}
+
+fn bench_live_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership_cluster");
+    group.sample_size(10);
+    group.bench_function("live_join_gossip_settle", |b| {
+        b.iter(|| {
+            let ok = join_settles(3);
+            assert!(ok, "the benchmarked join must settle");
+            black_box(ok)
+        })
+    });
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+        .sample_size(30)
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_view_ops, bench_live_join);
+criterion_main!(benches);

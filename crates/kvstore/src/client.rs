@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 
 use dvv::mechanisms::Mechanism;
 use dvv::{ClientId, ReplicaId};
-use ring::{HashRing, Membership};
+use ring::{HashRing, Membership, RingView};
 use simnet::{NodeId, ProcessCtx, SimTime, TimerId};
 use workloads::{Histogram, KeySpace, Popularity};
 
@@ -76,6 +76,9 @@ pub struct ClientNode<M: Mechanism<StampedValue>> {
     config: ClientConfig,
     replication: usize,
     header_bytes: usize,
+    vnodes: u32,
+    /// The mergeable membership state this client routes under.
+    view: RingView<ReplicaId>,
     ring: HashRing<ReplicaId>,
     membership: Membership<ReplicaId>,
     keyspace: KeySpace,
@@ -94,7 +97,8 @@ pub struct ClientNode<M: Mechanism<StampedValue>> {
 
 impl<M: Mechanism<StampedValue>> ClientNode<M> {
     /// Creates a client. `node_index` is its simulation node id (servers
-    /// occupy `0..server_count`); `replication` is the store's N.
+    /// occupy `0..server_count`); `replication` is the store's N; routing
+    /// state (ring, failure-detector membership) derives from `view`.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         client: ClientId,
@@ -103,8 +107,8 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
         config: ClientConfig,
         replication: usize,
         header_bytes: usize,
-        ring: HashRing<ReplicaId>,
-        membership: Membership<ReplicaId>,
+        view: RingView<ReplicaId>,
+        vnodes: u32,
     ) -> Self {
         let keyspace = KeySpace::new(
             "key",
@@ -115,6 +119,8 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
                 Popularity::Uniform
             },
         );
+        let ring = view.to_ring(vnodes);
+        let membership = Membership::new(view.members());
         ClientNode {
             client,
             node_index,
@@ -122,6 +128,8 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
             config,
             replication,
             header_bytes,
+            vnodes,
+            view,
             ring,
             membership,
             keyspace,
@@ -172,20 +180,28 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
         }
     }
 
-    /// The ring epoch this client currently routes under.
+    /// Monotone version of this client's ring view.
     pub fn ring_epoch(&self) -> u64 {
-        self.ring.epoch()
+        self.view.version()
     }
 
-    /// Adopts a newer ring view (from a [`Msg::RingEpoch`] push or the
-    /// control plane): rebuilds the ring and reconciles the membership
-    /// view, keeping failure-detector marks for known members.
-    pub fn sync_view(&mut self, members: &[ReplicaId], epoch: u64) {
-        if epoch > self.ring.epoch() {
-            self.ring =
-                ring::HashRing::from_members(members.iter().copied(), self.ring.vnodes(), epoch);
-            self.membership.sync_members(members);
+    /// Digest of this client's ring view (convergence check).
+    pub fn view_digest(&self) -> u64 {
+        self.view.digest()
+    }
+
+    /// Merges a learned ring view (from a [`Msg::RingEpoch`] push or the
+    /// control plane's force-sync safety valve): on change, rebuilds the
+    /// ring and reconciles the membership view, keeping failure-detector
+    /// marks for known members. Returns `(changed, sender_lacks)` as
+    /// reported by [`RingView::absorb`].
+    pub fn force_view(&mut self, view: &RingView<ReplicaId>) -> (bool, bool) {
+        let (changed, sender_lacks) = self.view.absorb(view);
+        if changed {
+            self.ring = self.view.to_ring(self.vnodes);
+            self.membership.sync_members(&self.view.members());
         }
+        (changed, sender_lacks)
     }
 
     fn fresh_req(&mut self) -> ReqId {
@@ -237,8 +253,8 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
             sent_at: ctx.now(),
             retries,
         });
-        let epoch = self.ring.epoch();
-        self.send(ctx, coord, Msg::ClientGet { req, key, epoch });
+        let digest = self.view.digest();
+        self.send(ctx, coord, Msg::ClientGet { req, key, digest });
         self.arm_timeout(ctx, req);
     }
 
@@ -265,7 +281,7 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
             sent_at: ctx.now(),
             retries,
         });
-        let epoch = self.ring.epoch();
+        let digest = self.view.digest();
         self.send(
             ctx,
             coord,
@@ -274,7 +290,7 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
                 key,
                 value,
                 ctx: put_ctx,
-                epoch,
+                digest,
             },
         );
         self.arm_timeout(ctx, req);
@@ -432,13 +448,17 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
                 self.cycles_done += 1;
                 self.think_then_continue(ctx);
             }
-            // a coordinator noticed us routing with a stale ring epoch
-            Msg::RingEpoch { view } => self.sync_view(&view.members, view.epoch),
-            // a server noticed us routing with a *newer* epoch than its
-            // own and asks for the full view
-            Msg::RingPull => {
-                let view = self.ring.view();
-                self.send(ctx, from, Msg::RingEpoch { view });
+            // a server noticed our view digest differs from its own and
+            // pushed its full view: merge it, and push the merged view
+            // back when the server's copy was the incomplete one (the
+            // protocol-critical check lives in RingView::absorb, shared
+            // with the server-side receive path)
+            Msg::RingEpoch { view } => {
+                let (_, sender_lacks) = self.force_view(&view);
+                if sender_lacks {
+                    let merged = self.view.clone();
+                    self.send(ctx, from, Msg::RingEpoch { view: merged });
+                }
             }
             // clients receive nothing else
             _ => {}

@@ -5,7 +5,7 @@ use std::collections::BTreeSet;
 
 use dvv::mechanisms::Mechanism;
 use dvv::{ClientId, ReplicaId};
-use ring::{HashRing, Membership, RingView};
+use ring::{MemberStatus, RingView};
 use simnet::{Duration, NetworkConfig, NodeId, Process, ProcessCtx, SimTime, Simulation, TimerId};
 use workloads::Histogram;
 
@@ -80,11 +80,12 @@ pub struct ClusterConfig {
     /// How long a live membership change is supervised before it is
     /// declared unsettled.
     pub membership_settle_budget: Duration,
-    /// Safety valve: when `true`, [`Cluster::add_node_live`] and
-    /// [`Cluster::remove_node_live`] force-synchronise every process's
-    /// ring view after the change (the pre-gossip behaviour). The
-    /// default leaves dissemination entirely to gossip and only
-    /// debug-asserts that the views converged.
+    /// Safety valve: when `true`, [`Cluster::await_membership`]
+    /// force-merges the control plane's view into every process after a
+    /// change (the pre-gossip behaviour). The default leaves
+    /// dissemination entirely to gossip — including the recovery from a
+    /// timed-out drain, which is re-admitted in band ([`Msg::Rejoin`])
+    /// — and only debug-asserts that settled views converged.
     pub force_view_sync: bool,
 }
 
@@ -136,16 +137,22 @@ pub struct MetadataReport {
 /// A running store cluster: `servers` replica nodes (plus optional
 /// dormant spares) and `clients` session nodes on a simulated network.
 ///
-/// Membership is **elastic**: [`Cluster::add_node_live`] activates a
-/// spare slot and streams its newly-owned key ranges from current owners
-/// while the workload keeps running; [`Cluster::remove_node_live`] drains
-/// a member's ranges to their successors before retiring it. Both drive
-/// the protocol through the simulated network: the change is announced
-/// to its *subject* only, and every other process learns the new ring
-/// view transitively by gossip (periodic digests, AAE piggybacks, eager
-/// pushes, and stale-epoch request re-routing). Force-synchronising the
+/// Membership is **elastic and concurrent**: [`Cluster::begin_join`]
+/// activates a spare slot and [`Cluster::begin_leave`] starts draining a
+/// member — any number of changes may be announced before
+/// [`Cluster::await_membership`] supervises them to completion, because
+/// ring views version each member independently and *merge*
+/// ([`ring::RingView`]): a join and a leave announced on different sides
+/// of a partition converge instead of racing. Each change is announced
+/// to its *subject* only, and every other process learns it transitively
+/// by gossip (periodic digests, AAE piggybacks, eager pushes, and
+/// request-digest mismatches). A leave whose drain cannot complete
+/// within the supervision budget is re-admitted **in band**
+/// ([`Msg::Rejoin`] under a fresh incarnation); force-synchronising the
 /// views is a configurable safety valve
 /// ([`ClusterConfig::force_view_sync`]), not a correctness step.
+/// [`Cluster::add_node_live`] / [`Cluster::remove_node_live`] remain as
+/// single-change conveniences (begin + await).
 #[derive(Debug)]
 pub struct Cluster<M: Mechanism<StampedValue>> {
     sim: Simulation<StoreProc<M>>,
@@ -155,7 +162,14 @@ pub struct Cluster<M: Mechanism<StampedValue>> {
     clients: usize,
     /// Server slots currently in the ring.
     members: BTreeSet<usize>,
-    ring_epoch: u64,
+    /// The control plane's canonical mergeable view; every announcement
+    /// mints its member entries from here.
+    view: RingView<ReplicaId>,
+    /// Joins announced but not yet supervised to completion.
+    pending_joins: BTreeSet<usize>,
+    /// Leaves announced but not yet drained/retired.
+    pending_leaves: BTreeSet<usize>,
+    vnodes: u32,
     store_n: usize,
     deadline: SimTime,
     settle_budget: Duration,
@@ -163,7 +177,9 @@ pub struct Cluster<M: Mechanism<StampedValue>> {
 }
 
 impl<M: Mechanism<StampedValue>> Cluster<M> {
-    /// Virtual nodes per server on the cluster's hash ring.
+    /// Default virtual nodes per server on the cluster's hash ring
+    /// (the actual count comes from [`StoreConfig::vnodes`], whose
+    /// default matches this constant).
     pub const VNODES: u32 = 32;
 
     /// Builds a cluster. All randomness derives from `seed`.
@@ -174,11 +190,10 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
             config.store.n <= config.servers,
             "replication factor exceeds server count"
         );
-        let vnodes = Self::VNODES;
+        let vnodes = config.store.vnodes;
         let server_slots = config.servers + config.spare_servers;
         let replicas: Vec<ReplicaId> = (0..config.servers as u32).map(ReplicaId).collect();
-        let ring = HashRing::with_vnodes(replicas.iter().copied(), vnodes);
-        let membership = Membership::new(replicas.iter().copied());
+        let view = RingView::from_members(replicas.iter().copied());
 
         let mut procs: Vec<StoreProc<M>> = Vec::with_capacity(server_slots + config.clients);
         for r in &replicas {
@@ -186,8 +201,7 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
                 *r,
                 mech.clone(),
                 config.store,
-                ring.clone(),
-                membership.clone(),
+                view.clone(),
             )));
         }
         for spare in config.servers..server_slots {
@@ -195,8 +209,7 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
                 ReplicaId(spare as u32),
                 mech.clone(),
                 config.store,
-                ring.clone(),
-                membership.clone(),
+                view.clone(),
             )));
         }
         for j in 0..config.clients {
@@ -210,8 +223,8 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
                 client_cfg,
                 config.store.n,
                 config.store.header_bytes,
-                ring.clone(),
-                membership.clone(),
+                view.clone(),
+                vnodes,
             )));
         }
         Cluster {
@@ -221,7 +234,10 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
             server_slots,
             clients: config.clients,
             members: (0..config.servers).collect(),
-            ring_epoch: ring.epoch(),
+            view,
+            pending_joins: BTreeSet::new(),
+            pending_leaves: BTreeSet::new(),
+            vnodes,
             store_n: config.store.n,
             deadline: SimTime::ZERO + config.deadline,
             settle_budget: config.membership_settle_budget,
@@ -279,9 +295,21 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
         self.members.iter().copied().collect()
     }
 
-    /// The current ring epoch (bumped by every live join/leave).
+    /// Monotone version of the control plane's canonical view (raised by
+    /// every announcement: join, leave, re-admission, retirement).
     pub fn ring_epoch(&self) -> u64 {
-        self.ring_epoch
+        self.view.version()
+    }
+
+    /// Digest of the control plane's canonical view — the value every
+    /// process's [`StoreNode::view_digest`] converges to.
+    pub fn view_digest(&self) -> u64 {
+        self.view.digest()
+    }
+
+    /// The control plane's canonical mergeable view.
+    pub fn view(&self) -> &RingView<ReplicaId> {
+        &self.view
     }
 
     /// Number of clients.
@@ -301,23 +329,18 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
         }
     }
 
-    fn member_replicas(&self) -> Vec<ReplicaId> {
-        self.members.iter().map(|i| ReplicaId(*i as u32)).collect()
-    }
-
-    /// Force-synchronises every process's ring and membership view to
-    /// the current member set. With gossip dissemination this is a
-    /// **safety valve**, not part of a membership change's happy path: it
-    /// runs when [`ClusterConfig::force_view_sync`] is set, and to
-    /// recover from a supervision timeout (where the protocol has no
-    /// in-band re-admission story yet).
+    /// Force-merges the control plane's canonical view into every
+    /// process. With gossip dissemination and in-band re-admission this
+    /// is a **safety valve**, not part of any membership change's path:
+    /// it runs only when [`ClusterConfig::force_view_sync`] is set.
     fn sync_all_views(&mut self) {
-        let members = self.member_replicas();
-        let epoch = self.ring_epoch;
+        let view = self.view.clone();
         for i in 0..(self.server_slots + self.clients) {
             match self.sim.process_mut(i) {
-                StoreProc::Server(s) => s.sync_view(&members, epoch),
-                StoreProc::Client(c) => c.sync_view(&members, epoch),
+                StoreProc::Server(s) => s.force_view(&view),
+                StoreProc::Client(c) => {
+                    c.force_view(&view);
+                }
             }
         }
     }
@@ -328,8 +351,8 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
     fn debug_assert_views_converged(&self) {
         for &i in &self.members {
             debug_assert_eq!(
-                self.server_node(i).ring_epoch(),
-                self.ring_epoch,
+                self.server_node(i).view_digest(),
+                self.view.digest(),
                 "server {i} did not converge to the current ring view via gossip"
             );
         }
@@ -359,68 +382,58 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
         }
     }
 
-    /// Adds the spare server slot `slot` to the ring **live**: the
-    /// control plane posts a join announcement to the joiner — and to
-    /// the joiner *only*. Every other process learns the new ring view
-    /// by gossip; owners that adopt it stream the ranges the joiner
-    /// gained ([`Msg::RangeTransfer`]). The workload may keep running
-    /// throughout.
-    ///
-    /// Returns whether every member adopted the new view and the
-    /// transfer protocol settled within the supervision budget. An
-    /// unsettled join (e.g. a member partitioned away from every gossip
-    /// path) is left to converge in the background — gossip keeps
-    /// running — unless [`ClusterConfig::force_view_sync`] asks for the
-    /// old force-synchronised behaviour.
+    /// Announces a **live join** of the spare server slot `slot` without
+    /// waiting for it to settle: the control plane mints a fresh
+    /// `Joining` incarnation for the slot in its canonical view and
+    /// posts the announcement to the joiner — and to the joiner *only*.
+    /// Every other process learns the merged view by gossip; owners that
+    /// merge it stream the ranges the joiner gained
+    /// ([`Msg::RangeTransfer`]). Any number of changes may be begun
+    /// before [`Cluster::await_membership`] supervises them — concurrent
+    /// announcements merge.
     ///
     /// # Panics
     ///
-    /// Panics if `slot` is not a dormant spare slot.
-    pub fn add_node_live(&mut self, slot: usize) -> bool {
+    /// Panics if `slot` is not a dormant spare slot (a member, or a
+    /// leaver still mid-drain — cancel a drain by letting
+    /// [`Cluster::await_membership`] time out into the in-band
+    /// re-admission path instead).
+    pub fn begin_join(&mut self, slot: usize) {
         assert!(slot < self.server_slots, "slot {slot} is not a server");
         assert!(!self.members.contains(&slot), "slot {slot} already joined");
+        assert!(
+            !self.pending_leaves.contains(&slot),
+            "slot {slot} is mid-drain; await the leave before rejoining it"
+        );
         let who = ReplicaId(slot as u32);
         self.members.insert(slot);
-        self.ring_epoch += 1;
-        let epoch = self.ring_epoch;
-        let members = self.member_replicas();
+        self.pending_joins.insert(slot);
+        self.view.bump(&who, MemberStatus::Joining);
+        let view = self.view.clone();
         self.sim.post(
             NodeId(slot as u32),
             Msg::JoinAnnounce {
-                view: RingView::new(epoch, members),
+                view,
                 who,
                 joining: true,
             },
         );
-        let settled = self.run_until_settled(self.settle_budget, |c| {
-            c.members.iter().all(|&i| {
-                let s = c.server_node(i);
-                s.ring_epoch() == epoch && s.transfer_backlog() == 0
-            })
-        });
-        if self.force_view_sync {
-            self.sync_all_views();
-        } else if settled {
-            self.debug_assert_views_converged();
-        }
-        settled
     }
 
-    /// Removes member `slot` from the ring **live**: the leaver adopts
-    /// the new (smaller) ring — gossip spreads it from there — drains
-    /// every key range it holds to the range's successors, and only
-    /// retires (clearing its store) once every transfer batch is
-    /// acknowledged, so no acknowledged write can be lost to the
-    /// departure. The workload may keep running throughout.
-    ///
-    /// Returns whether the drain completed within the supervision budget
-    /// (the node is only retired if it did).
+    /// Announces a **live leave** of member `slot` without waiting for
+    /// the drain: the control plane mints a fresh `Leaving` incarnation
+    /// for the slot and posts the announcement to the leaver only. The
+    /// leaver merges the view, finds itself out of the ring, and starts
+    /// draining every held key range to its successors; gossip spreads
+    /// the view meanwhile. Supervision, retirement and the timed-out
+    /// recovery live in [`Cluster::await_membership`].
     ///
     /// # Panics
     ///
     /// Panics if `slot` is not a member, or if removing it would leave
-    /// fewer members than the replication factor.
-    pub fn remove_node_live(&mut self, slot: usize) -> bool {
+    /// fewer members than the replication factor (counting any other
+    /// leave already begun).
+    pub fn begin_leave(&mut self, slot: usize) {
         assert!(self.members.contains(&slot), "slot {slot} is not a member");
         assert!(
             self.members.len() > self.store_n,
@@ -428,52 +441,156 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
         );
         let who = ReplicaId(slot as u32);
         self.members.remove(&slot);
-        self.ring_epoch += 1;
-        let epoch = self.ring_epoch;
-        let members = self.member_replicas();
+        self.pending_leaves.insert(slot);
+        self.view.bump(&who, MemberStatus::Leaving);
+        let view = self.view.clone();
         self.sim.post(
             NodeId(slot as u32),
             Msg::JoinAnnounce {
-                view: RingView::new(epoch, members),
+                view,
                 who,
                 joining: false,
             },
         );
+    }
+
+    /// Supervises every membership change begun so far to completion:
+    /// runs the simulation until all announced views converged (by
+    /// digest), every member's transfer backlog drained, and every
+    /// leaver's drain completed — or the settle budget elapses.
+    ///
+    /// On success, drained leavers are retired (store cleared, entry
+    /// tombstoned `Removed`) and settled joiners promoted to `Up`; the
+    /// final statuses are seeded at one member and gossip spreads them,
+    /// with supervision waiting for that last wave too. A leave whose
+    /// drain did **not** complete is re-admitted *in band*: the control
+    /// plane mints a fresh `Up` incarnation and posts [`Msg::Rejoin`] to
+    /// the subject, whose gossip spreads the re-admission once
+    /// connectivity allows — there is no forced view synchronisation
+    /// (unless [`ClusterConfig::force_view_sync`] opts in).
+    ///
+    /// Returns whether everything settled and converged within budget.
+    pub fn await_membership(&mut self) -> bool {
+        let target = self.view.digest();
         let settled = self.run_until_settled(self.settle_budget, |c| {
-            let leaver = c.server_node(slot);
-            leaver.drain_complete()
-                && c.members
-                    .iter()
-                    .all(|&i| c.server_node(i).ring_epoch() == epoch)
+            c.pending_leaves
+                .iter()
+                .all(|&s| c.server_node(s).drain_complete())
+                && c.members.iter().all(|&i| {
+                    let s = c.server_node(i);
+                    s.view_digest() == target && s.transfer_backlog() == 0
+                })
         });
-        if settled {
-            if let StoreProc::Server(s) = self.sim.process_mut(slot) {
-                s.finish_leave();
-            }
-            if self.force_view_sync {
-                self.sync_all_views();
+        let leaves: Vec<usize> = std::mem::take(&mut self.pending_leaves)
+            .into_iter()
+            .collect();
+        let mut all_ok = settled;
+        let mut final_wave = false;
+        for slot in leaves {
+            if self.server_node(slot).drain_complete() {
+                // fully drained: retire the node and tombstone its entry
+                // so the departure survives every future merge
+                if let StoreProc::Server(s) = self.sim.process_mut(slot) {
+                    s.finish_leave();
+                }
+                self.view
+                    .bump(&ReplicaId(slot as u32), MemberStatus::Removed);
+                final_wave = true;
             } else {
-                self.debug_assert_views_converged();
+                // Drain timed out (typically a partition): re-admit the
+                // leaver in band under a fresh incarnation. The `Up`
+                // entry beats the stale `Leaving` one wherever it
+                // arrives, so gossip alone re-converges the cluster once
+                // connectivity allows — no forced view sync.
+                self.members.insert(slot);
+                self.view.bump(&ReplicaId(slot as u32), MemberStatus::Up);
+                let view = self.view.clone();
+                self.sim.post(NodeId(slot as u32), Msg::Rejoin { view });
+                // deliver the announcement before returning, so the
+                // subject is observably re-admitted (it keeps serving and
+                // gossiping the fresh incarnation from here on)
+                let next = self.sim.now() + Duration::from_millis(1);
+                self.sim.run_until(next);
+                all_ok = false;
             }
-        } else {
-            // Drain did not finish: re-admit the leaver under a *fresh*
-            // epoch. Re-using the bumped epoch would permanently split
-            // routing views — processes that already adopted the
-            // leaver-less ring at that epoch would never accept the
-            // re-admitted member set, since view adoption only applies
-            // strictly newer epochs. The re-admission is force-synced
-            // unconditionally: supervision already timed out (typically a
-            // partition), gossip may be unable to reach anyone, and the
-            // protocol has no in-band re-admission message yet (that is
-            // the concurrent-membership-changes follow-on).
-            self.members.insert(slot);
-            self.ring_epoch += 1;
-            if let StoreProc::Server(s) = self.sim.process_mut(slot) {
-                s.cancel_leave();
-            }
-            self.sync_all_views();
         }
-        settled && !self.members.contains(&slot)
+        if settled {
+            for slot in std::mem::take(&mut self.pending_joins) {
+                // a join that went unsettled in an earlier await may have
+                // been removed again since: its slot is no longer a
+                // member, and promoting the stale entry would resurrect
+                // a retired node into every ring view
+                if !self.members.contains(&slot) {
+                    continue;
+                }
+                self.view.bump(&ReplicaId(slot as u32), MemberStatus::Up);
+                final_wave = true;
+            }
+        }
+        // An unsettled join stays pending: the joiner keeps serving under
+        // its `Joining` entry (in-ring, routable), and the next
+        // `await_membership` that settles promotes it to `Up` — it is
+        // never stranded in the transitional status with no path out.
+        if final_wave {
+            // seed the final statuses (Removed tombstones, Up
+            // promotions) at one member; gossip spreads them
+            let seed = *self.members.iter().next().expect("at least one member");
+            let view = self.view.clone();
+            self.sim.post(NodeId(seed as u32), Msg::RingEpoch { view });
+            if all_ok {
+                let target = self.view.digest();
+                let converged = self.run_until_settled(self.settle_budget, |c| {
+                    c.members
+                        .iter()
+                        .all(|&i| c.server_node(i).view_digest() == target)
+                });
+                all_ok = converged;
+            }
+        }
+        if self.force_view_sync {
+            self.sync_all_views();
+        } else if all_ok {
+            self.debug_assert_views_converged();
+        }
+        all_ok
+    }
+
+    /// Adds the spare server slot `slot` to the ring **live** and
+    /// supervises the change to completion: [`Cluster::begin_join`]
+    /// followed by [`Cluster::await_membership`]. The workload may keep
+    /// running throughout.
+    ///
+    /// Returns whether every member merged the new view and the transfer
+    /// protocol settled within the supervision budget. An unsettled join
+    /// (e.g. a member partitioned away from every gossip path) is left
+    /// to converge in the background — gossip keeps running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not a dormant spare slot.
+    pub fn add_node_live(&mut self, slot: usize) -> bool {
+        self.begin_join(slot);
+        self.await_membership()
+    }
+
+    /// Removes member `slot` from the ring **live** and supervises the
+    /// drain to completion: [`Cluster::begin_leave`] followed by
+    /// [`Cluster::await_membership`]. The leaver streams every held key
+    /// range to its successors and only retires (clearing its store)
+    /// once every batch is acknowledged, so no acknowledged write can be
+    /// lost to the departure.
+    ///
+    /// Returns whether the drain completed within the supervision budget
+    /// (the node is retired if it did, and re-admitted in band via
+    /// [`Msg::Rejoin`] if it did not).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not a member, or if removing it would leave
+    /// fewer members than the replication factor.
+    pub fn remove_node_live(&mut self, slot: usize) -> bool {
+        self.begin_leave(slot);
+        self.await_membership() && !self.members.contains(&slot)
     }
 
     /// Runs until every client finishes its session (or the deadline).
@@ -627,8 +744,7 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
     /// copies are either retired on transfer/handoff ack or carry a hint
     /// obligation that will retire them.
     pub fn residual_copies(&self) -> Vec<(usize, Key)> {
-        let ring: HashRing<ReplicaId> =
-            HashRing::from_members(self.member_replicas(), Self::VNODES, self.ring_epoch);
+        let ring = self.view.to_ring(self.vnodes);
         let mut out = Vec::new();
         for i in self.member_slots() {
             let me = ReplicaId(i as u32);

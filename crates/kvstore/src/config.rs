@@ -35,6 +35,9 @@ pub struct StoreConfig {
     pub gossip_interval: Duration,
     /// Fixed per-message envelope overhead in bytes (headers, key, ids).
     pub header_bytes: usize,
+    /// Virtual nodes per server on the hash ring a node rebuilds from an
+    /// adopted ring view.
+    pub vnodes: u32,
 }
 
 impl Default for StoreConfig {
@@ -52,6 +55,7 @@ impl Default for StoreConfig {
             transfer_retry_interval: Duration::from_millis(25),
             gossip_interval: Duration::from_millis(100),
             header_bytes: 16,
+            vnodes: 32,
         }
     }
 }
@@ -72,6 +76,7 @@ impl StoreConfig {
             (1..=self.n).contains(&self.w),
             "write quorum must be within 1..=n"
         );
+        assert!(self.vnodes > 0, "a node must own at least one token");
     }
 }
 

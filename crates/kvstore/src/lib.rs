@@ -18,7 +18,9 @@
 //!   Merkle-based anti-entropy, performs hinted handoff for down peers,
 //!   and takes part in elastic membership: joins stream newly-owned key
 //!   ranges in, leaves drain held ranges out, all over the simulated
-//!   network with ring-epoch–stamped routing.
+//!   network with view-digest–stamped routing over mergeable ring views
+//!   (concurrent membership changes merge; a timed-out leave is
+//!   re-admitted in band).
 //! * [`client::ClientNode`] — closed-loop client session: read-modify-
 //!   write cycles against Zipf-distributed keys, with timeouts and
 //!   retries; logs every write with the versions it had observed so the

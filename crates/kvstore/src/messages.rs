@@ -24,10 +24,11 @@ pub enum Msg<M: Mechanism<StampedValue>> {
         req: ReqId,
         /// Key to read.
         key: Key,
-        /// The ring epoch the sender routed under; a coordinator with a
-        /// newer ring replies with [`Msg::RingEpoch`] so the sender can
-        /// resynchronise, and re-routes the request under its own view.
-        epoch: u64,
+        /// Digest of the ring view the sender routed under; a
+        /// coordinator whose own digest differs pushes its full view
+        /// ([`Msg::RingEpoch`]) so the two views merge, and serves the
+        /// request under its own (possibly stale) view meanwhile.
+        digest: u64,
     },
     /// Coordinator → client: read result (all siblings + context).
     ClientGetResp {
@@ -51,8 +52,8 @@ pub enum Msg<M: Mechanism<StampedValue>> {
         value: StampedValue,
         /// Context from the client's last read of this key.
         ctx: M::Context,
-        /// The ring epoch the sender routed under (see [`Msg::ClientGet`]).
-        epoch: u64,
+        /// Digest of the sender's ring view (see [`Msg::ClientGet`]).
+        digest: u64,
     },
     /// Coordinator → client: write result (`return_body` semantics: the
     /// post-write sibling set and context).
@@ -112,13 +113,13 @@ pub enum Msg<M: Mechanism<StampedValue>> {
         hint: Option<ReplicaId>,
     },
     /// Anti-entropy round 1: initiator's Merkle root, with the sender's
-    /// ring epoch piggybacked as a gossip digest.
+    /// ring-view digest piggybacked as a gossip digest.
     AaeRoot {
         /// Root hash over the keys both ends replicate.
         root: u64,
-        /// The sender's ring epoch (gossip piggyback): a receiver with a
-        /// newer view pushes it; a receiver with an older view pulls.
-        epoch: u64,
+        /// The sender's ring-view digest (gossip piggyback): a receiver
+        /// whose digest differs pushes its full view so the two merge.
+        digest: u64,
     },
     /// Anti-entropy round 2: responder's leaf hashes (roots differed).
     AaeLeaves {
@@ -168,17 +169,28 @@ pub enum Msg<M: Mechanism<StampedValue>> {
         state: M::State,
     },
     /// Announces a membership change (join or leave): posted to the
-    /// *subject* node by the control plane. The subject adopts the new
-    /// view and gossip disseminates it epidemically from there — no
-    /// broadcast. Receivers that adopt the view rebuild their ring from
+    /// *subject* node by the control plane. The subject merges the view
+    /// and gossip disseminates it epidemically from there — no
+    /// broadcast. Receivers that merge the view rebuild their ring from
     /// it and, for joins, start streaming the ranges the subject gained.
     JoinAnnounce {
-        /// The new ring view (epoch + complete member set).
+        /// The announcement's ring view (the subject's fresh entry plus
+        /// everything the announcer knew).
         view: RingView<ReplicaId>,
         /// The node joining or leaving.
         who: ReplicaId,
         /// `true` for a join, `false` for a leave.
         joining: bool,
+    },
+    /// In-band re-admission: a node whose leave-drain could not complete
+    /// announces it is back, carrying its last-known view with its own
+    /// entry bumped to a fresh incarnation (status `Up`). Receivers
+    /// merge it like any view — the higher incarnation beats the stale
+    /// `Leaving` entry — so the recovery converges by gossip alone, with
+    /// no harness-forced view synchronisation.
+    Rejoin {
+        /// The rejoining node's view, its own entry freshly bumped.
+        view: RingView<ReplicaId>,
     },
     /// Range transfer: a donor (current owner, or a leaving node
     /// draining) streams per-key states for ranges that changed owners.
@@ -196,26 +208,25 @@ pub enum Msg<M: Mechanism<StampedValue>> {
         /// The acknowledged transfer id.
         id: u64,
     },
-    /// Ring-view push: the sender's full view, sent to peers observed
-    /// routing with a stale epoch, in answer to a [`Msg::RingPull`], and
-    /// by gossip on digest mismatch. The receiver adopts the view when
-    /// its epoch is newer than its own.
+    /// Ring-view push: the sender's full mergeable view, sent to any
+    /// peer observed with a differing view digest (request headers,
+    /// gossip digests, AAE piggybacks). The receiver merges it; if the
+    /// merged result still differs from what was received — the sender
+    /// lacks entries the receiver holds — the receiver pushes the merged
+    /// view back, so one exchange converges both ends.
     RingEpoch {
         /// The sender's complete ring view.
         view: RingView<ReplicaId>,
     },
-    /// Periodic gossip: the sender's ring-view digest (its epoch). A
-    /// receiver with a newer view pushes [`Msg::RingEpoch`]; a receiver
-    /// with an older view answers [`Msg::RingPull`]; equal digests end
-    /// the round.
+    /// Periodic gossip: the sender's ring-view digest (a 64-bit hash of
+    /// its merged membership state). A receiver whose own digest differs
+    /// pushes its full view ([`Msg::RingEpoch`]); equal digests end the
+    /// round. Digests carry no order — merging, not comparison, decides
+    /// what changes.
     GossipDigest {
-        /// The sender's ring epoch.
-        epoch: u64,
+        /// The sender's ring-view digest.
+        digest: u64,
     },
-    /// Ring-view pull request: the sender learned (from a digest or a
-    /// request epoch) that the receiver holds a newer view and asks for
-    /// it in full. Answered with [`Msg::RingEpoch`].
-    RingPull,
     /// Fallback → recovered replica: hinted state handed off.
     Handoff {
         /// Key handed off.
@@ -228,6 +239,12 @@ pub enum Msg<M: Mechanism<StampedValue>> {
         /// Key acknowledged.
         key: Key,
     },
+}
+
+/// Wire size of a ring view: per entry a 4-byte member id, an 8-byte
+/// incarnation and a status tag.
+pub fn view_wire_size(view: &RingView<ReplicaId>) -> usize {
+    13 * view.entry_count()
 }
 
 /// Wire size of a full per-key state: causal metadata plus the values.
@@ -289,7 +306,8 @@ impl<M: Mechanism<StampedValue>> Msg<M> {
                     + if hint.is_some() { 4 } else { 0 }
             }
             Msg::RepWriteResp { key, state, .. } => key.len() + 8 + state_wire_size(mech, state),
-            Msg::JoinAnnounce { view, .. } => 8 + 4 * view.members.len() + 5,
+            Msg::JoinAnnounce { view, .. } => view_wire_size(view) + 5,
+            Msg::Rejoin { view } => view_wire_size(view),
             Msg::RangeTransfer { entries, .. } => {
                 8 + entries
                     .iter()
@@ -297,9 +315,8 @@ impl<M: Mechanism<StampedValue>> Msg<M> {
                     .sum::<usize>()
             }
             Msg::TransferAck { .. } => 8,
-            Msg::RingEpoch { view } => 8 + 4 * view.members.len(),
+            Msg::RingEpoch { view } => view_wire_size(view),
             Msg::GossipDigest { .. } => 8,
-            Msg::RingPull => 1,
             Msg::Handoff { key, state } => key.len() + state_wire_size(mech, state),
             Msg::HandoffAck { key } => key.len(),
         }
@@ -344,7 +361,7 @@ mod tests {
         let get: Msg<M> = Msg::ClientGet {
             req: 1,
             key: b"k".to_vec(),
-            epoch: 0,
+            digest: 0,
         };
         let resp: Msg<M> = Msg::RepGetResp {
             req: 1,
@@ -379,12 +396,12 @@ mod tests {
     fn membership_messages_scale_with_members_and_entries() {
         let mech = DvvMechanism;
         let announce: Msg<M> = Msg::JoinAnnounce {
-            view: RingView::new(3, vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)]),
+            view: RingView::from_members([ReplicaId(0), ReplicaId(1), ReplicaId(2)]),
             who: ReplicaId(2),
             joining: true,
         };
         let small: Msg<M> = Msg::JoinAnnounce {
-            view: RingView::new(3, vec![ReplicaId(0)]),
+            view: RingView::from_members([ReplicaId(0)]),
             who: ReplicaId(0),
             joining: false,
         };
@@ -402,24 +419,34 @@ mod tests {
         assert!(transfer.wire_size(&mech) > empty.wire_size(&mech) + 64);
         let ack: Msg<M> = Msg::TransferAck { id: 1 };
         assert_eq!(ack.wire_size(&mech), 8);
-        let epoch: Msg<M> = Msg::RingEpoch {
-            view: RingView::new(3, vec![ReplicaId(0), ReplicaId(1)]),
+        let push: Msg<M> = Msg::RingEpoch {
+            view: RingView::from_members([ReplicaId(0), ReplicaId(1)]),
         };
-        assert_eq!(epoch.wire_size(&mech), 16);
+        assert_eq!(push.wire_size(&mech), 26, "13 bytes per view entry");
+        // tombstoned entries still ride along: they are what makes a
+        // departure survive merges
+        let mut with_tombstone = RingView::from_members([ReplicaId(0), ReplicaId(1)]);
+        with_tombstone.bump(&ReplicaId(2), ring::MemberStatus::Removed);
+        let bigger: Msg<M> = Msg::RingEpoch {
+            view: with_tombstone,
+        };
+        assert_eq!(bigger.wire_size(&mech), 39);
     }
 
     #[test]
     fn gossip_messages_are_tiny() {
         let mech = DvvMechanism;
-        let digest: Msg<M> = Msg::GossipDigest { epoch: 9 };
+        let digest: Msg<M> = Msg::GossipDigest { digest: 9 };
         assert_eq!(digest.wire_size(&mech), 8);
-        let pull: Msg<M> = Msg::RingPull;
-        assert_eq!(pull.wire_size(&mech), 1);
         // a digest is strictly cheaper than any full view push
         let push: Msg<M> = Msg::RingEpoch {
-            view: RingView::new(9, vec![ReplicaId(0)]),
+            view: RingView::from_members([ReplicaId(0)]),
         };
         assert!(digest.wire_size(&mech) < push.wire_size(&mech));
+        let rejoin: Msg<M> = Msg::Rejoin {
+            view: RingView::from_members([ReplicaId(0), ReplicaId(1)]),
+        };
+        assert_eq!(rejoin.wire_size(&mech), 26);
     }
 
     #[test]
@@ -462,7 +489,10 @@ mod tests {
     fn aae_root_is_tiny() {
         // 8 bytes of Merkle root + 8 bytes of piggybacked ring digest
         let mech = DvvMechanism;
-        let m: Msg<M> = Msg::AaeRoot { root: 42, epoch: 3 };
+        let m: Msg<M> = Msg::AaeRoot {
+            root: 42,
+            digest: 3,
+        };
         assert_eq!(m.wire_size(&mech), 16);
     }
 }

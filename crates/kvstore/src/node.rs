@@ -7,7 +7,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use dvv::mechanisms::{Mechanism, WriteOrigin};
 use dvv::{ClientId, ReplicaId};
-use ring::{HashRing, Membership, RingView};
+use ring::{HashRing, MemberStatus, Membership, RingView};
 use simnet::{NodeId, ProcessCtx, SimTime, TimerId};
 
 use crate::config::StoreConfig;
@@ -125,17 +125,23 @@ type HintFlight = Option<(SimTime, u64)>;
 /// and for elastic membership, where a node that just left the ring
 /// keeps coordinating stale client requests without polluting its store.
 ///
-/// Ring views spread by **gossip**: a membership change is announced to
-/// its subject only; every other process learns the new view from
-/// periodic digest exchanges ([`Msg::GossipDigest`]), digests
-/// piggybacked on anti-entropy roots, eager pushes after adopting a
-/// view, and request epochs (a request from a peer with a *newer* view
-/// triggers an immediate pull).
+/// Ring views spread by **gossip** and are *mergeable*: a membership
+/// change is announced to its subject only; every other process learns
+/// it from periodic digest exchanges ([`Msg::GossipDigest`]), digests
+/// piggybacked on anti-entropy roots, eager pushes after merging a view,
+/// and request digests. Views version each member independently
+/// ([`RingView`]), so two concurrent changes — announced on different
+/// sides of a partition — merge deterministically instead of racing, and
+/// a node whose leave-drain times out is re-admitted in band
+/// ([`Msg::Rejoin`]) rather than by harness fiat.
 #[derive(Debug)]
 pub struct StoreNode<M: Mechanism<StampedValue>> {
     replica: ReplicaId,
     mech: M,
     config: StoreConfig,
+    /// The mergeable membership state this node has gossiped together.
+    view: RingView<ReplicaId>,
+    /// The hash ring derived from `view` (rebuilt on every view change).
     ring: HashRing<ReplicaId>,
     membership: Membership<ReplicaId>,
     data: BTreeMap<Key, M::State>,
@@ -164,19 +170,22 @@ pub struct StoreNode<M: Mechanism<StampedValue>> {
 }
 
 impl<M: Mechanism<StampedValue>> StoreNode<M> {
-    /// Creates the replica server for `replica`.
+    /// Creates the replica server for `replica`, routing under `view`
+    /// (ring and failure-detector membership are derived from it).
     pub fn new(
         replica: ReplicaId,
         mech: M,
         config: StoreConfig,
-        ring: HashRing<ReplicaId>,
-        membership: Membership<ReplicaId>,
+        view: RingView<ReplicaId>,
     ) -> Self {
         config.validate();
+        let ring = view.to_ring(config.vnodes);
+        let membership = Membership::new(view.members());
         StoreNode {
             replica,
             mech,
             config,
+            view,
             ring,
             membership,
             data: BTreeMap::new(),
@@ -200,10 +209,9 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         replica: ReplicaId,
         mech: M,
         config: StoreConfig,
-        ring: HashRing<ReplicaId>,
-        membership: Membership<ReplicaId>,
+        view: RingView<ReplicaId>,
     ) -> Self {
-        let mut node = Self::new(replica, mech, config, ring, membership);
+        let mut node = Self::new(replica, mech, config, view);
         node.active = false;
         node
     }
@@ -228,9 +236,21 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         self.active
     }
 
-    /// The ring epoch this node currently routes under.
+    /// Monotone version of this node's ring view (sum of member
+    /// incarnations — grows with every membership change merged in).
     pub fn ring_epoch(&self) -> u64 {
-        self.ring.epoch()
+        self.view.version()
+    }
+
+    /// The mergeable membership state this node currently routes under.
+    pub fn view(&self) -> &RingView<ReplicaId> {
+        &self.view
+    }
+
+    /// Digest of this node's ring view; equal digests mean identical
+    /// merged membership states (the convergence check).
+    pub fn view_digest(&self) -> u64 {
+        self.view.digest()
     }
 
     /// Unacknowledged outbound range-transfer batches.
@@ -259,31 +279,19 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         }
     }
 
-    /// Control-plane view synchronisation: adopts `(members, epoch)` when
-    /// newer and reconciles membership (new members are inserted up,
-    /// failure-detector `Down` marks survive — the gossip path never puts
-    /// members in the ring crate's `Joining`/`Leaving` transition states,
-    /// so there is nothing to settle). With gossip dissemination this is
-    /// a **safety valve**, not a correctness step — the harness only
-    /// forces it when configured to, or to recover from a supervision
-    /// timeout.
-    pub fn sync_view(&mut self, members: &[ReplicaId], epoch: u64) {
-        if epoch > self.ring.epoch() {
-            self.ring = HashRing::from_members(members.iter().copied(), self.ring.vnodes(), epoch);
+    /// Control-plane view synchronisation: merges `view` and rebuilds the
+    /// routing state, without queuing any rebalance (no network context).
+    /// With gossip dissemination and in-band re-admission this is a
+    /// **safety valve**, not a correctness step — the harness only
+    /// applies it when [`force_view_sync`] is configured.
+    ///
+    /// [`force_view_sync`]: crate::cluster::ClusterConfig::force_view_sync
+    pub fn force_view(&mut self, view: &RingView<ReplicaId>) {
+        if self.view.merge(view) {
+            self.ring = self.view.to_ring(self.config.vnodes);
+            self.reconcile_self_status();
         }
-        self.membership.sync_members(members);
-    }
-
-    /// Aborts an unfinished leave (the control plane re-admitted this
-    /// node): stops draining but keeps the unacknowledged transfer
-    /// backlog. The retry machinery lets those batches finish on their
-    /// own: on ack, keys this (re-admitted) node owns again are simply
-    /// kept, while keys it holds without owning — e.g. residual copies
-    /// queued for retirement before the leave — are still dropped, so no
-    /// copy goes back to being unaccounted. Data already transferred
-    /// stays merged at the targets (harmless — merges are monotone).
-    pub fn cancel_leave(&mut self) {
-        self.leaving = false;
+        self.membership.sync_members(&self.view.members());
     }
 
     /// Completes a leave after the drain: clears the (fully drained)
@@ -448,17 +456,32 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
 
     // --- ring-view gossip --------------------------------------------------
 
-    /// Reacts to a peer's observed ring epoch (request header, gossip
-    /// digest, or AAE piggyback): a peer behind our view gets the full
-    /// view pushed; a peer ahead of us is asked for its view — so a stale
-    /// coordinator self-heals immediately instead of silently routing on
-    /// an old ring.
-    fn note_peer_epoch(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, from: NodeId, epoch: u64) {
-        if epoch < self.ring.epoch() {
-            let view = self.ring.view();
+    /// Reacts to a peer's observed ring-view digest (request header,
+    /// gossip digest, or AAE piggyback): any mismatch pushes this node's
+    /// full view. Digests carry no order, so "behind" and "ahead" are
+    /// meaningless — the receiver merges, and pushes its merged view back
+    /// if the received one was incomplete ([`Self::handle_ring_epoch`]),
+    /// which converges both ends in at most one round-trip.
+    fn note_peer_digest(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, from: NodeId, digest: u64) {
+        if digest != self.view.digest() {
+            let view = self.view.clone();
             self.send(ctx, from, Msg::RingEpoch { view });
-        } else if epoch > self.ring.epoch() {
-            self.send(ctx, from, Msg::RingPull);
+        }
+    }
+
+    /// Merges a pushed full view; if the sender's copy was missing
+    /// entries this node holds ([`RingView::absorb`]), pushes the merged
+    /// view back so the exchange leaves both ends identical.
+    fn handle_ring_epoch(
+        &mut self,
+        ctx: &mut ProcessCtx<'_, Msg<M>>,
+        from: NodeId,
+        view: &RingView<ReplicaId>,
+    ) {
+        let sender_lacks = self.merge_view(ctx, view).1;
+        if sender_lacks {
+            let merged = self.view.clone();
+            self.send(ctx, from, Msg::RingEpoch { view: merged });
         }
     }
 
@@ -475,11 +498,11 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             return;
         }
         self.stats.gossip_rounds += 1;
-        let epoch = self.ring.epoch();
+        let digest = self.view.digest();
         for _ in 0..fanout.min(peers.len()) {
             let idx = ctx.rng().range_u64(0, peers.len() as u64) as usize;
             let peer = peers.swap_remove(idx);
-            self.send(ctx, NodeId(peer.0), Msg::GossipDigest { epoch });
+            self.send(ctx, NodeId(peer.0), Msg::GossipDigest { digest });
         }
     }
 
@@ -491,20 +514,48 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         }
     }
 
-    /// Adopts a strictly newer ring view: rebuilds the ring, reconciles
-    /// membership (new members start up, departed members are forgotten,
-    /// failure-detector marks survive), retargets hint obligations aimed
-    /// at departed nodes, queues the data motion the change implies
-    /// (donations to owners that gained ranges, retirement of residual
-    /// copies this node holds but no longer owns), and pushes the view on
-    /// eagerly. Returns whether the view was adopted.
-    fn adopt_view(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, view: &RingView<ReplicaId>) -> bool {
-        if !view.supersedes(self.ring.epoch()) {
-            return false;
+    /// Reconciles this node's lifecycle flags with what the merged view
+    /// says about it: a `Leaving`/`Removed` entry starts (or keeps) the
+    /// drain; an `Up`/`Joining` entry that beat a stale `Leaving` one is
+    /// an in-band re-admission — stop draining but keep the unacked
+    /// transfer backlog. The retry machinery lets those batches finish on
+    /// their own: on ack, keys this (re-admitted) node owns again are
+    /// simply kept, while keys it holds without owning — e.g. residual
+    /// copies queued for retirement before the leave — are still dropped,
+    /// so no copy goes back to being unaccounted.
+    fn reconcile_self_status(&mut self) {
+        if !self.active {
+            return;
         }
-        let vnodes = self.ring.vnodes();
-        let old_ring = std::mem::replace(&mut self.ring, view.to_ring(vnodes));
-        self.membership.sync_members(&view.members);
+        match self.view.status(&self.replica) {
+            Some(MemberStatus::Leaving | MemberStatus::Removed) => self.leaving = true,
+            Some(MemberStatus::Up | MemberStatus::Joining) => self.leaving = false,
+            None => {}
+        }
+    }
+
+    /// Merges a learned ring view into this node's; on change, rebuilds
+    /// the ring, reconciles membership (new members start up, departed
+    /// members are forgotten, failure-detector marks survive) and this
+    /// node's own lifecycle ([`Self::reconcile_self_status`]), retargets
+    /// hint obligations aimed at departed nodes, queues the data motion
+    /// the *pre/post-merge ownership diff* implies (donations to owners
+    /// that gained ranges, retirement of residual copies this node holds
+    /// but no longer owns), and pushes the view on eagerly. Returns
+    /// `(changed, sender_lacks)` as reported by [`RingView::absorb`].
+    fn merge_view(
+        &mut self,
+        ctx: &mut ProcessCtx<'_, Msg<M>>,
+        view: &RingView<ReplicaId>,
+    ) -> (bool, bool) {
+        let (changed, sender_lacks) = self.view.absorb(view);
+        if !changed {
+            return (false, sender_lacks);
+        }
+        let old_ring = std::mem::replace(&mut self.ring, self.view.to_ring(self.config.vnodes));
+        let members = self.view.members();
+        self.membership.sync_members(&members);
+        self.reconcile_self_status();
         // hints aimed at a non-member can never be handed off; retarget
         // each such obligation to the key's new primary (scanning the
         // hints themselves, not just the old ring's members, also cures
@@ -513,7 +564,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             .hints
             .keys()
             .map(|(_, intended)| *intended)
-            .filter(|intended| !view.members.contains(intended))
+            .filter(|intended| !members.contains(intended))
             .collect();
         for gone in stale_intendeds {
             self.retarget_hints(gone);
@@ -522,15 +573,19 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             // transfers aimed at a departed member can never be acked:
             // drop those jobs — queue_rebalance below re-plans every
             // still-held key (non-owned keys go to their current primary)
-            self.outbound
-                .retain(|_, job| view.members.contains(&job.to));
+            self.outbound.retain(|_, job| members.contains(&job.to));
             self.queue_rebalance(ctx, &old_ring);
+            if self.leaving {
+                // the rebalance doubles as the drain plan; make sure the
+                // retry timer is armed even when nothing queued yet
+                self.ensure_transfer_timer(ctx);
+            }
             // eager epidemic push: a new view spreads at message latency,
             // with the periodic digest timer as the partition-proof
             // backstop
             self.gossip_once(ctx, 2);
         }
-        true
+        (true, sender_lacks)
     }
 
     /// Moves every hint obligation aimed at `gone` to the key's current
@@ -618,9 +673,9 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         from: NodeId,
         req: ReqId,
         key: Key,
-        epoch: u64,
+        digest: u64,
     ) {
-        self.note_peer_epoch(ctx, from, epoch);
+        self.note_peer_digest(ctx, from, digest);
         let (active, subs) = self.active_replicas(&key);
         if active.is_empty() {
             self.stats.quorum_timeouts += 1;
@@ -788,9 +843,9 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         key: Key,
         value: StampedValue,
         put_ctx: M::Context,
-        epoch: u64,
+        digest: u64,
     ) {
-        self.note_peer_epoch(ctx, from, epoch);
+        self.note_peer_digest(ctx, from, digest);
         let (active, substitutions) = self.active_replicas(&key);
         if active.is_empty() {
             self.stats.quorum_timeouts += 1;
@@ -1029,7 +1084,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 NodeId(peer.0),
                 Msg::AaeRoot {
                     root,
-                    epoch: self.ring.epoch(),
+                    digest: self.view.digest(),
                 },
             );
         }
@@ -1161,7 +1216,10 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
 
     /// Applies a control-plane membership announcement. Only the
     /// *subject* of the change receives one; every other process learns
-    /// the view transitively through gossip.
+    /// the view transitively through gossip. Lifecycle effects — start
+    /// draining on a leave, stop on a re-admission — fall out of
+    /// [`Self::merge_view`]'s self-status reconciliation, so a node that
+    /// learns about its *own* change transitively behaves identically.
     fn handle_announce(
         &mut self,
         ctx: &mut ProcessCtx<'_, Msg<M>>,
@@ -1169,31 +1227,24 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         who: ReplicaId,
         joining: bool,
     ) {
-        if !(self.active || joining && who == self.replica) {
+        let wakes = joining
+            && who == self.replica
+            && !self.active
+            && view
+                .status(&self.replica)
+                .is_some_and(MemberStatus::in_ring);
+        if !(self.active || wakes) {
             return; // dormant spares only wake for their own join
         }
-        if who == self.replica {
-            if !view.supersedes(self.ring.epoch()) {
-                return; // stale or duplicate announcement
-            }
-            if joining {
-                self.active = true;
-                self.leaving = false;
-                self.membership.mark_up(&self.replica);
-                self.adopt_view(ctx, &view);
-                self.arm_periodic_timers(ctx);
-            } else {
-                self.leaving = true;
-                // adopting a ring without ourselves plans the drain:
-                // every held key is now non-owned and gets queued
-                self.adopt_view(ctx, &view);
-                self.ensure_transfer_timer(ctx);
-            }
-        } else {
-            // not the subject (e.g. a harness-posted view push): treat it
-            // like any gossip-learned view
-            self.adopt_view(ctx, &view);
+        if wakes {
+            self.active = true;
+            self.leaving = false;
+            self.membership.mark_up(&self.replica);
+            self.merge_view(ctx, &view);
+            self.arm_periodic_timers(ctx);
+            return;
         }
+        self.merge_view(ctx, &view);
     }
 
     fn handle_transfer_ack(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, id: u64) {
@@ -1257,41 +1308,37 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     pub fn on_message(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, from: NodeId, msg: Msg<M>) {
         if !self.active {
             // A dormant node serves no data, but it stays a good ring
-            // citizen: it wakes for its own join, answers view pulls,
-            // passively adopts newer views, and points stale peers (e.g.
-            // clients still routing to a retired leaver) at its view.
+            // citizen: it wakes for its own join, passively merges views,
+            // and answers digest mismatches (e.g. clients still routing
+            // to a retired leaver) with its own view.
             match msg {
                 Msg::JoinAnnounce { view, who, joining } => {
                     self.handle_announce(ctx, view, who, joining);
                 }
-                Msg::RingPull => {
-                    let view = self.ring.view();
-                    self.send(ctx, from, Msg::RingEpoch { view });
-                }
                 Msg::RingEpoch { view } => {
-                    self.adopt_view(ctx, &view);
+                    self.handle_ring_epoch(ctx, from, &view);
                 }
-                Msg::GossipDigest { epoch }
-                | Msg::AaeRoot { epoch, .. }
-                | Msg::ClientGet { epoch, .. }
-                | Msg::ClientPut { epoch, .. } => {
-                    self.note_peer_epoch(ctx, from, epoch);
+                Msg::GossipDigest { digest }
+                | Msg::AaeRoot { digest, .. }
+                | Msg::ClientGet { digest, .. }
+                | Msg::ClientPut { digest, .. } => {
+                    self.note_peer_digest(ctx, from, digest);
                 }
                 _ => {}
             }
             return;
         }
         match msg {
-            Msg::ClientGet { req, key, epoch } => {
-                self.handle_client_get(ctx, from, req, key, epoch)
+            Msg::ClientGet { req, key, digest } => {
+                self.handle_client_get(ctx, from, req, key, digest)
             }
             Msg::ClientPut {
                 req,
                 key,
                 value,
                 ctx: put_ctx,
-                epoch,
-            } => self.handle_client_put(ctx, from, req, key, value, put_ctx, epoch),
+                digest,
+            } => self.handle_client_put(ctx, from, req, key, value, put_ctx, digest),
             Msg::RepGet { req, key } => {
                 let state = self.data.get(&key).cloned().unwrap_or_default();
                 self.send(ctx, from, Msg::RepGetResp { req, key, state });
@@ -1381,9 +1428,9 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             Msg::ReadRepair { key, state, hint } => {
                 self.absorb_remote_state(&key, &state, hint);
             }
-            Msg::AaeRoot { root, epoch } => {
+            Msg::AaeRoot { root, digest } => {
                 // the root doubles as a gossip digest carrier
-                self.note_peer_epoch(ctx, from, epoch);
+                self.note_peer_digest(ctx, from, digest);
                 let mine = self.merkle_summary_shared(ReplicaId(from.0));
                 if mine.root() != root {
                     self.send(
@@ -1492,14 +1539,20 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             }
             Msg::TransferAck { id } => self.handle_transfer_ack(ctx, id),
             Msg::RingEpoch { view } => {
-                self.adopt_view(ctx, &view);
+                self.handle_ring_epoch(ctx, from, &view);
             }
-            Msg::GossipDigest { epoch } => {
-                self.note_peer_epoch(ctx, from, epoch);
+            Msg::Rejoin { view } => {
+                // In-band re-admission of this node: the carried view
+                // holds a fresh `Up` incarnation for us that beats the
+                // stale `Leaving` entry; merge_view cancels the drain
+                // (keeping the unacked transfer backlog) and re-plans
+                // ownership, and gossip spreads the re-admission from
+                // here — no harness view synchronisation.
+                self.membership.mark_up(&self.replica);
+                self.merge_view(ctx, &view);
             }
-            Msg::RingPull => {
-                let view = self.ring.view();
-                self.send(ctx, from, Msg::RingEpoch { view });
+            Msg::GossipDigest { digest } => {
+                self.note_peer_digest(ctx, from, digest);
             }
             // client-facing responses never arrive at servers
             Msg::ClientGetResp { .. } | Msg::ClientPutResp { .. } => {}

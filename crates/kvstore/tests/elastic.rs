@@ -18,9 +18,9 @@ use kvstore::config::{ClientConfig, StoreConfig};
 use kvstore::messages::Msg;
 use kvstore::node::StoreNode;
 use kvstore::value::{Key, StampedValue, WriteId};
-use ring::{HashRing, Membership};
+use ring::{HashRing, RingView};
 use simnet::{Duration, NetworkConfig, NodeId, SimTime, Simulation};
-use workloads::{ChurnAction, ChurnPlan};
+use workloads::{churn_seeds, ChurnAction, ChurnPlan};
 
 type M = DvvMechanism;
 
@@ -56,14 +56,14 @@ fn quiet_config(servers: usize) -> ClusterConfig {
 fn non_owner_coordinator_keeps_its_store_empty_and_delegates_writes() {
     let (key, outsider, owners) = key_with_outsider(4, 3);
     let mut c = Cluster::new(7, DvvMechanism, quiet_config(4));
-    let epoch = c.ring_epoch();
+    let digest = c.view_digest();
 
     let put: Msg<M> = Msg::ClientPut {
         req: 1,
         key: key.clone(),
         value: StampedValue::new(WriteId::new(ClientId(9), 1), vec![7u8; 16]),
         ctx: Default::default(),
-        epoch,
+        digest,
     };
     c.sim_mut().post(NodeId(outsider.0), put);
     c.run_for(Duration::from_millis(50));
@@ -91,7 +91,7 @@ fn non_owner_coordinator_keeps_its_store_empty_and_delegates_writes() {
     let get: Msg<M> = Msg::ClientGet {
         req: 2,
         key: key.clone(),
-        epoch,
+        digest,
     };
     c.sim_mut().post(NodeId(outsider.0), get);
     c.run_for(Duration::from_millis(50));
@@ -114,7 +114,7 @@ fn non_owner_coordinator_cannot_substitute_for_a_real_replica() {
     cfg.store.r = 3;
     cfg.store.w = 3;
     let mut c = Cluster::new(9, DvvMechanism, cfg);
-    let epoch = c.ring_epoch();
+    let digest = c.view_digest();
 
     let silent = owners[2];
     let reachable: Vec<NodeId> = (0..5u32)
@@ -130,10 +130,14 @@ fn non_owner_coordinator_cannot_substitute_for_a_real_replica() {
         key: key.clone(),
         value: StampedValue::new(WriteId::new(ClientId(9), 1), vec![7u8; 16]),
         ctx: Default::default(),
-        epoch,
+        digest,
     };
     c.sim_mut().post(NodeId(outsider.0), put);
-    let get: Msg<M> = Msg::ClientGet { req: 2, key, epoch };
+    let get: Msg<M> = Msg::ClientGet {
+        req: 2,
+        key,
+        digest,
+    };
     c.sim_mut().post(NodeId(outsider.0), get);
     c.run_for(Duration::from_millis(200));
 
@@ -211,14 +215,14 @@ fn aae_divergence_is_an_initiator_side_statistic() {
     // responder's counters stay zero so divergent/rounds ratios are
     // meaningful per node.
     let replicas = [ReplicaId(0), ReplicaId(1)];
-    let ring = HashRing::with_vnodes(replicas, 16);
-    let membership = Membership::new(replicas);
+    let view = RingView::from_members(replicas);
     let initiator_cfg = StoreConfig {
         n: 2,
         r: 1,
         w: 1,
         anti_entropy_interval: Duration::from_millis(10),
         handoff_interval: Duration::ZERO,
+        vnodes: 16,
         ..StoreConfig::default()
     };
     let responder_cfg = StoreConfig {
@@ -234,16 +238,9 @@ fn aae_divergence_is_an_initiator_side_statistic() {
                 ReplicaId(0),
                 mech,
                 initiator_cfg,
-                ring.clone(),
-                membership.clone(),
+                view.clone(),
             )),
-            StoreProc::Server(StoreNode::new(
-                ReplicaId(1),
-                mech,
-                responder_cfg,
-                ring,
-                membership,
-            )),
+            StoreProc::Server(StoreNode::new(ReplicaId(1), mech, responder_cfg, view)),
         ],
     );
 
@@ -385,11 +382,13 @@ fn live_leave_drains_ranges_without_losing_acked_writes() {
 }
 
 #[test]
-fn failed_drain_readmits_the_leaver_under_a_fresh_epoch() {
+fn failed_drain_readmits_the_leaver_in_band_under_a_fresh_incarnation() {
     // Isolate the leaver so its drain can never be acknowledged: the
-    // removal must fail, re-admit the node under a *fresh* epoch (a
-    // reused epoch would permanently split routing views, since view
-    // sync only applies strictly newer epochs), and keep its data.
+    // removal must fail and re-admit the node *in band* — a fresh `Up`
+    // incarnation carried by a `Rejoin` message, not a harness-forced
+    // view sync — keeping its data. While the partition stands, the
+    // surviving members still hold the `Leaving` entry; after the heal,
+    // gossip alone must merge the re-admission everywhere.
     let mut cfg = elastic_config(6);
     cfg.servers = 4;
     cfg.spare_servers = 0;
@@ -397,11 +396,13 @@ fn failed_drain_readmits_the_leaver_under_a_fresh_epoch() {
     cfg.store.r = 2;
     cfg.store.w = 2;
     cfg.cycles_per_client = 10;
+    cfg.membership_settle_budget = Duration::from_secs(2);
+    assert!(!cfg.force_view_sync, "the in-band path is the default");
     let mut c = Cluster::new(31, DvvMechanism, cfg);
     assert!(c.run(), "workload completes before the churn");
     assert!(!c.server(0).data().is_empty());
 
-    let epoch_before = c.ring_epoch();
+    let version_before = c.ring_epoch();
     let others: Vec<NodeId> = (0..8u32).map(NodeId).filter(|n| n.0 != 0).collect();
     c.sim_mut().network_mut().partition_two(others, [NodeId(0)]);
     assert!(
@@ -418,19 +419,34 @@ fn failed_drain_readmits_the_leaver_under_a_fresh_epoch() {
         "an undrained store must not be cleared"
     );
     assert!(
-        c.ring_epoch() > epoch_before + 1,
-        "re-admission must spend a fresh epoch, not reuse the leave's"
+        c.ring_epoch() >= version_before + 2,
+        "the leave and the re-admission each spend a fresh incarnation"
     );
+    assert_eq!(
+        c.server(0).view_digest(),
+        c.view_digest(),
+        "the Rejoin carried the canonical view to the subject"
+    );
+    assert!(
+        c.member_slots()
+            .into_iter()
+            .filter(|&i| i != 0)
+            .any(|i| c.server(i).view_digest() != c.view_digest()),
+        "while partitioned, the survivors cannot have learned the rejoin yet"
+    );
+
+    // heal: gossip alone merges the re-admission into every view
+    c.sim_mut().network_mut().heal();
+    c.run_for(Duration::from_millis(500));
     for i in c.member_slots() {
         assert_eq!(
-            c.server(i).ring_epoch(),
-            c.ring_epoch(),
-            "server {i} diverged from the re-admitted view"
+            c.server(i).view_digest(),
+            c.view_digest(),
+            "server {i} did not converge onto the re-admitted view by gossip"
         );
     }
 
-    // heal and retry: now the drain goes through
-    c.sim_mut().network_mut().heal();
+    // retry: now the drain goes through
     assert!(c.remove_node_live(0), "drain succeeds once reachable");
     assert_eq!(c.member_slots(), vec![1, 2, 3]);
     c.converge();
@@ -440,7 +456,7 @@ fn failed_drain_readmits_the_leaver_under_a_fresh_epoch() {
 
 #[test]
 fn elastic_churn_with_partition_is_oracle_clean_across_seeds() {
-    for seed in [11u64, 29, 47] {
+    for seed in churn_seeds(&[11, 29, 47]) {
         let mut cfg = ClusterConfig {
             servers: 3,
             spare_servers: 2,

@@ -22,7 +22,7 @@ use kvstore::config::{ClientConfig, StoreConfig};
 use kvstore::messages::Msg;
 use kvstore::node::StoreNode;
 use kvstore::value::{Key, StampedValue, WriteId};
-use ring::{HashRing, Membership, RingView};
+use ring::{HashRing, MemberStatus, RingView};
 use simnet::{Duration, NetworkConfig, NodeId, Simulation, TraceEvent};
 
 type M = DvvMechanism;
@@ -82,7 +82,8 @@ fn gossip_spreads_a_join_through_a_partition() {
     let mut c = Cluster::new(17, DvvMechanism, cfg);
 
     c.run_for(Duration::from_millis(30));
-    let epoch_before = c.ring_epoch();
+    let version_before = c.ring_epoch();
+    let digest_before = c.view_digest();
 
     // cut server 2 off (node ids: servers 0..4, spare 4, clients 5..7)
     let others: Vec<NodeId> = (0..7u32).map(NodeId).filter(|n| n.0 != 2).collect();
@@ -90,19 +91,23 @@ fn gossip_spreads_a_join_through_a_partition() {
     c.set_replica_status(ReplicaId(2), false);
 
     let settled = c.add_node_live(4);
-    assert!(!settled, "a partitioned member cannot adopt the view");
-    let epoch = c.ring_epoch();
-    assert_eq!(epoch, epoch_before + 1);
+    assert!(!settled, "a partitioned member cannot merge the view");
+    assert_eq!(
+        c.ring_epoch(),
+        version_before + 1,
+        "one announcement, one incarnation"
+    );
+    let digest = c.view_digest();
     for i in [0usize, 1, 3, 4] {
         assert_eq!(
-            c.server(i).ring_epoch(),
-            epoch,
-            "reachable member {i} must have adopted the join via gossip"
+            c.server(i).view_digest(),
+            digest,
+            "reachable member {i} must have merged the join via gossip"
         );
     }
     assert_eq!(
-        c.server(2).ring_epoch(),
-        epoch_before,
+        c.server(2).view_digest(),
+        digest_before,
         "the partitioned member must still be on the old view"
     );
     assert!(c.server(4).is_active(), "the joiner serves regardless");
@@ -118,8 +123,8 @@ fn gossip_spreads_a_join_through_a_partition() {
     c.run_for(Duration::from_millis(500));
     for i in c.member_slots() {
         assert_eq!(
-            c.server(i).ring_epoch(),
-            epoch,
+            c.server(i).view_digest(),
+            digest,
             "server {i} did not converge via gossip after the heal"
         );
     }
@@ -167,7 +172,7 @@ fn aae_piggybacked_digests_converge_views_without_gossip_timer() {
         "join must settle on AAE piggybacks alone"
     );
     for i in c.member_slots() {
-        assert_eq!(c.server(i).ring_epoch(), c.ring_epoch(), "server {i}");
+        assert_eq!(c.server(i).view_digest(), c.view_digest(), "server {i}");
     }
     assert!(c.run());
     c.converge();
@@ -175,13 +180,14 @@ fn aae_piggybacked_digests_converge_views_without_gossip_timer() {
 }
 
 #[test]
-fn stale_coordinator_pulls_newer_view_from_request_epochs() {
+fn stale_coordinator_catches_up_from_request_digests() {
     // Both the gossip timer and AAE are off, so after the heal the *only*
     // dissemination channel left is the request path: clients that
-    // learned the new epoch (from RingEpoch pushes) route to the stale
-    // server, whose `note_peer_epoch` sees a newer epoch in the request
-    // and pulls the full view — the reverse direction of stale-epoch
-    // re-routing.
+    // learned the new view (from RingEpoch pushes) route to the stale
+    // server, whose `note_peer_digest` sees a mismatched digest in the
+    // request and pushes its own (stale) view — the client merges,
+    // notices the server lacked entries, and pushes the merged view
+    // back, so the exchange converges the server too.
     let mut cfg = ClusterConfig {
         servers: 4,
         spare_servers: 1,
@@ -213,19 +219,19 @@ fn stale_coordinator_pulls_newer_view_from_request_epochs() {
     let others: Vec<NodeId> = (0..8u32).map(NodeId).filter(|n| n.0 != 2).collect();
     c.sim_mut().network_mut().partition_two(others, [NodeId(2)]);
     c.set_replica_status(ReplicaId(2), false);
-    let old_epoch = c.server(2).ring_epoch();
+    let old_digest = c.server(2).view_digest();
     assert!(!c.add_node_live(4), "join cannot settle past the partition");
 
     c.sim_mut().network_mut().heal();
     c.set_replica_status(ReplicaId(2), true);
-    assert_eq!(c.server(2).ring_epoch(), old_epoch, "still stale");
+    assert_eq!(c.server(2).view_digest(), old_digest, "still stale");
 
     // client traffic alone must now catch server 2 up
     assert!(c.run(), "sessions finish");
     assert_eq!(
-        c.server(2).ring_epoch(),
-        c.ring_epoch(),
-        "a request carrying a newer epoch must have triggered a view pull"
+        c.server(2).view_digest(),
+        c.view_digest(),
+        "a request with a mismatched digest must have converged the views"
     );
 }
 
@@ -255,7 +261,7 @@ fn read_repair_to_a_substitute_records_a_hint_and_retires_the_copy() {
     };
     cfg.deadline = Duration::from_secs(1_000);
     let mut c = Cluster::new(7, DvvMechanism, cfg);
-    let epoch = c.ring_epoch();
+    let digest = c.view_digest();
     let (p0, p2) = (owners[0], owners[2]);
 
     // identical state at the two reachable owners; nothing at `d`
@@ -270,7 +276,7 @@ fn read_repair_to_a_substitute_records_a_hint_and_retires_the_copy() {
     let get: Msg<M> = Msg::ClientGet {
         req: 1,
         key: key.clone(),
-        epoch,
+        digest,
     };
     c.sim_mut().post(NodeId(p0.0), get);
     c.run_for(Duration::from_millis(10));
@@ -312,8 +318,7 @@ fn transfer_stats_count_sends_and_dedupe_duplicate_receipts() {
     // every duplicate and the donor counted the batch once.
     let mech = DvvMechanism;
     let replicas = [ReplicaId(0), ReplicaId(1)];
-    let ring = HashRing::with_vnodes(replicas, 16);
-    let membership = Membership::new(replicas);
+    let view = RingView::from_members(replicas);
     let cfg = StoreConfig {
         n: 1,
         r: 1,
@@ -321,26 +326,15 @@ fn transfer_stats_count_sends_and_dedupe_duplicate_receipts() {
         anti_entropy_interval: Duration::ZERO,
         handoff_interval: Duration::ZERO,
         gossip_interval: Duration::ZERO,
+        vnodes: 16,
         ..StoreConfig::default()
     };
     let mut sim: Simulation<StoreProc<M>> = Simulation::new(
         5,
         NetworkConfig::default(),
         vec![
-            StoreProc::Server(StoreNode::new(
-                ReplicaId(0),
-                mech,
-                cfg,
-                ring.clone(),
-                membership.clone(),
-            )),
-            StoreProc::Server(StoreNode::new(
-                ReplicaId(1),
-                mech,
-                cfg,
-                ring.clone(),
-                membership,
-            )),
+            StoreProc::Server(StoreNode::new(ReplicaId(0), mech, cfg, view.clone())),
+            StoreProc::Server(StoreNode::new(ReplicaId(1), mech, cfg, view.clone())),
         ],
     );
     for k in 0..4u8 {
@@ -352,10 +346,12 @@ fn transfer_stats_count_sends_and_dedupe_duplicate_receipts() {
 
     // acks (and everything else) from 1 to 0 are lost
     sim.network_mut().block_link(NodeId(1), NodeId(0));
+    let mut leave = view;
+    leave.bump(&ReplicaId(0), MemberStatus::Leaving);
     sim.post(
         NodeId(0),
         Msg::JoinAnnounce {
-            view: RingView::new(ring.epoch() + 1, vec![ReplicaId(1)]),
+            view: leave,
             who: ReplicaId(0),
             joining: false,
         },
@@ -403,8 +399,7 @@ fn handoff_inflight_tracking_suppresses_duplicate_sends() {
     // re-sent the state, flooding ~10 duplicates per 100ms.
     let mech = DvvMechanism;
     let replicas = [ReplicaId(0), ReplicaId(1)];
-    let ring = HashRing::with_vnodes(replicas, 16);
-    let membership = Membership::new(replicas);
+    let view = RingView::from_members(replicas);
     let cfg = StoreConfig {
         n: 2,
         r: 1,
@@ -413,20 +408,15 @@ fn handoff_inflight_tracking_suppresses_duplicate_sends() {
         gossip_interval: Duration::ZERO,
         handoff_interval: Duration::from_millis(10),
         handoff_retry_interval: Duration::from_millis(200),
+        vnodes: 16,
         ..StoreConfig::default()
     };
     let mut sim: Simulation<StoreProc<M>> = Simulation::new(
         9,
         NetworkConfig::default(),
         vec![
-            StoreProc::Server(StoreNode::new(
-                ReplicaId(0),
-                mech,
-                cfg,
-                ring.clone(),
-                membership.clone(),
-            )),
-            StoreProc::Server(StoreNode::new(ReplicaId(1), mech, cfg, ring, membership)),
+            StoreProc::Server(StoreNode::new(ReplicaId(0), mech, cfg, view.clone())),
+            StoreProc::Server(StoreNode::new(ReplicaId(1), mech, cfg, view)),
         ],
     );
     sim.trace_mut().enable();
@@ -479,7 +469,7 @@ fn churn_under_partition_leaves_no_residual_copies_across_seeds() {
     //  (a) every active server's epoch converged through gossip alone,
     //  (b) no server holds a key outside its preference list,
     //  (c) the pre-convergence surviving-union no-loss oracle is clean.
-    for seed in [5u64, 13, 21] {
+    for seed in workloads::churn_seeds(&[5, 13, 21]) {
         let mut cfg = ClusterConfig {
             servers: 3,
             spare_servers: 2,
@@ -521,12 +511,12 @@ fn churn_under_partition_leaves_no_residual_copies_across_seeds() {
         // get to finish their obligations
         c.run_for(Duration::from_secs(3));
 
-        // (a) epochs converged with force-sync disabled
+        // (a) views converged with force-sync disabled
         for i in c.member_slots() {
             assert_eq!(
-                c.server(i).ring_epoch(),
-                c.ring_epoch(),
-                "seed {seed}: server {i} epoch diverged"
+                c.server(i).view_digest(),
+                c.view_digest(),
+                "seed {seed}: server {i} view diverged"
             );
         }
         // (b) residual-copy audit

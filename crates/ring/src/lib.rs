@@ -14,9 +14,12 @@
 //!   joining / leaving), yielding *sloppy* preference lists (fallback
 //!   nodes stand in for down primaries, the precondition for hinted
 //!   handoff),
-//! * [`RingView`]: the versioned `(epoch, member set)` snapshot a ring
-//!   can be rebuilt from — the unit of state exchanged by gossip-based
-//!   ring dissemination.
+//! * [`RingView`]: a *mergeable* membership state (member →
+//!   `(incarnation, status)`, last-writer-wins per member) a ring can be
+//!   rebuilt from — the unit of state exchanged by gossip-based ring
+//!   dissemination. Its merge is a join-semilattice join, so concurrent
+//!   membership changes announced on different sides of a partition
+//!   merge instead of racing.
 //!
 //! ```
 //! use ring::{HashRing, Membership};
@@ -46,4 +49,4 @@ mod view;
 pub use hash::hash_key;
 pub use membership::{Membership, NodeStatus};
 pub use ring_impl::{HashRing, RangeDiff};
-pub use view::RingView;
+pub use view::{MemberEntry, MemberStatus, RingView};

@@ -1,0 +1,157 @@
+//! Property suite for the mergeable ring view: the per-member
+//! last-writer-wins merge must be a join-semilattice join — commutative,
+//! associative, idempotent — and therefore convergent under arbitrary
+//! delivery orders, duplication and re-merging; the derived artifacts
+//! (in-ring member set, digest, rebuilt ring) must agree wherever the
+//! merged states agree.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use ring::{MemberStatus, RingView};
+
+fn status_from(code: u8) -> MemberStatus {
+    match code % 4 {
+        0 => MemberStatus::Up,
+        1 => MemberStatus::Joining,
+        2 => MemberStatus::Leaving,
+        _ => MemberStatus::Removed,
+    }
+}
+
+/// An arbitrary view over a small id space: per slot an optional
+/// `(incarnation, status)` draw.
+fn arb_view() -> impl Strategy<Value = RingView<u32>> {
+    vec((0u8..5, 1u64..6, 0u8..4), 0..8).prop_map(|draws| {
+        let mut view = RingView::new();
+        for (node, incarnation, status) in draws {
+            // later draws for the same node overwrite earlier ones — any
+            // single-entry-per-member view is reachable
+            view.set(u32::from(node), incarnation, status_from(status));
+        }
+        view
+    })
+}
+
+/// A batch of announcement "deltas" plus a permutation seed.
+fn arb_deltas() -> impl Strategy<Value = (Vec<RingView<u32>>, u64)> {
+    (vec(arb_view(), 1..7), any::<u64>())
+}
+
+fn merged(a: &RingView<u32>, b: &RingView<u32>) -> RingView<u32> {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// Deterministic permutation of indices from a seed (splitmix-style).
+fn permuted<T: Clone>(items: &[T], mut seed: u64) -> Vec<T> {
+    let mut out: Vec<T> = items.to_vec();
+    for i in (1..out.len()).rev() {
+        seed = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(0x2545_f491_4f6c_dd1d);
+        let j = (seed % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in arb_view(), b in arb_view()) {
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(a in arb_view(), b in arb_view(), c in arb_view()) {
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn merge_is_idempotent(a in arb_view(), b in arb_view()) {
+        let once = merged(&a, &b);
+        prop_assert_eq!(merged(&once, &b), once.clone(), "re-merging an input is a no-op");
+        prop_assert_eq!(merged(&once, &a), once.clone());
+        prop_assert_eq!(merged(&once, &once), once);
+    }
+
+    #[test]
+    fn merge_reports_change_exactly_when_state_moves(a in arb_view(), b in arb_view()) {
+        let mut m = a.clone();
+        let changed = m.merge(&b);
+        prop_assert_eq!(changed, m != a, "merge() must report exactly whether it changed self");
+        prop_assert!(m.dominates(&a) && m.dominates(&b), "the join is an upper bound");
+        prop_assert_eq!(!changed, a.dominates(&b), "no change iff self already dominated");
+    }
+
+    #[test]
+    fn convergence_is_order_and_duplication_insensitive(
+        batch in arb_deltas(),
+        start_a in arb_view(),
+        start_b in arb_view(),
+    ) {
+        let (deltas, seed) = batch;
+        // Two replicas start from the *same* base (their own states merged
+        // both ways — what one gossip exchange establishes) and then apply
+        // the same announcement batch in different orders, with one side
+        // seeing duplicated deliveries. They must converge exactly.
+        let mut a = merged(&start_a, &start_b);
+        let mut b = merged(&start_b, &start_a);
+        prop_assert_eq!(&a, &b, "a two-way exchange equalises the bases");
+        for d in &deltas {
+            a.merge(d);
+        }
+        for d in permuted(&deltas, seed) {
+            b.merge(&d);
+            b.merge(&d); // duplicate delivery
+        }
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.digest(), b.digest());
+        prop_assert_eq!(a.members(), b.members());
+        // the rebuilt rings route identically
+        let (ra, rb) = (a.to_ring(8), b.to_ring(8));
+        prop_assert_eq!(ra.nodes(), rb.nodes());
+        for k in 0..20u32 {
+            let key = format!("k{k}");
+            prop_assert_eq!(
+                ra.preference_list(key.as_bytes(), 3),
+                rb.preference_list(key.as_bytes(), 3)
+            );
+        }
+    }
+
+    #[test]
+    fn per_member_entries_follow_the_lww_order(a in arb_view(), b in arb_view()) {
+        let m = merged(&a, &b);
+        for (node, entry) in m.iter() {
+            let from_a = a.entry(node);
+            let from_b = b.entry(node);
+            // the merged entry is one of the inputs' entries…
+            prop_assert!(
+                from_a == Some(entry) || from_b == Some(entry),
+                "merge invented an entry for {:?}", node
+            );
+            // …and beats (or equals) both
+            for source in [from_a, from_b].into_iter().flatten() {
+                prop_assert!(
+                    entry == source || entry.beats(source),
+                    "merged entry for {:?} lost to an input", node
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn version_is_monotone_under_merge(a in arb_view(), b in arb_view()) {
+        let m = merged(&a, &b);
+        prop_assert!(m.version() >= a.version());
+        // every in-ring member of the merge is in-ring in the input that
+        // supplied its winning entry
+        for node in m.members() {
+            let e = m.entry(&node).unwrap();
+            prop_assert!(e.status.in_ring());
+            prop_assert!(a.entry(&node) == Some(e) || b.entry(&node) == Some(e));
+        }
+    }
+}

@@ -111,9 +111,41 @@ impl ChurnPlan {
     }
 }
 
+/// The churn-scenario seed list actually run: `base`, extended by the
+/// comma-separated `EXTRA_CHURN_SEEDS` environment variable when set.
+/// The soak CI lane uses this to widen the cheap PR-gate seed set into a
+/// statistically meaningful nightly run without touching the tests.
+#[must_use]
+pub fn churn_seeds(base: &[u64]) -> Vec<u64> {
+    extend_seeds(base, std::env::var("EXTRA_CHURN_SEEDS").ok().as_deref())
+}
+
+fn extend_seeds(base: &[u64], extra: Option<&str>) -> Vec<u64> {
+    let mut seeds = base.to_vec();
+    for tok in extra.unwrap_or_default().split(',') {
+        if let Ok(seed) = tok.trim().parse::<u64>() {
+            if !seeds.contains(&seed) {
+                seeds.push(seed);
+            }
+        }
+    }
+    seeds
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn extend_seeds_parses_dedupes_and_ignores_garbage() {
+        assert_eq!(extend_seeds(&[1, 2], None), vec![1, 2]);
+        assert_eq!(
+            extend_seeds(&[1, 2], Some("7, 2,abc, 9,")),
+            vec![1, 2, 7, 9],
+            "parsed seeds append, duplicates and garbage are dropped"
+        );
+        assert_eq!(extend_seeds(&[], Some("")), Vec::<u64>::new());
+    }
 
     #[test]
     fn grow_then_shrink_orders_joins_first() {

@@ -36,7 +36,7 @@ pub mod ops;
 pub mod stats;
 pub mod zipf;
 
-pub use churn::{ChurnAction, ChurnEvent, ChurnPlan};
+pub use churn::{churn_seeds, ChurnAction, ChurnEvent, ChurnPlan};
 pub use keys::{KeySpace, Popularity};
 pub use ops::{Op, OpGenerator, OpMix};
 pub use stats::{Histogram, Summary};

@@ -1,13 +1,14 @@
 //! Elastic membership in action: while a workload runs, a spare node
 //! joins the ring (streaming its newly-owned key ranges from current
-//! owners) and then an original member leaves (draining its ranges to
-//! successors). Each change is announced to its *subject only* — every
-//! other process converges onto the new ring view through gossip
-//! (periodic digests, AAE piggybacks, eager pushes, request epochs),
-//! with the harness force-sync disabled. The oracle confirms that not a
-//! single acknowledged write is lost across either membership change,
-//! and a final audit shows no server holds keys outside its preference
-//! list.
+//! owners) and an original member leaves (draining its ranges to
+//! successors) — **concurrently**. Each change is announced to its
+//! *subject only*, as a fresh `(incarnation, status)` entry in a
+//! mergeable ring view; every other process converges onto the *merge*
+//! of both announcements through gossip (periodic digests, AAE
+//! piggybacks, eager pushes, request digests), with the harness
+//! force-sync disabled. The oracle confirms that not a single
+//! acknowledged write is lost across the overlapping changes, and a
+//! final audit shows no server holds keys outside its preference list.
 //!
 //! Run with `cargo run --example elastic_cluster`.
 
@@ -43,57 +44,66 @@ fn main() {
     println!("phase 1: 3-node cluster serving traffic (spare s3 dormant)");
     cluster.run_for(Duration::from_millis(40));
     println!(
-        "  t={} members={:?} epoch={}",
+        "  t={} members={:?} view_version={}",
         cluster.sim().now(),
         cluster.member_slots(),
         cluster.ring_epoch()
     );
 
-    println!("\nphase 2: s3 joins live — the announce goes to s3 alone; gossip");
-    println!("  spreads the view and owners stream s3's ranges over the wire");
-    let joined = cluster.add_node_live(3);
+    println!("\nphase 2: s3 joins and s0 leaves — both announced before either");
+    println!("  settles. The announcements are per-member versioned entries in a");
+    println!("  mergeable view, so the two concurrent changes merge instead of");
+    println!("  racing; gossip spreads the merged view and owners stream ranges");
+    let held_by_leaver = cluster.server(0).data().len();
+    cluster.begin_join(3);
+    cluster.begin_leave(0);
+    let settled = cluster.await_membership();
+    println!(
+        "  settled={} members={:?} view_version={}",
+        settled,
+        cluster.member_slots(),
+        cluster.ring_epoch()
+    );
+    assert!(settled, "overlapping join + leave must settle");
     let joiner = cluster.server(3);
     println!(
-        "  settled={} epoch={} transfers_in={} keys_at_joiner={}",
-        joined,
-        cluster.ring_epoch(),
+        "  joiner s3: transfers_in={} keys={} status={:?}",
         joiner.stats().transfers_in,
-        joiner.data().len()
+        joiner.data().len(),
+        cluster.view().status(&ReplicaId(3))
     );
-    assert!(joined, "join transfers must settle");
+    println!(
+        "  leaver s0: keys_drained={} store_empty={} status={:?}",
+        held_by_leaver,
+        cluster.server(0).data().is_empty(),
+        cluster.view().status(&ReplicaId(0))
+    );
+    assert!(
+        cluster.server(0).data().is_empty(),
+        "the leaver fully drained"
+    );
     for i in cluster.member_slots() {
         let s = cluster.server(i);
         println!(
-            "  s{i}: epoch={} gossip_rounds={} (converged with no force-sync)",
-            s.ring_epoch(),
+            "  s{i}: view_digest={:016x} gossip_rounds={} (no force-sync)",
+            s.view_digest(),
             s.stats().gossip_rounds
         );
-        assert_eq!(s.ring_epoch(), cluster.ring_epoch());
+        assert_eq!(s.view_digest(), cluster.view_digest());
     }
-    let new_ring = HashRing::with_vnodes((0..4u32).map(ReplicaId), 32);
-    let owned_here = joiner
+    let new_ring = HashRing::with_vnodes([1u32, 2, 3].map(ReplicaId), 32);
+    let owned_here = cluster
+        .server(3)
         .data()
         .keys()
         .filter(|k| new_ring.preference_list(k, 2).contains(&ReplicaId(3)))
         .count();
-    println!("  of which in s3's own ranges: {owned_here}");
+    println!("  of the joiner's keys, in its own ranges: {owned_here}");
 
-    println!("\nphase 3: s0 leaves live — it drains every range before retiring");
-    let held = cluster.server(0).data().len();
-    let left = cluster.remove_node_live(0);
-    println!(
-        "  settled={} members={:?} keys_drained={} leaver_empty={}",
-        left,
-        cluster.member_slots(),
-        held,
-        cluster.server(0).data().is_empty()
-    );
-    assert!(left, "leave drain must settle");
-
-    println!("\nphase 4: sessions finish on the reshaped cluster");
+    println!("\nphase 3: sessions finish on the reshaped cluster");
     assert!(cluster.run(), "all sessions finish");
 
-    println!("\nphase 5: residual-copy audit — after a quiescent period (and");
+    println!("\nphase 4: residual-copy audit — after a quiescent period (and");
     println!("  before the harness converge), no server may hold a key");
     println!("  outside its preference list");
     cluster.run_for(Duration::from_secs(3));
@@ -111,5 +121,5 @@ fn main() {
         report.total_writes, report.acked_writes, report.lost_updates, report.false_concurrency
     );
     assert!(report.is_clean(), "elastic membership must lose nothing");
-    println!("\nno acknowledged write was lost across join + leave ✓");
+    println!("\nno acknowledged write was lost across the overlapping join + leave ✓");
 }

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Mirrors every CI lane offline so a red lane can be reproduced without
+# waiting on (or having access to) the hosted runners.
+#
+#   scripts/ci_local.sh              # the PR gate: build-test, elastic,
+#                                    #   examples, bench-baseline lanes
+#   scripts/ci_local.sh --soak       # additionally the nightly soak lane
+#                                    #   (PROPTEST_CASES=1024 + extra
+#                                    #   churn seeds)
+#   scripts/ci_local.sh --lane elastic   # just one lane
+#
+# Lanes: build-test, elastic, examples, bench, soak.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+want_soak=0
+only_lane=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --soak) want_soak=1 ;;
+        --lane)
+            shift
+            only_lane="${1:-}"
+            [ -n "$only_lane" ] || { echo "--lane needs an argument" >&2; exit 2; }
+            ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+runs_lane() {
+    if [ -n "$only_lane" ]; then
+        [ "$only_lane" = "$1" ]
+    elif [ "$1" = soak ]; then
+        [ "$want_soak" -eq 1 ]
+    else
+        return 0
+    fi
+}
+
+banner() {
+    echo
+    echo "━━━ lane: $1 ━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━"
+}
+
+# The PR gate runs the suites with a cheap case count, exactly like CI;
+# export PROPTEST_CASES yourself to override.
+export PROPTEST_CASES="${PROPTEST_CASES:-64}"
+
+if runs_lane build-test; then
+    banner "build-test"
+    cargo build --release
+    cargo test -q
+    cargo bench --no-run
+    cargo clippy --all-targets -- -D warnings
+    cargo fmt --all --check
+fi
+
+if runs_lane elastic; then
+    banner "elastic"
+    cargo test -p kvstore --test elastic -- --nocapture
+    cargo test -p kvstore --test gossip -- --nocapture
+    cargo test -p kvstore --test overlap -- --nocapture
+    cargo test -p ring --test view_merge -- --nocapture
+fi
+
+if runs_lane examples; then
+    banner "examples"
+    ./scripts/smoke_examples.sh
+    cargo run -q --release --bin figures
+fi
+
+if runs_lane bench; then
+    banner "bench-baseline"
+    CRITERION_JSON_OUT="$PWD/BENCH_membership.json" \
+        cargo bench --bench membership -- --quick
+    CRITERION_JSON_OUT="$PWD/BENCH_store.json" \
+        cargo bench --bench store -- --quick
+    echo "baselines written to BENCH_membership.json / BENCH_store.json"
+fi
+
+if runs_lane soak; then
+    banner "soak"
+    PROPTEST_CASES="${SOAK_PROPTEST_CASES:-1024}" \
+    EXTRA_CHURN_SEEDS="${EXTRA_CHURN_SEEDS:-59,83,127,211,349}" \
+    bash -c '
+        set -euo pipefail
+        cargo test -p ring --test view_merge -- --nocapture
+        cargo test -p ring --test properties -- --nocapture
+        cargo test -p kvstore --test elastic -- --nocapture
+        cargo test -p kvstore --test gossip -- --nocapture
+        cargo test -p kvstore --test overlap -- --nocapture
+    '
+fi
+
+echo
+echo "all requested lanes green ✓"

@@ -7,6 +7,15 @@
 //! mean/min/max report per benchmark printed to stdout. It has none of
 //! upstream's statistical machinery (no outlier analysis, no HTML
 //! reports, no comparison against saved baselines).
+//!
+//! Two additions over upstream's surface support CI baselines:
+//!
+//! * `--quick` (argument) switches to a fast profile (short warm-up and
+//!   measurement windows, few samples) for smoke/baseline lanes;
+//! * `CRITERION_JSON_OUT=<path>` (environment) additionally writes every
+//!   completed benchmark as a machine-readable JSON array to `<path>`
+//!   (rewritten after each benchmark, so the file is valid JSON even if
+//!   the run is interrupted).
 
 #![forbid(unsafe_code)]
 
@@ -73,6 +82,7 @@ impl Criterion {
                     let _ = args.next();
                 }
                 "--list" => self.list_only = true,
+                "--quick" => self.apply_quick_profile(),
                 "--sample-size" => {
                     // same floor the programmatic setters assert
                     if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
@@ -86,6 +96,14 @@ impl Criterion {
             }
         }
         self
+    }
+
+    /// Fast mode for CI baseline lanes: enough samples to catch gross
+    /// regressions, cheap enough to run on every push (`--quick`).
+    fn apply_quick_profile(&mut self) {
+        self.warm_up_time = Duration::from_millis(50);
+        self.measurement_time = Duration::from_millis(150);
+        self.sample_size = 10;
     }
 
     /// Opens a named group of related benchmarks.
@@ -249,6 +267,73 @@ impl Bencher {
     }
 }
 
+/// One completed benchmark, as recorded for `CRITERION_JSON_OUT`.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    id: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+fn json_records() -> &'static std::sync::Mutex<Vec<BenchRecord>> {
+    static RECORDS: std::sync::OnceLock<std::sync::Mutex<Vec<BenchRecord>>> =
+        std::sync::OnceLock::new();
+    RECORDS.get_or_init(|| std::sync::Mutex::new(Vec::new()))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"id\": \"{}\", \"mean_ns\": {:.2}, \"min_ns\": {:.2}, \"max_ns\": {:.2}, \"samples\": {}, \"iters_per_sample\": {}}}",
+            json_escape(&r.id),
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            r.iters_per_sample
+        );
+        out.push_str(if i + 1 == records.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Records a finished benchmark and, when `CRITERION_JSON_OUT` names a
+/// path, rewrites the full JSON array there. Rewriting keeps the file
+/// valid JSON at every point of the run.
+fn record_result(record: BenchRecord) {
+    let mut records = json_records().lock().expect("bench record lock");
+    records.push(record);
+    if let Ok(path) = std::env::var("CRITERION_JSON_OUT") {
+        if !path.is_empty() {
+            let body = render_json(&records);
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("criterion shim: cannot write {path}: {e}");
+            }
+        }
+    }
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(cfg: &Criterion, id: &str, mut f: F) {
     if let Some(filter) = &cfg.filter {
         if !id.contains(filter.as_str()) {
@@ -300,6 +385,14 @@ fn run_one<F: FnMut(&mut Bencher)>(cfg: &Criterion, id: &str, mut f: F) {
         format_ns(mean),
         format_ns(max)
     );
+    record_result(BenchRecord {
+        id: id.to_string(),
+        mean_ns: mean,
+        min_ns: min,
+        max_ns: max,
+        samples: per_sample.len(),
+        iters_per_sample,
+    });
 }
 
 fn format_ns(ns: f64) -> String {
@@ -372,5 +465,46 @@ mod tests {
     fn sample_size_must_be_sane() {
         let c = Criterion::default().sample_size(10);
         assert_eq!(c.sample_size, 10);
+    }
+
+    #[test]
+    fn json_rendering_is_valid_and_escaped() {
+        let records = vec![
+            BenchRecord {
+                id: "group/op \"x\"".to_string(),
+                mean_ns: 12.5,
+                min_ns: 10.0,
+                max_ns: 20.0,
+                samples: 3,
+                iters_per_sample: 7,
+            },
+            BenchRecord {
+                id: "plain".to_string(),
+                mean_ns: 1.0,
+                min_ns: 1.0,
+                max_ns: 1.0,
+                samples: 1,
+                iters_per_sample: 1,
+            },
+        ];
+        let body = render_json(&records);
+        assert!(body.starts_with("[\n") && body.ends_with("]\n"));
+        assert!(body.contains("\"id\": \"group/op \\\"x\\\"\""));
+        assert!(body.contains("\"mean_ns\": 12.50"));
+        assert!(body.contains("\"iters_per_sample\": 7"));
+        assert_eq!(body.matches('{').count(), 2);
+        assert_eq!(json_escape("a\\b\nc"), "a\\\\b\\u000ac");
+    }
+
+    #[test]
+    fn quick_profile_tightens_every_knob() {
+        // configure_from_args reads real process args, so exercise the
+        // profile the --quick flag applies directly
+        let mut c = Criterion::default();
+        c.apply_quick_profile();
+        let default = Criterion::default();
+        assert!(c.warm_up_time < default.warm_up_time);
+        assert!(c.measurement_time < default.measurement_time);
+        assert!(c.sample_size < default.sample_size);
     }
 }
