@@ -1,0 +1,149 @@
+//! Anti-entropy hot paths: the per-tick cost of producing the Merkle
+//! root shared with a peer (incremental per-arc assembly vs the pre-PR
+//! from-scratch keyspace scan) and raw preference-list throughput
+//! (arc-cache lookup vs the uncached token walk). The CI `bench-baseline`
+//! lane runs this in fast mode and archives `BENCH_aae.json`;
+//! `scripts/bench_compare.sh` diffs fresh numbers against the committed
+//! baselines in `bench-baselines/`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvv::mechanisms::{DvvMechanism, Mechanism, WriteOrigin};
+use dvv::{ClientId, ReplicaId};
+use kvstore::config::StoreConfig;
+use kvstore::node::StoreNode;
+use kvstore::value::{StampedValue, WriteId};
+use ring::{hash_key, HashRing, RingView};
+use std::hint::black_box;
+
+type DvvState = <DvvMechanism as Mechanism<StampedValue>>::State;
+
+/// A store node for replica 0 of an `members`-node ring, holding `keys`
+/// distinct keys (whatever their ownership — exactly what a replica's
+/// store looks like mid-workload), flushed, plus the first 100 states
+/// for re-merging (to dirty keys between measured ticks).
+fn store_with_keys(
+    members: u32,
+    keys: usize,
+) -> (StoreNode<DvvMechanism>, Vec<(Vec<u8>, DvvState)>) {
+    let view: RingView<ReplicaId> = RingView::from_members((0..members).map(ReplicaId));
+    let mut node = StoreNode::new(ReplicaId(0), DvvMechanism, StoreConfig::default(), view);
+    let mech = DvvMechanism;
+    let ctx = <DvvMechanism as Mechanism<StampedValue>>::Context::default();
+    let mut sample = Vec::new();
+    for i in 0..keys {
+        let key = format!("user:{i}").into_bytes();
+        let mut st = DvvState::default();
+        mech.write(
+            &mut st,
+            WriteOrigin::new(ReplicaId(0), ClientId(1)),
+            &ctx,
+            StampedValue::new(WriteId::new(ClientId(1), i as u64 + 1), vec![7u8; 16]),
+        );
+        node.merge_state_direct(&key, &st);
+        if i < 100 {
+            sample.push((key, st));
+        }
+    }
+    node.flush_aae_index();
+    (node, sample)
+}
+
+fn bench_aae_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aae_tick");
+    group.sample_size(10);
+    for (members, keys) in [(8u32, 1_000usize), (8, 10_000), (64, 10_000)] {
+        let (mut node, sample) = store_with_keys(members, keys);
+        let peer = ReplicaId(1);
+        let label = format!("{keys}keys_{members}members");
+        // steady-state tick: nothing dirty — select shared arcs, XOR
+        // their cached roots (what every AaeRoot receipt costs too)
+        group.bench_with_input(
+            BenchmarkId::new("incremental_root", &label),
+            &label,
+            |b, _| b.iter(|| black_box(node.shared_summary_root(black_box(peer)))),
+        );
+        // tick after a write burst: 100 keys dirtied since the last
+        // flush — re-fingerprint those, then XOR the arc roots
+        group.bench_with_input(
+            BenchmarkId::new("incremental_root_100dirty", &label),
+            &label,
+            |b, _| {
+                b.iter(|| {
+                    for (k, st) in &sample {
+                        node.merge_state_direct(k, st);
+                    }
+                    node.flush_aae_index();
+                    black_box(node.shared_summary_root(black_box(peer)))
+                })
+            },
+        );
+        // the pre-PR implementation: hash every key, walk the token map,
+        // rehash every shared state
+        group.bench_with_input(BenchmarkId::new("rebuild_root", &label), &label, |b, _| {
+            b.iter(|| black_box(node.rebuild_shared_summary(black_box(peer)).root()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_preference_lists(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preference_list");
+    for members in [8u32, 64] {
+        let ring: HashRing<ReplicaId> = HashRing::with_vnodes((0..members).map(ReplicaId), 32);
+        let points: Vec<u64> = (0..1024)
+            .map(|i| hash_key(format!("k{i}").as_bytes()))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("cached", members), &members, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for p in &points {
+                    acc += ring.preference_list_at(*p, 3).len();
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("uncached_walk", members),
+            &members,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for p in &points {
+                        acc += ring.walk_preference_list_at(*p, 3).len();
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("contains", members), &members, |b, _| {
+            let me = ReplicaId(0);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for p in &points {
+                    acc += usize::from(ring.preference_list_contains(*p, 3, &me));
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("primary_at", members), &members, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for p in &points {
+                    acc += ring.primary_at(*p).map_or(0, |r| u64::from(r.0));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+        .sample_size(30)
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_aae_tick, bench_preference_lists);
+criterion_main!(benches);

@@ -1,0 +1,427 @@
+//! [`DataStore`]: a replica's per-key states with a persistent,
+//! ownership-partitioned anti-entropy index.
+//!
+//! Every stored key is stamped once with its ring hash point and the
+//! fingerprint of its current state, and every mutation updates one
+//! per-arc [`MerkleSummary`] in place — so building the summary a peer
+//! exchange needs is a matter of *selecting* arcs, not scanning the
+//! keyspace. The arcs are the ring's token arcs ([`ring::HashRing::
+//! arc_bounds`]): on every arc a key's preference list is constant, so
+//! "the keys this node and peer both replicate" is a union of whole
+//! arcs, and (because Merkle roots XOR-combine, see
+//! [`crate::merkle::MerkleSummary::root`]) its root is the XOR of the
+//! selected arcs' cached roots.
+//!
+//! All mutation goes through [`DataStore::mutate`] / [`DataStore::
+//! remove`] / [`DataStore::clear`], which keep the index consistent by
+//! construction. Mutations are cheap: a write only marks its key
+//! *dirty*; the fingerprint refresh and summary update are deferred to
+//! [`DataStore::flush`], which the read points (anti-entropy tick/root
+//! receipt, transfer snapshots, re-partition) run first — so a hot key
+//! written a thousand times between AAE ticks is fingerprinted once,
+//! and the write path never hashes a state. [`DataStore::audit_index`]
+//! rebuilds everything from scratch and compares (modulo the pending
+//! dirty refreshes, whose invariant it checks too), and is exercised by
+//! the incremental-vs-rebuild proptest oracle.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::Hash;
+
+use ring::{arc_index, hash_key};
+
+use crate::merkle::{fingerprint, MerkleSummary};
+use crate::value::Key;
+
+/// One stored key: its state plus the cached derivatives every hot path
+/// would otherwise recompute (the ring hash point for ownership lookups,
+/// the state fingerprint for AAE leaves and transfer/handoff guards).
+#[derive(Clone, Debug)]
+struct Slot<S> {
+    state: S,
+    /// `hash_key(key)` — stamped once when the key is first stored.
+    point: u64,
+    /// `fingerprint(state)` as of the last [`DataStore::flush`]; stale
+    /// while the key sits in the dirty set.
+    leaf: u64,
+}
+
+/// Index of the arc containing `point` — [`ring::arc_index`], the one
+/// shared boundary/wrap convention, so this index buckets exactly like
+/// the ring's own arc lookups.
+fn arc_of(bounds: &[u64], point: u64) -> usize {
+    arc_index(bounds, point)
+}
+
+/// A replica's per-key states plus the incrementally maintained per-arc
+/// Merkle summaries (see the module docs).
+#[derive(Clone, Debug)]
+pub struct DataStore<S> {
+    entries: BTreeMap<Key, Slot<S>>,
+    /// The arc partition the summaries are keyed by — a copy of the
+    /// current ring's [`ring::HashRing::arc_bounds`] (empty ⇒ one
+    /// catch-all arc).
+    bounds: Vec<u64>,
+    /// One summary per arc, parallel to `bounds` (at least one).
+    summaries: Vec<MerkleSummary>,
+    /// Keys written since the last [`DataStore::flush`]: their slot
+    /// `leaf` and summary entry are pending refresh. Keeping the write
+    /// path to a set insert (instead of a state hash + summary update
+    /// per write) is what lets the AAE index ride the client hot path
+    /// for free — hot keys coalesce.
+    dirty: BTreeSet<Key>,
+}
+
+impl<S> Default for DataStore<S> {
+    fn default() -> Self {
+        DataStore {
+            entries: BTreeMap::new(),
+            bounds: Vec::new(),
+            summaries: vec![MerkleSummary::new()],
+            dirty: BTreeSet::new(),
+        }
+    }
+}
+
+impl<S: Clone + Hash> DataStore<S> {
+    /// Creates an empty store with a single catch-all arc.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The state stored for `key`, if any.
+    #[must_use]
+    pub fn get(&self, key: &[u8]) -> Option<&S> {
+        self.entries.get(key).map(|s| &s.state)
+    }
+
+    /// Whether `key` is stored.
+    #[must_use]
+    pub fn contains_key(&self, key: &[u8]) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Number of stored keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no keys are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored keys, in order.
+    pub fn keys(&self) -> impl Iterator<Item = &Key> {
+        self.entries.keys()
+    }
+
+    /// The stored states, in key order.
+    pub fn values(&self) -> impl Iterator<Item = &S> {
+        self.entries.values().map(|s| &s.state)
+    }
+
+    /// `(key, state)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &S)> {
+        self.entries.iter().map(|(k, s)| (k, &s.state))
+    }
+
+    /// The cached ring hash point of `key`, if stored.
+    #[must_use]
+    pub fn point_of(&self, key: &[u8]) -> Option<u64> {
+        self.entries.get(key).map(|s| s.point)
+    }
+
+    /// The state fingerprint of `key`, if stored: the cached leaf, or a
+    /// fresh `fingerprint(state)` when the key has a refresh pending —
+    /// either way equal to `fingerprint(self.get(key))`.
+    #[must_use]
+    pub fn leaf_of(&self, key: &[u8]) -> Option<u64> {
+        self.entries.get(key).map(|s| {
+            if self.dirty.contains(key) {
+                fingerprint(&s.state)
+            } else {
+                s.leaf
+            }
+        })
+    }
+
+    /// Mutates (inserting a default first if absent) the state for
+    /// `key` and marks it dirty; the fingerprint and summary refresh is
+    /// deferred to [`DataStore::flush`]. Returns the post-mutation
+    /// state.
+    pub fn mutate(&mut self, key: &[u8], f: impl FnOnce(&mut S)) -> &S
+    where
+        S: Default,
+    {
+        let slot = self.entries.entry(key.to_vec()).or_insert_with(|| Slot {
+            state: S::default(),
+            point: hash_key(key),
+            leaf: 0,
+        });
+        f(&mut slot.state);
+        if !self.dirty.contains(key) {
+            self.dirty.insert(key.to_vec());
+        }
+        &slot.state
+    }
+
+    /// `(key, cached point, state)` triples in key order — lets range
+    /// planning read every key's ring position without per-key lookups
+    /// or rehashing.
+    pub fn iter_points(&self) -> impl Iterator<Item = (&Key, u64, &S)> {
+        self.entries.iter().map(|(k, s)| (k, s.point, &s.state))
+    }
+
+    /// Applies every pending dirty refresh: re-fingerprints each dirty
+    /// key and updates its arc summary. Run by every reader of the
+    /// per-arc summaries (AAE tick and root receipt, re-partition) and
+    /// O(dirty keys) — a hot key written many times between flushes is
+    /// hashed once.
+    pub fn flush(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        for key in std::mem::take(&mut self.dirty) {
+            if let Some(slot) = self.entries.get_mut(&key) {
+                slot.leaf = fingerprint(&slot.state);
+                self.summaries[arc_of(&self.bounds, slot.point)].set(key, slot.leaf);
+            }
+        }
+    }
+
+    /// Whether any dirty refresh is pending (test/audit hook).
+    #[must_use]
+    pub fn has_pending_refresh(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Removes `key` (and its summary leaf). Returns whether it was
+    /// stored.
+    pub fn remove(&mut self, key: &[u8]) -> bool {
+        match self.entries.remove(key) {
+            Some(slot) => {
+                self.dirty.remove(key);
+                self.summaries[arc_of(&self.bounds, slot.point)].remove(key);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops every key and empties all summaries (the arc partition is
+    /// kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.dirty.clear();
+        for s in &mut self.summaries {
+            *s = MerkleSummary::new();
+        }
+    }
+
+    /// Re-partitions the index for a new ring: adopts `bounds` (the new
+    /// ring's arc boundaries) and re-buckets every stored key's cached
+    /// `(point, leaf)` into the new per-arc summaries. O(keys · log
+    /// arcs) after flushing the pending refreshes, paid only on view
+    /// changes — no key is re-pointed.
+    pub fn repartition(&mut self, bounds: Vec<u64>) {
+        self.flush();
+        self.bounds = bounds;
+        self.summaries = vec![MerkleSummary::new(); self.bounds.len().max(1)];
+        for (k, slot) in &self.entries {
+            self.summaries[arc_of(&self.bounds, slot.point)].set(k.clone(), slot.leaf);
+        }
+    }
+
+    /// The arc partition currently indexed (empty ⇒ one catch-all arc).
+    #[must_use]
+    pub fn arc_bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Cached root of arc `idx` (0 for an out-of-range arc — the XOR
+    /// identity, so absent arcs contribute nothing to a combined root).
+    #[must_use]
+    pub fn arc_root(&self, idx: usize) -> u64 {
+        self.summaries.get(idx).map_or(0, MerkleSummary::root)
+    }
+
+    /// The maintained summary of arc `idx`, if in range.
+    #[must_use]
+    pub fn arc_summary(&self, idx: usize) -> Option<&MerkleSummary> {
+        self.summaries.get(idx)
+    }
+
+    /// Rebuilds every cached derivative from scratch — key points, state
+    /// fingerprints, per-arc summaries, roots — and compares them with
+    /// the incrementally maintained ones (after functionally applying
+    /// the pending dirty refreshes, whose own invariants are checked
+    /// too). This is the safety net for the whole incremental-AAE
+    /// refactor: any mutation path that forgets to mark its key dirty,
+    /// or any flush that misses one, shows up here.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn audit_index(&self) -> Result<(), String> {
+        // what flush() would produce, computed without mutating self
+        let mut maintained_after_flush = self.summaries.clone();
+        for key in &self.dirty {
+            let Some(slot) = self.entries.get(key) else {
+                return Err(format!("dirty key {key:?} is not stored"));
+            };
+            maintained_after_flush[arc_of(&self.bounds, slot.point)]
+                .set_ref(key, fingerprint(&slot.state));
+        }
+        let mut fresh = vec![MerkleSummary::new(); self.summaries.len()];
+        for (k, slot) in &self.entries {
+            let point = hash_key(k);
+            if slot.point != point {
+                return Err(format!("key {k:?}: cached point {} != {point}", slot.point));
+            }
+            let leaf = fingerprint(&slot.state);
+            if !self.dirty.contains(k) && slot.leaf != leaf {
+                return Err(format!(
+                    "clean key {k:?}: cached leaf {} != {leaf}",
+                    slot.leaf
+                ));
+            }
+            fresh[arc_of(&self.bounds, point)].set(k.clone(), leaf);
+        }
+        for (idx, (maintained, rebuilt)) in maintained_after_flush.iter().zip(&fresh).enumerate() {
+            if maintained.leaves() != rebuilt.leaves() {
+                return Err(format!(
+                    "arc {idx}: maintained leaves {:?} != rebuilt {:?}",
+                    maintained.leaves(),
+                    rebuilt.leaves()
+                ));
+            }
+            if maintained.root() != rebuilt.root() {
+                return Err(format!(
+                    "arc {idx}: maintained root {} != rebuilt {}",
+                    maintained.root(),
+                    rebuilt.root()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<'a, S: Clone + Hash> IntoIterator for &'a DataStore<S> {
+    type Item = (&'a Key, &'a S);
+    type IntoIter = Box<dyn Iterator<Item = (&'a Key, &'a S)> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds4() -> Vec<u64> {
+        vec![u64::MAX / 4, u64::MAX / 2, u64::MAX / 4 * 3, u64::MAX - 7]
+    }
+
+    #[test]
+    fn mutate_remove_clear_keep_the_index_consistent() {
+        let mut d: DataStore<u64> = DataStore::new();
+        d.repartition(bounds4());
+        for i in 0..50u8 {
+            d.mutate(&[i], |s| *s += u64::from(i) + 1);
+            assert!(d.audit_index().is_ok());
+            if i % 7 == 0 {
+                d.flush(); // audit must hold flushed and unflushed alike
+                assert!(d.audit_index().is_ok());
+            }
+        }
+        assert_eq!(d.len(), 50);
+        for i in (0..50u8).step_by(3) {
+            assert!(d.remove(&[i]));
+            d.audit_index().expect("consistent after remove");
+        }
+        assert!(!d.remove(b"absent"));
+        d.mutate(b"x", |s| *s = 9);
+        assert_eq!(
+            d.leaf_of(b"x"),
+            Some(fingerprint(&9u64)),
+            "leaf_of computes on demand while the key is dirty"
+        );
+        d.flush();
+        assert!(!d.has_pending_refresh());
+        assert_eq!(d.get(b"x"), Some(&9));
+        assert_eq!(d.leaf_of(b"x"), Some(fingerprint(&9u64)));
+        assert_eq!(d.point_of(b"x"), Some(hash_key(b"x")));
+        d.clear();
+        assert!(d.is_empty());
+        assert!(!d.has_pending_refresh());
+        d.audit_index().expect("consistent after clear");
+    }
+
+    #[test]
+    fn flush_coalesces_repeated_writes_and_refreshes_summaries() {
+        let mut d: DataStore<u64> = DataStore::new();
+        for round in 1..=5u64 {
+            d.mutate(b"hot", |s| *s = round);
+        }
+        assert!(d.has_pending_refresh());
+        assert_eq!(
+            d.arc_summary(0).unwrap().len(),
+            0,
+            "summary refresh is deferred until flush"
+        );
+        d.flush();
+        assert_eq!(d.arc_summary(0).unwrap().len(), 1);
+        assert_eq!(d.leaf_of(b"hot"), Some(fingerprint(&5u64)));
+        d.audit_index().expect("consistent after flush");
+        // flushing with nothing pending is a no-op
+        let root = d.arc_root(0);
+        d.flush();
+        assert_eq!(d.arc_root(0), root);
+        // a dirty key removed before the flush leaves no leaf behind
+        d.mutate(b"gone", |s| *s = 1);
+        d.remove(b"gone");
+        d.flush();
+        assert_eq!(d.arc_summary(0).unwrap().len(), 1);
+        d.audit_index().expect("consistent after dirty remove");
+    }
+
+    #[test]
+    fn repartition_rebuckets_without_losing_leaves() {
+        let mut d: DataStore<u64> = DataStore::new();
+        for i in 0..30u8 {
+            d.mutate(&[i], |s| *s = u64::from(i));
+        }
+        d.flush();
+        let single_root: u64 = d.arc_root(0);
+        d.repartition(bounds4());
+        d.audit_index().expect("consistent after repartition");
+        let combined: u64 = (0..4).map(|i| d.arc_root(i)).fold(0, |a, r| a ^ r);
+        assert_eq!(
+            combined, single_root,
+            "XOR of arc roots is partition-independent"
+        );
+        d.repartition(Vec::new());
+        assert_eq!(d.arc_root(0), single_root);
+        // repartition flushes pending refreshes before re-bucketing
+        d.mutate(&[0], |s| *s = 99);
+        d.repartition(bounds4());
+        d.audit_index().expect("consistent after dirty repartition");
+        assert!(!d.has_pending_refresh());
+    }
+
+    #[test]
+    fn catch_all_arc_serves_the_empty_partition() {
+        let mut d: DataStore<u64> = DataStore::new();
+        assert!(d.arc_bounds().is_empty());
+        d.mutate(b"k", |s| *s = 1);
+        d.flush();
+        assert_eq!(d.arc_summary(0).unwrap().len(), 1);
+        assert_eq!(d.arc_root(7), 0, "out-of-range arcs read as empty");
+        assert!(d.arc_summary(7).is_none());
+    }
+}

@@ -56,6 +56,7 @@
 pub mod client;
 pub mod cluster;
 pub mod config;
+pub mod data;
 pub mod merkle;
 pub mod messages;
 pub mod node;

@@ -15,6 +15,19 @@ pub fn fingerprint<T: Hash>(value: &T) -> u64 {
     h.finish()
 }
 
+/// Mixes one `(key, leaf)` pair into the 64-bit contribution it XORs into
+/// a summary's root. XOR-combining per-leaf mixes makes the root
+/// maintainable in O(1) per mutation *and* independent of how the
+/// keyspace is partitioned: the root of a union of disjoint summaries is
+/// the XOR of their roots, which is what lets ownership-partitioned AAE
+/// assemble a shared root from per-arc roots without touching any leaf.
+fn leaf_mix(key: &[u8], leaf_hash: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    leaf_hash.hash(&mut h);
+    h.finish()
+}
+
 /// A two-level Merkle summary: per-key leaf hashes combined into a root.
 ///
 /// Anti-entropy first exchanges roots (8 bytes); only on mismatch are the
@@ -38,37 +51,70 @@ pub fn fingerprint<T: Hash>(value: &T) -> u64 {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MerkleSummary {
     leaves: BTreeMap<Key, u64>,
+    /// XOR of [`leaf_mix`] over all leaves, maintained incrementally —
+    /// [`MerkleSummary::root`] is O(1) instead of re-hashing every leaf.
+    /// The empty summary's root is 0.
+    root: u64,
 }
 
 impl MerkleSummary {
     /// Creates an empty summary.
     #[must_use]
     pub fn new() -> Self {
-        MerkleSummary {
-            leaves: BTreeMap::new(),
-        }
+        MerkleSummary::default()
     }
 
     /// Sets the leaf hash for `key`.
     pub fn set(&mut self, key: Key, leaf_hash: u64) {
+        if let Some(old) = self.leaves.get_mut(&key) {
+            if *old != leaf_hash {
+                self.root ^= leaf_mix(&key, *old) ^ leaf_mix(&key, leaf_hash);
+                *old = leaf_hash;
+            }
+            return;
+        }
+        self.root ^= leaf_mix(&key, leaf_hash);
         self.leaves.insert(key, leaf_hash);
+    }
+
+    /// [`MerkleSummary::set`] from a borrowed key: allocates only when
+    /// the key is new to the summary (the per-write hot path overwrites
+    /// an existing leaf far more often than it inserts one).
+    pub fn set_ref(&mut self, key: &[u8], leaf_hash: u64) {
+        if let Some(old) = self.leaves.get_mut(key) {
+            if *old != leaf_hash {
+                self.root ^= leaf_mix(key, *old) ^ leaf_mix(key, leaf_hash);
+                *old = leaf_hash;
+            }
+            return;
+        }
+        self.root ^= leaf_mix(key, leaf_hash);
+        self.leaves.insert(key.to_vec(), leaf_hash);
     }
 
     /// Removes a key's leaf.
     pub fn remove(&mut self, key: &[u8]) {
-        self.leaves.remove(key);
+        if let Some(old) = self.leaves.remove(key) {
+            self.root ^= leaf_mix(key, old);
+        }
     }
 
-    /// The root hash over all leaves (order-independent by construction:
-    /// leaves are combined in key order from the sorted map).
+    /// Copies every leaf of `other` into this summary — used to assemble
+    /// one summary from disjoint per-arc summaries when a leaf exchange
+    /// is actually needed (roots alone combine by XOR, see [`leaf_mix`]).
+    pub fn extend_from(&mut self, other: &MerkleSummary) {
+        for (k, v) in &other.leaves {
+            self.set(k.clone(), *v);
+        }
+    }
+
+    /// The root hash over all leaves: XOR of per-leaf mixes, so it is
+    /// order- and partition-independent and maintained incrementally by
+    /// [`MerkleSummary::set`] / [`MerkleSummary::remove`] — reading it
+    /// costs O(1).
     #[must_use]
     pub fn root(&self) -> u64 {
-        let mut h = DefaultHasher::new();
-        for (k, v) in &self.leaves {
-            k.hash(&mut h);
-            v.hash(&mut h);
-        }
-        h.finish()
+        self.root
     }
 
     /// Number of keys summarised.
@@ -166,6 +212,79 @@ mod tests {
         b.remove(b"extra");
         assert_eq!(a.root(), b.root());
         a.remove(b"never-there"); // no-op
+    }
+
+    /// From-scratch root: rebuilds a fresh summary with the same leaves —
+    /// the oracle the incrementally maintained root must match.
+    fn rebuilt_root(s: &MerkleSummary) -> u64 {
+        let mut fresh = MerkleSummary::new();
+        for (k, v) in s.leaves() {
+            fresh.set(k, v);
+        }
+        fresh.root()
+    }
+
+    #[test]
+    fn incremental_root_survives_interleaved_sets_and_removes() {
+        let mut s = MerkleSummary::new();
+        assert_eq!(s.root(), 0, "empty summary has the zero root");
+        // interleave sets, overwrites, no-op overwrites, removes, and
+        // removes of absent keys; read the root between every step
+        let steps: Vec<(bool, u8, u64)> = vec![
+            (true, 1, 10),
+            (true, 2, 20),
+            (true, 1, 11), // overwrite
+            (false, 3, 0), // remove absent: no-op
+            (true, 3, 30),
+            (true, 2, 20), // re-set to a value it once had
+            (false, 1, 0),
+            (true, 1, 12),
+            (true, 1, 12), // no-op overwrite
+            (false, 2, 0),
+            (false, 2, 0), // double remove
+        ];
+        for (set, k, v) in steps {
+            if set {
+                s.set(vec![k], v);
+            } else {
+                s.remove(&[k]);
+            }
+            assert_eq!(s.root(), rebuilt_root(&s), "cache diverged after step");
+        }
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn root_is_insertion_order_independent() {
+        let mut fwd = MerkleSummary::new();
+        let mut rev = MerkleSummary::new();
+        for i in 0..20u8 {
+            fwd.set(vec![i], u64::from(i) * 3 + 1);
+        }
+        for i in (0..20u8).rev() {
+            rev.set(vec![i], u64::from(i) * 3 + 1);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.root(), rev.root());
+    }
+
+    #[test]
+    fn disjoint_roots_combine_by_xor() {
+        // the property ownership-partitioned AAE relies on: the root of a
+        // union of disjoint summaries is the XOR of their roots
+        let mut a = MerkleSummary::new();
+        a.set(b"a1".to_vec(), 1);
+        a.set(b"a2".to_vec(), 2);
+        let mut b = MerkleSummary::new();
+        b.set(b"b1".to_vec(), 3);
+        let mut union = a.clone();
+        union.extend_from(&b);
+        assert_eq!(union.root(), a.root() ^ b.root());
+        assert_eq!(union.len(), 3);
+        // extend_from an empty summary is a no-op
+        let before = union.root();
+        union.extend_from(&MerkleSummary::new());
+        assert_eq!(union.root(), before);
     }
 
     #[test]

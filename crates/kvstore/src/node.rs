@@ -11,6 +11,7 @@ use ring::{HashRing, MemberStatus, Membership, RingView};
 use simnet::{NodeId, ProcessCtx, SimTime, TimerId};
 
 use crate::config::StoreConfig;
+use crate::data::DataStore;
 use crate::merkle::{fingerprint, MerkleSummary};
 use crate::messages::{Msg, ReqId};
 use crate::value::{Key, StampedValue};
@@ -144,7 +145,13 @@ pub struct StoreNode<M: Mechanism<StampedValue>> {
     /// The hash ring derived from `view` (rebuilt on every view change).
     ring: HashRing<ReplicaId>,
     membership: Membership<ReplicaId>,
-    data: BTreeMap<Key, M::State>,
+    /// Per-key states plus the persistent ownership-partitioned AAE
+    /// index: every mutation marks its key dirty, and the per-arc
+    /// Merkle summaries are refreshed at the AAE read points
+    /// ([`DataStore::flush`]) — so anti-entropy costs O(dirty + arcs)
+    /// instead of a keyspace scan ([`Self::shared_summary_root`]).
+    /// Re-partitioned on view changes.
+    data: DataStore<M::State>,
     /// Hinted states held for other replicas: `(key, intended)` → the
     /// in-flight record of the last handoff attempt. The state itself
     /// lives in `data`; this records the obligation.
@@ -181,6 +188,8 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         config.validate();
         let ring = view.to_ring(config.vnodes);
         let membership = Membership::new(view.members());
+        let mut data = DataStore::new();
+        data.repartition(ring.token_points().collect());
         StoreNode {
             replica,
             mech,
@@ -188,7 +197,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             view,
             ring,
             membership,
-            data: BTreeMap::new(),
+            data,
             hints: BTreeMap::new(),
             pending: BTreeMap::new(),
             timers: BTreeMap::new(),
@@ -227,7 +236,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     }
 
     /// The per-key states this replica currently holds.
-    pub fn data(&self) -> &BTreeMap<Key, M::State> {
+    pub fn data(&self) -> &DataStore<M::State> {
         &self.data
     }
 
@@ -266,8 +275,8 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     /// Direct state merge — used by the test harness's `converge()`, not
     /// by the protocol.
     pub fn merge_state_direct(&mut self, key: &[u8], state: &M::State) {
-        let local = self.data.entry(key.to_vec()).or_default();
-        self.mech.merge(local, state);
+        let mech = &self.mech;
+        self.data.mutate(key, |local| mech.merge(local, state));
     }
 
     /// Marks a peer down/up in this node's failure-detector view.
@@ -289,6 +298,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     pub fn force_view(&mut self, view: &RingView<ReplicaId>) {
         if self.view.merge(view) {
             self.ring = self.view.to_ring(self.config.vnodes);
+            self.data.repartition(self.ring.token_points().collect());
             self.reconcile_self_status();
         }
         self.membership.sync_members(&self.view.members());
@@ -374,20 +384,134 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         total as f64 / self.data.len() as f64
     }
 
-    /// Merkle summary over the keys this node and `peer` both replicate
-    /// under the current ring. Scoping anti-entropy to the shared replica
-    /// set keeps AAE from planting copies on nodes that do not own them
-    /// (whole-keyspace AAE would slowly turn every node into a replica of
-    /// everything, defeating the residual-copy audit).
-    fn merkle_summary_shared(&self, peer: ReplicaId) -> MerkleSummary {
+    /// Whether arc `idx` of the current ring is replicated by both this
+    /// node and `peer` — i.e. whether its keys belong in a shared AAE
+    /// exchange. Scoping anti-entropy to the shared replica set keeps
+    /// AAE from planting copies on nodes that do not own them
+    /// (whole-keyspace AAE would slowly turn every node into a replica
+    /// of everything, defeating the residual-copy audit).
+    fn arc_shared_with(&self, idx: usize, peer: ReplicaId) -> bool {
+        let prefs = self.ring.arc_prefs(idx, self.config.n);
+        prefs.contains(&self.replica) && prefs.contains(&peer)
+    }
+
+    /// Applies the data store's pending AAE refreshes (see
+    /// [`DataStore::flush`]). The protocol runs this before every
+    /// summary read; public so benches and tests can reach a flushed
+    /// state explicitly.
+    pub fn flush_aae_index(&mut self) {
+        self.data.flush();
+    }
+
+    /// Root of the Merkle summary over the keys this node and `peer`
+    /// both replicate: the XOR of the cached per-arc roots of the shared
+    /// arcs — O(arcs), no keyspace scan, no state rehash. Reads the
+    /// flushed index ([`Self::flush_aae_index`]); public so the AAE
+    /// benchmarks can measure the per-tick cost directly.
+    pub fn shared_summary_root(&self, peer: ReplicaId) -> u64 {
+        let mut root = 0u64;
+        for idx in 0..self.ring.arc_count() {
+            if self.arc_shared_with(idx, peer) {
+                root ^= self.data.arc_root(idx);
+            }
+        }
+        root
+    }
+
+    /// The full Merkle summary shared with `peer`, assembled from the
+    /// maintained per-arc summaries. Only built when roots already
+    /// disagreed and a leaf exchange is actually needed.
+    fn shared_summary(&self, peer: ReplicaId) -> MerkleSummary {
         let mut m = MerkleSummary::new();
-        for (k, s) in &self.data {
-            let prefs = self.ring.preference_list(k, self.config.n);
+        for idx in 0..self.ring.arc_count() {
+            if self.arc_shared_with(idx, peer) {
+                if let Some(s) = self.data.arc_summary(idx) {
+                    m.extend_from(s);
+                }
+            }
+        }
+        m
+    }
+
+    /// From-scratch reference implementation of the shared summary: the
+    /// pre-cache keyspace scan (per-key hash, uncached ring walk, state
+    /// rehash). Used by [`Self::audit_aae_index`] as the equivalence
+    /// oracle and by the AAE benchmarks as the before/after baseline.
+    pub fn rebuild_shared_summary(&self, peer: ReplicaId) -> MerkleSummary {
+        let mut m = MerkleSummary::new();
+        for (k, s) in self.data.iter() {
+            let prefs = self
+                .ring
+                .walk_preference_list_at(ring::hash_key(k), self.config.n);
             if prefs.contains(&self.replica) && prefs.contains(&peer) {
                 m.set(k.clone(), fingerprint(s));
             }
         }
         m
+    }
+
+    /// Audits the incrementally maintained AAE state against a
+    /// from-scratch rebuild: the data store's per-arc summaries, cached
+    /// key points and state fingerprints ([`DataStore::audit_index`]),
+    /// and the arc partition's agreement with the current ring. The
+    /// incremental-vs-rebuild proptest oracle runs this on every member
+    /// after arbitrary interleavings of puts/deletes/GC/transfers/view
+    /// merges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn audit_aae_index(&self) -> Result<(), String> {
+        if self.data.arc_bounds() != self.ring.arc_bounds() {
+            return Err(format!(
+                "replica {:?}: data partition has {} arcs, ring has {}",
+                self.replica,
+                self.data.arc_bounds().len(),
+                self.ring.arc_count()
+            ));
+        }
+        self.data
+            .audit_index()
+            .map_err(|e| format!("replica {:?}: {e}", self.replica))?;
+        // the shared-summary comparison reads per-arc summaries, which
+        // are only current after a flush; audit a flushed copy so the
+        // check holds at any observation point without mutating the node
+        let flushed = {
+            let mut d = self.data.clone();
+            d.flush();
+            d
+        };
+        let assemble = |peer: ReplicaId| {
+            let mut m = MerkleSummary::new();
+            let mut root = 0u64;
+            for idx in 0..self.ring.arc_count() {
+                if self.arc_shared_with(idx, peer) {
+                    root ^= flushed.arc_root(idx);
+                    if let Some(s) = flushed.arc_summary(idx) {
+                        m.extend_from(s);
+                    }
+                }
+            }
+            (m, root)
+        };
+        for peer in self.ring.nodes() {
+            if *peer == self.replica {
+                continue;
+            }
+            let rebuilt = self.rebuild_shared_summary(*peer);
+            let (assembled, root) = assemble(*peer);
+            if assembled.leaves() != rebuilt.leaves() || root != rebuilt.root() {
+                return Err(format!(
+                    "replica {:?}: shared summary with {peer:?} diverged \
+                     (incremental {} keys root {root}, rebuilt {} keys root {})",
+                    self.replica,
+                    assembled.len(),
+                    rebuilt.len(),
+                    rebuilt.root()
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn send(&self, ctx: &mut ProcessCtx<'_, Msg<M>>, to: NodeId, msg: Msg<M>) {
@@ -397,14 +521,27 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
 
     fn active_replicas(&self, key: &[u8]) -> (Vec<ReplicaId>, Vec<(ReplicaId, ReplicaId)>) {
         self.membership
-            .sloppy_preference_list(&self.ring, key, self.config.n)
+            .sloppy_preference_list_at(&self.ring, self.key_point(key), self.config.n)
+    }
+
+    /// The key's ring position. Hashing a (short) key is cheaper than a
+    /// tree lookup, so per-request paths hash; bulk paths that already
+    /// iterate the store read the cached per-slot point instead
+    /// ([`DataStore::iter_points`]).
+    fn key_point(&self, key: &[u8]) -> u64 {
+        ring::hash_key(key)
+    }
+
+    /// Whether this node is in the preference list at ring position
+    /// `point` (allocation-free arc-cache lookup).
+    fn owns_point(&self, point: u64) -> bool {
+        self.ring
+            .preference_list_contains(point, self.config.n, &self.replica)
     }
 
     /// Whether this node is in the key's current preference list.
     fn owns(&self, key: &[u8]) -> bool {
-        self.ring
-            .preference_list(key, self.config.n)
-            .contains(&self.replica)
+        self.owns_point(self.key_point(key))
     }
 
     /// Post-merge hook: a leaving node owes every newly merged key to the
@@ -436,8 +573,9 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             // could never be handed off — fall through to the
             // self-assigned path instead
         }
-        if !self.owns(key) {
-            if let Some(primary) = self.ring.primary(key) {
+        let point = self.key_point(key);
+        if !self.owns_point(point) {
+            if let Some(primary) = self.ring.primary_at(point).copied() {
                 if primary != self.replica {
                     self.hints.entry((key.to_vec(), primary)).or_insert(None);
                 }
@@ -448,8 +586,8 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     /// Merges a state received from a peer and records the hold
     /// obligation it implies (see [`Self::note_hold_obligation`]).
     fn absorb_remote_state(&mut self, key: &Key, state: &M::State, hint: Option<ReplicaId>) {
-        let local = self.data.entry(key.clone()).or_default();
-        self.mech.merge(local, state);
+        let mech = &self.mech;
+        self.data.mutate(key, |local| mech.merge(local, state));
         self.note_data_merged(key);
         self.note_hold_obligation(key, hint);
     }
@@ -553,6 +691,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             return (false, sender_lacks);
         }
         let old_ring = std::mem::replace(&mut self.ring, self.view.to_ring(self.config.vnodes));
+        self.data.repartition(self.ring.token_points().collect());
         let members = self.view.members();
         self.membership.sync_members(&members);
         self.reconcile_self_status();
@@ -599,7 +738,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             .collect();
         for key in retarget {
             self.hints.remove(&(key.clone(), gone));
-            if let Some(primary) = self.ring.primary(&key) {
+            if let Some(primary) = self.ring.primary_at(self.key_point(&key)).copied() {
                 if primary != self.replica {
                     self.hints.entry((key, primary)).or_insert(None);
                 }
@@ -626,9 +765,14 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         old_ring: &HashRing<ReplicaId>,
     ) {
         let mut per_target: BTreeMap<ReplicaId, Vec<Key>> = BTreeMap::new();
-        for key in self.data.keys().cloned().collect::<Vec<_>>() {
-            let new_owners = self.ring.preference_list(&key, self.config.n);
-            let old_owners = old_ring.preference_list(&key, self.config.n);
+        for (key, point, _) in self.data.iter_points() {
+            // both rings' walks come from their arc caches: a binary
+            // search plus a slice read per key, using the point stamped
+            // when the key was stored (no per-key rehash or token walk)
+            let new_walk = self.ring.full_walk_at(point);
+            let new_owners = &new_walk[..self.config.n.min(new_walk.len())];
+            let old_walk = old_ring.full_walk_at(point);
+            let old_owners = &old_walk[..self.config.n.min(old_walk.len())];
             let mut targets: Vec<ReplicaId> = new_owners
                 .iter()
                 .filter(|o| !old_owners.contains(o))
@@ -803,9 +947,11 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         // An owner folds the merged state into its own store first; a
         // non-owner coordinator must not keep any state for the key.
         let canonical = if owner {
-            let local = self.data.entry(key.to_vec()).or_default();
-            self.mech.merge(local, &merged);
-            let folded = self.data.get(key).cloned().unwrap_or_default();
+            let mech = &self.mech;
+            let folded = self
+                .data
+                .mutate(key, |local| mech.merge(local, &merged))
+                .clone();
             self.note_data_merged(key);
             // the coordinator itself may be a sloppy fallback for a down
             // owner: track that copy like any other hinted state
@@ -871,14 +1017,12 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         };
         if owner {
             let client = ClientId(value.id.client.0);
-            let state = self.data.entry(key.clone()).or_default();
-            self.mech.write(
-                state,
-                WriteOrigin::new(self.replica, client),
-                &put_ctx,
-                value,
-            );
-            let state = state.clone();
+            let origin = WriteOrigin::new(self.replica, client);
+            let mech = &self.mech;
+            let state = self
+                .data
+                .mutate(&key, |st| mech.write(st, origin, &put_ctx, value))
+                .clone();
             self.note_data_merged(&key);
             // a coordinator standing in for a down owner holds its copy
             // under a hint obligation, like any other fallback
@@ -1078,7 +1222,8 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         if !peers.is_empty() {
             let peer = *ctx.rng().pick(&peers);
             self.stats.aae_rounds += 1;
-            let root = self.merkle_summary_shared(peer).root();
+            self.data.flush();
+            let root = self.shared_summary_root(peer);
             self.send(
                 ctx,
                 NodeId(peer.0),
@@ -1113,7 +1258,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             match self.data.get(&key) {
                 Some(state) => {
                     let state = state.clone();
-                    let fp = fingerprint(&state);
+                    let fp = self.data.leaf_of(&key).expect("state just read");
                     self.hints.insert((key.clone(), intended), Some((now, fp)));
                     self.send(
                         ctx,
@@ -1173,9 +1318,10 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     /// Queues a transfer batch of `keys` to `to` (states snapshotted by
     /// fingerprint; resent until acknowledged).
     fn queue_transfer(&mut self, to: ReplicaId, keys: Vec<Key>) -> Option<u64> {
+        // snapshot by the cached state fingerprint — no rehash, no clone
         let entries: Vec<(Key, u64)> = keys
             .into_iter()
-            .filter_map(|k| self.data.get(&k).map(|s| (k.clone(), fingerprint(s))))
+            .filter_map(|k| self.data.leaf_of(&k).map(|fp| (k, fp)))
             .collect();
         if entries.is_empty() {
             return None;
@@ -1256,9 +1402,9 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             if self.owns(&key) {
                 continue; // still an owner: the copy stays either way
             }
-            match self.data.get(&key) {
+            match self.data.leaf_of(&key) {
                 None => {}
-                Some(st) if fingerprint(st) == fp => {
+                Some(leaf) if leaf == fp => {
                     // the range moved away and the new owner acked this
                     // exact state: safe to drop our copy
                     self.data.remove(&key);
@@ -1284,9 +1430,10 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         let dirty: Vec<Key> = std::mem::take(&mut self.drain_dirty).into_iter().collect();
         let mut per_target: BTreeMap<ReplicaId, Vec<Key>> = BTreeMap::new();
         for key in dirty {
-            for t in self.ring.preference_list(&key, self.config.n) {
-                if t != self.replica {
-                    per_target.entry(t).or_default().push(key.clone());
+            let point = self.key_point(&key);
+            for t in self.ring.full_walk_at(point).iter().take(self.config.n) {
+                if *t != self.replica {
+                    per_target.entry(*t).or_default().push(key.clone());
                 }
             }
         }
@@ -1383,14 +1530,12 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 // delegated write from a non-owner coordinator: mint the
                 // dot here and hand the post-write state back
                 let client = ClientId(value.id.client.0);
-                let state = self.data.entry(key.clone()).or_default();
-                self.mech.write(
-                    state,
-                    WriteOrigin::new(self.replica, client),
-                    &put_ctx,
-                    value,
-                );
-                let state = state.clone();
+                let origin = WriteOrigin::new(self.replica, client);
+                let mech = &self.mech;
+                let state = self
+                    .data
+                    .mutate(&key, |st| mech.write(st, origin, &put_ctx, value))
+                    .clone();
                 self.note_data_merged(&key);
                 self.note_hold_obligation(&key, hint);
                 self.send(ctx, from, Msg::RepWriteResp { req, key, state });
@@ -1431,20 +1576,20 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             Msg::AaeRoot { root, digest } => {
                 // the root doubles as a gossip digest carrier
                 self.note_peer_digest(ctx, from, digest);
-                let mine = self.merkle_summary_shared(ReplicaId(from.0));
-                if mine.root() != root {
-                    self.send(
-                        ctx,
-                        from,
-                        Msg::AaeLeaves {
-                            leaves: mine.leaves(),
-                        },
-                    );
+                let peer = ReplicaId(from.0);
+                // cached per-arc roots XOR-combine: comparing costs
+                // O(dirty + arcs), the full summary is only assembled on
+                // mismatch
+                self.data.flush();
+                if self.shared_summary_root(peer) != root {
+                    let leaves = self.shared_summary(peer).leaves();
+                    self.send(ctx, from, Msg::AaeLeaves { leaves });
                 }
             }
             Msg::AaeLeaves { leaves } => {
                 // we initiated this round; the responder's root differed
-                let mine = self.merkle_summary_shared(ReplicaId(from.0));
+                self.data.flush();
+                let mine = self.shared_summary(ReplicaId(from.0));
                 let mut theirs = MerkleSummary::new();
                 for (k, h) in leaves {
                     theirs.set(k, h);
@@ -1491,7 +1636,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             Msg::HandoffAck { key } => {
                 let intended = ReplicaId(from.0);
                 if let Some(inflight) = self.hints.remove(&(key.clone(), intended)) {
-                    match (inflight, self.data.get(&key).map(fingerprint)) {
+                    match (inflight, self.data.leaf_of(&key)) {
                         (Some((_, sent_fp)), Some(fp)) if fp == sent_fp => {
                             // the intended owner holds exactly what we
                             // sent: the obligation is met, and a copy we

@@ -48,5 +48,5 @@ mod view;
 
 pub use hash::hash_key;
 pub use membership::{Membership, NodeStatus};
-pub use ring_impl::{HashRing, RangeDiff};
+pub use ring_impl::{arc_index, HashRing, RangeDiff};
 pub use view::{MemberEntry, MemberStatus, RingView};

@@ -148,13 +148,27 @@ impl<N: Clone + Ord + Debug> Membership<N> {
         key: &[u8],
         n: usize,
     ) -> (Vec<N>, Vec<(N, N)>) {
-        // Walk an extended preference list, replacing down nodes.
-        let extended = ring.preference_list(key, ring.len());
-        let ideal: Vec<N> = extended.iter().take(n).cloned().collect();
+        self.sloppy_preference_list_at(ring, crate::hash::hash_key(key), n)
+    }
+
+    /// [`Membership::sloppy_preference_list`] for a precomputed ring
+    /// position — lets callers that cache their keys' hash points route
+    /// without rehashing. The extended walk is borrowed from the ring's
+    /// arc cache, so consulting it allocates nothing.
+    #[must_use]
+    pub fn sloppy_preference_list_at(
+        &self,
+        ring: &HashRing<N>,
+        point: u64,
+        n: usize,
+    ) -> (Vec<N>, Vec<(N, N)>) {
+        // Walk the full preference order, replacing down nodes.
+        let extended = ring.full_walk_at(point);
+        let ideal = &extended[..n.min(extended.len())];
         let mut active: Vec<N> = Vec::with_capacity(n);
         let mut substitutions: Vec<(N, N)> = Vec::new();
         let mut fallbacks = extended.iter().skip(ideal.len());
-        for node in &ideal {
+        for node in ideal {
             if self.is_routable(node) {
                 active.push(node.clone());
             } else {

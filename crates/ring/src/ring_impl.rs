@@ -1,9 +1,108 @@
-//! [`HashRing`]: virtual-node consistent hashing with ring epochs.
+//! [`HashRing`]: virtual-node consistent hashing with ring epochs and an
+//! arc-indexed preference-list cache.
 
+use std::cell::OnceCell;
 use std::collections::BTreeMap;
 use std::fmt::Debug;
 
 use crate::hash::{hash_key, hash_with_seed};
+
+/// Index of the arc containing ring position `point`, for an arc
+/// partition given by its sorted upper boundaries (a ring's token
+/// points, see [`HashRing::arc_bounds`]): arc `i > 0` covers
+/// `(bounds[i-1], bounds[i]]` and arc 0 the wrapping remainder. Returns
+/// 0 for an empty partition (the conventional catch-all arc).
+///
+/// This is the one place the boundary/wrap convention lives — the
+/// ring's own lookups and any external per-arc index (e.g. the store's
+/// partitioned AAE summaries) must bucket identically or per-arc data
+/// would silently disagree with [`HashRing::arc_prefs`].
+#[must_use]
+pub fn arc_index(bounds: &[u64], point: u64) -> usize {
+    match bounds.partition_point(|b| *b < point) {
+        i if i == bounds.len() => 0,
+        i => i,
+    }
+}
+
+/// The precomputed arc table of a ring: the token set partitions the
+/// 64-bit circle into arcs on which the clockwise distinct-node walk —
+/// and therefore every preference list — is constant. One full walk is
+/// stored per arc, so a lookup is a binary search plus a slice read
+/// instead of a `BTreeMap` range walk with linear dedup.
+///
+/// Built lazily on first lookup and dropped by every membership change
+/// (ring merges rebuild the ring, so invalidation happens exactly on
+/// view changes).
+#[derive(Clone, Debug)]
+struct ArcTable<N> {
+    /// Arc upper boundaries: the token points, sorted ascending. Arc `i`
+    /// covers every point whose clockwise walk starts at `bounds[i]` —
+    /// `(bounds[i-1], bounds[i]]` for `i > 0`, and the wrapping arc
+    /// `(bounds.last(), bounds[0]]` for `i == 0`.
+    bounds: Vec<u64>,
+    /// All per-arc walks, concatenated (flat storage: one allocation for
+    /// the whole table instead of one small `Vec` per arc).
+    walk_nodes: Vec<N>,
+    /// `walk_nodes[offsets[i]..offsets[i + 1]]` is arc `i`'s walk: all
+    /// distinct nodes in clockwise token order starting at `bounds[i]` —
+    /// any `n`-replica preference list is a prefix of it.
+    offsets: Vec<u32>,
+}
+
+impl<N: Clone + Ord> ArcTable<N> {
+    fn build(tokens: &BTreeMap<u64, N>, nodes: &[N]) -> Self {
+        let bounds: Vec<u64> = tokens.keys().copied().collect();
+        let owners: Vec<&N> = tokens.values().collect();
+        let t = bounds.len();
+        let m = nodes.len();
+        let mut walk_nodes: Vec<N> = Vec::with_capacity(t * m);
+        let mut offsets: Vec<u32> = Vec::with_capacity(t + 1);
+        offsets.push(0);
+        // generation-stamped seen set: no per-arc reset
+        let mut seen = vec![u32::MAX; m];
+        for (i, _) in bounds.iter().enumerate() {
+            let mut found = 0usize;
+            for j in 0..t {
+                let owner = owners[(i + j) % t];
+                let oi = nodes
+                    .binary_search(owner)
+                    .expect("every token owner is a member");
+                if seen[oi] != i as u32 {
+                    seen[oi] = i as u32;
+                    walk_nodes.push(owner.clone());
+                    found += 1;
+                    if found == m {
+                        break;
+                    }
+                }
+            }
+            offsets.push(walk_nodes.len() as u32);
+        }
+        ArcTable {
+            bounds,
+            walk_nodes,
+            offsets,
+        }
+    }
+
+    /// Index of the arc containing ring position `point`.
+    fn arc_of(&self, point: u64) -> usize {
+        debug_assert!(!self.bounds.is_empty());
+        arc_index(&self.bounds, point)
+    }
+
+    fn walk(&self, idx: usize) -> &[N] {
+        &self.walk_nodes[self.offsets[idx] as usize..self.offsets[idx + 1] as usize]
+    }
+
+    fn walk_at(&self, point: u64) -> &[N] {
+        if self.bounds.is_empty() {
+            return &[];
+        }
+        self.walk(self.arc_of(point))
+    }
+}
 
 /// A key range on the ring together with its replica sets before and
 /// after a membership change, as produced by
@@ -72,6 +171,9 @@ pub struct HashRing<N: Ord> {
     nodes: Vec<N>,
     vnodes: u32,
     epoch: u64,
+    /// Lazily built arc → preference-walk table; reset by every
+    /// membership change so it can never serve a stale walk.
+    arcs: OnceCell<ArcTable<N>>,
 }
 
 impl<N: Clone + Ord + Debug> HashRing<N> {
@@ -97,6 +199,7 @@ impl<N: Clone + Ord + Debug> HashRing<N> {
             nodes: Vec::new(),
             vnodes,
             epoch: 0,
+            arcs: OnceCell::new(),
         };
         for n in nodes {
             ring.add_node(n);
@@ -157,6 +260,7 @@ impl<N: Clone + Ord + Debug> HashRing<N> {
         self.nodes.push(node);
         self.nodes.sort();
         self.epoch += 1;
+        self.arcs = OnceCell::new();
     }
 
     /// Removes a node and its tokens. Returns whether it was present (the
@@ -167,6 +271,7 @@ impl<N: Clone + Ord + Debug> HashRing<N> {
             self.tokens.retain(|_, n| n != node);
             self.nodes.retain(|n| n != node);
             self.epoch += 1;
+            self.arcs = OnceCell::new();
         }
         present
     }
@@ -189,6 +294,12 @@ impl<N: Clone + Ord + Debug> HashRing<N> {
         self.nodes.is_empty()
     }
 
+    /// The lazily built arc table (see [`ArcTable`]).
+    fn arc_table(&self) -> &ArcTable<N> {
+        self.arcs
+            .get_or_init(|| ArcTable::build(&self.tokens, &self.nodes))
+    }
+
     /// The first `n` distinct nodes clockwise from the key's position.
     ///
     /// Returns fewer than `n` nodes only when the ring has fewer members.
@@ -199,8 +310,21 @@ impl<N: Clone + Ord + Debug> HashRing<N> {
 
     /// The first `n` distinct nodes clockwise from ring position `point`
     /// (inclusive) — the preference list of any key hashing to `point`.
+    ///
+    /// Served from the arc cache: a binary search plus a slice clone.
     #[must_use]
     pub fn preference_list_at(&self, point: u64, n: usize) -> Vec<N> {
+        let walk = self.arc_table().walk_at(point);
+        walk[..n.min(walk.len())].to_vec()
+    }
+
+    /// Reference implementation of [`HashRing::preference_list_at`]: the
+    /// uncached clockwise `BTreeMap` range walk with linear dedup. Kept
+    /// for the cache-equivalence property tests and as the pre-cache
+    /// baseline in the AAE benchmarks; protocol paths use the cached
+    /// variant.
+    #[must_use]
+    pub fn walk_preference_list_at(&self, point: u64, n: usize) -> Vec<N> {
         let want = n.min(self.nodes.len());
         let mut out: Vec<N> = Vec::with_capacity(want);
         if want == 0 {
@@ -217,10 +341,76 @@ impl<N: Clone + Ord + Debug> HashRing<N> {
         out
     }
 
+    /// The full distinct-node walk for `key`: every member, in preference
+    /// order. Any `n`-replica preference list is a prefix of this slice —
+    /// borrowed from the arc cache, so sloppy-quorum routing allocates
+    /// nothing to consult it.
+    #[must_use]
+    pub fn full_walk(&self, key: &[u8]) -> &[N] {
+        self.full_walk_at(hash_key(key))
+    }
+
+    /// The full distinct-node walk from ring position `point` (see
+    /// [`HashRing::full_walk`]).
+    #[must_use]
+    pub fn full_walk_at(&self, point: u64) -> &[N] {
+        self.arc_table().walk_at(point)
+    }
+
+    /// Whether `node` is among the first `n` preferences at `point` —
+    /// the allocation-free form of `preference_list_at(..).contains(..)`.
+    #[must_use]
+    pub fn preference_list_contains(&self, point: u64, n: usize, node: &N) -> bool {
+        let walk = self.arc_table().walk_at(point);
+        walk[..n.min(walk.len())].contains(node)
+    }
+
     /// The primary (first preference) node for a key, if any.
     #[must_use]
     pub fn primary(&self, key: &[u8]) -> Option<N> {
-        self.preference_list(key, 1).into_iter().next()
+        self.primary_at(hash_key(key)).cloned()
+    }
+
+    /// The primary node at ring position `point`, if any — borrowed from
+    /// the arc cache, no allocation.
+    #[must_use]
+    pub fn primary_at(&self, point: u64) -> Option<&N> {
+        self.arc_table().walk_at(point).first()
+    }
+
+    /// Arc boundaries of this ring: the token points, sorted ascending.
+    /// Arc `i` covers `(bounds[i-1], bounds[i]]` (arc 0 wraps); every
+    /// preference list is constant on an arc. Ownership-partitioned AAE
+    /// keeps one summary per arc, keyed by this index space.
+    #[must_use]
+    pub fn arc_bounds(&self) -> &[u64] {
+        &self.arc_table().bounds
+    }
+
+    /// Number of arcs (equals the token count; zero for an empty ring).
+    #[must_use]
+    pub fn arc_count(&self) -> usize {
+        self.arc_table().bounds.len()
+    }
+
+    /// The first `min(n, members)` preferences shared by every point of
+    /// arc `idx` (an index into [`HashRing::arc_bounds`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn arc_prefs(&self, idx: usize, n: usize) -> &[N] {
+        let walk = self.arc_table().walk(idx);
+        &walk[..n.min(walk.len())]
+    }
+
+    /// The ring's token points in ascending order — equal to
+    /// [`HashRing::arc_bounds`] but read straight off the token map, so
+    /// callers that only need the partition (not the walks) don't force
+    /// the arc table to build.
+    pub fn token_points(&self) -> impl Iterator<Item = u64> + '_ {
+        self.tokens.keys().copied()
     }
 
     /// The key ranges whose `n`-replica preference list differs between
@@ -453,6 +643,73 @@ mod tests {
                 assert_eq!(d.new_owners, new.preference_list(key.as_bytes(), 3));
             }
         }
+    }
+
+    #[test]
+    fn cached_walks_match_the_reference_implementation() {
+        // the arc cache must be observationally identical to the uncached
+        // BTreeMap walk, for every n, at token boundaries and wrap points
+        let ring: HashRing<u32> = HashRing::with_vnodes(0..6, 16);
+        let mut points: Vec<u64> = (0..300)
+            .map(|i| hash_key(format!("pt{i}").as_bytes()))
+            .collect();
+        points.extend(ring.arc_bounds().to_vec()); // exact boundaries
+        points.extend(ring.arc_bounds().iter().map(|b| b.wrapping_add(1)));
+        points.push(0);
+        points.push(u64::MAX);
+        for p in points {
+            for n in 0..8 {
+                assert_eq!(
+                    ring.preference_list_at(p, n),
+                    ring.walk_preference_list_at(p, n),
+                    "cache diverged at point {p} n {n}"
+                );
+            }
+            let full = ring.full_walk_at(p);
+            assert_eq!(full.len(), 6, "full walk names every member");
+            assert_eq!(ring.primary_at(p), full.first());
+            for n in 1..7 {
+                for node in 0..6 {
+                    assert_eq!(
+                        ring.preference_list_contains(p, n, &node),
+                        full[..n].contains(&node)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arc_cache_invalidates_on_membership_change() {
+        let mut ring: HashRing<u32> = HashRing::with_vnodes(0..3, 8);
+        let p = hash_key(b"probe");
+        let before = ring.preference_list_at(p, 3); // builds the cache
+        ring.add_node(9);
+        assert_eq!(
+            ring.preference_list_at(p, 4),
+            ring.walk_preference_list_at(p, 4),
+            "stale cache survived add_node"
+        );
+        assert!(ring.full_walk_at(p).contains(&9));
+        ring.remove_node(&9);
+        assert_eq!(ring.preference_list_at(p, 3), before);
+        assert_eq!(ring.arc_count(), 3 * 8);
+    }
+
+    #[test]
+    fn arc_prefs_agree_with_point_lookups() {
+        let ring: HashRing<u32> = HashRing::with_vnodes(0..5, 16);
+        let bounds = ring.arc_bounds().to_vec();
+        assert_eq!(bounds.len(), ring.arc_count());
+        for (i, b) in bounds.iter().enumerate() {
+            // the arc's upper boundary point is inside the arc
+            assert_eq!(ring.arc_prefs(i, 3), &ring.preference_list_at(*b, 3));
+        }
+        let empty: HashRing<u32> = HashRing::with_vnodes(std::iter::empty(), 8);
+        assert_eq!(empty.arc_count(), 0);
+        assert!(empty.full_walk_at(7).is_empty());
+        assert!(empty.primary_at(7).is_none());
+        assert!(!empty.preference_list_contains(7, 3, &1));
     }
 
     #[test]

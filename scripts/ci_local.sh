@@ -76,7 +76,10 @@ if runs_lane bench; then
         cargo bench --bench membership -- --quick
     CRITERION_JSON_OUT="$PWD/BENCH_store.json" \
         cargo bench --bench store -- --quick
-    echo "baselines written to BENCH_membership.json / BENCH_store.json"
+    CRITERION_JSON_OUT="$PWD/BENCH_aae.json" \
+        cargo bench --bench aae -- --quick
+    echo "baselines written to BENCH_membership.json / BENCH_store.json / BENCH_aae.json"
+    ./scripts/bench_compare.sh
 fi
 
 if runs_lane soak; then
@@ -90,6 +93,7 @@ if runs_lane soak; then
         cargo test -p kvstore --test elastic -- --nocapture
         cargo test -p kvstore --test gossip -- --nocapture
         cargo test -p kvstore --test overlap -- --nocapture
+        cargo test -p kvstore --test aae_oracle -- --nocapture
     '
 fi
 
