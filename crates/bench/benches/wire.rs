@@ -1,0 +1,210 @@
+//! Bytes-to-convergence for the churn+heal+AAE scenario, per delta
+//! policy. NOT a timing bench: the recorded quantity is wire bytes, a
+//! deterministic function of the protocol (same seed, same simulator,
+//! same count on every machine) — so unlike the timing lanes this
+//! baseline is exactly reproducible and a regression is a protocol
+//! change, not noise.
+//!
+//! The numbers land in the criterion JSON schema (`mean_ns` carries the
+//! byte count; ids end in `_bytes` to say so) so the `bench-baseline`
+//! lane's `CRITERION_JSON_OUT` flow and `scripts/bench_compare.sh` work
+//! unchanged. Committed baseline: `bench-baselines/BENCH_wire.json`.
+//!
+//! The scenario mirrors `kvstore/tests/wire.rs`: a preloaded keyspace,
+//! live churn (join + leave), four partition/divergence/heal waves
+//! against one member, then an AAE quiesce — clientless and fully
+//! scripted, so every run converges the identical write set.
+
+use dvv::mechanisms::{DvvMechanism, Mechanism, WriteOrigin};
+use dvv::{ClientId, ReplicaId, VersionVector};
+use kvstore::cluster::{Cluster, ClusterConfig, StoreProc};
+use kvstore::config::{ClientConfig, StoreConfig};
+use kvstore::messages::{MsgClass, WireStats};
+use kvstore::value::{Key, StampedValue, WriteId};
+use kvstore::DeltaPolicy;
+use ring::HashRing;
+use simnet::{Duration, NodeId};
+use std::collections::BTreeMap;
+
+type M = DvvMechanism;
+type State = <M as Mechanism<StampedValue>>::State;
+
+const SEED: u64 = 31;
+const SERVERS: u32 = 6;
+const N: usize = 3;
+const KEYS: usize = 20_000;
+const DIVERGENT: usize = 10;
+
+fn preload_state(origin: ReplicaId, key_idx: usize) -> State {
+    let mech = DvvMechanism;
+    let mut st = State::default();
+    mech.write(
+        &mut st,
+        WriteOrigin::new(origin, ClientId(9_000)),
+        &VersionVector::new(),
+        StampedValue::new(
+            WriteId::new(ClientId(9_000), key_idx as u64 + 1),
+            vec![0x11; 12],
+        ),
+    );
+    st
+}
+
+/// Read-modify-write at `origin`'s replica (see `tests/wire.rs`: a write
+/// against an empty state would re-mint the preload's dot and vanish).
+fn inject_write(c: &mut Cluster<M>, origin: ReplicaId, key: &Key, wave: u64, i: u64) {
+    let mech = DvvMechanism;
+    let client = ClientId(7_000 + wave);
+    let mut st = c
+        .server(origin.0 as usize)
+        .data()
+        .get(key)
+        .cloned()
+        .unwrap_or_default();
+    let (_, ctx) = mech.read(&st);
+    mech.write(
+        &mut st,
+        WriteOrigin::new(origin, client),
+        &ctx,
+        StampedValue::new(WriteId::new(client, i + 1), vec![0x22; 8]),
+    );
+    if let StoreProc::Server(s) = c.sim_mut().process_mut(origin.0 as usize) {
+        s.merge_state_direct(key, &st);
+    }
+}
+
+fn run_scenario(policy: DeltaPolicy) -> WireStats {
+    let mut cfg = ClusterConfig {
+        servers: SERVERS as usize,
+        spare_servers: 1,
+        clients: 0,
+        cycles_per_client: 0,
+        store: StoreConfig {
+            n: N,
+            r: 2,
+            w: 2,
+            anti_entropy_interval: Duration::from_millis(100),
+            gossip_interval: Duration::from_millis(300),
+            delta_views: policy,
+            delta_aae: policy,
+            ..StoreConfig::default()
+        },
+        client: ClientConfig::default(),
+        ..ClusterConfig::default()
+    };
+    cfg.deadline = Duration::from_secs(2_000);
+    let mut c = Cluster::new(SEED, DvvMechanism, cfg);
+
+    let ring = HashRing::with_vnodes((0..SERVERS).map(ReplicaId), Cluster::<M>::VNODES);
+    let keys: Vec<Key> = (0..KEYS)
+        .map(|i| format!("user:{i:04}").into_bytes())
+        .collect();
+    for (i, key) in keys.iter().enumerate() {
+        let prefs = ring.preference_list(key, N);
+        let st = preload_state(prefs[0], i);
+        for owner in prefs {
+            if let StoreProc::Server(s) = c.sim_mut().process_mut(owner.0 as usize) {
+                s.merge_state_direct(key, &st);
+            }
+        }
+    }
+    c.run_for(Duration::from_millis(150));
+
+    assert!(c.add_node_live(SERVERS as usize), "join settles");
+    assert!(c.remove_node_live(0), "leave settles");
+    c.run_for(Duration::from_secs(1));
+
+    let victim = ReplicaId(1);
+    let post_ring = HashRing::with_vnodes((1..=SERVERS).map(ReplicaId), Cluster::<M>::VNODES);
+    let bounds = post_ring.arc_bounds();
+    let arc_of = |key: &Key| -> usize {
+        let p = ring::hash_key(key);
+        bounds.partition_point(|b| *b < p) % bounds.len()
+    };
+    let mut by_arc: BTreeMap<usize, Vec<Key>> = BTreeMap::new();
+    for k in &keys {
+        let idx = arc_of(k);
+        if post_ring.arc_prefs(idx, N).contains(&victim) {
+            by_arc.entry(idx).or_default().push(k.clone());
+        }
+    }
+    let (arc, group) = by_arc
+        .into_iter()
+        .filter(|(_, v)| v.len() >= DIVERGENT)
+        .min_by_key(|(_, v)| v.len())
+        .expect("some arc replicates >= DIVERGENT keys at the victim");
+    let origin = *post_ring
+        .arc_prefs(arc, N)
+        .iter()
+        .find(|r| **r != victim)
+        .unwrap();
+    let divergent: Vec<Key> = group.into_iter().take(DIVERGENT).collect();
+
+    for wave in 0..4u64 {
+        let others: Vec<NodeId> = (0..SERVERS + 1).map(NodeId).filter(|n| n.0 != 1).collect();
+        c.sim_mut().network_mut().partition_two(others, [NodeId(1)]);
+        c.set_replica_status(victim, false);
+        let writes = divergent.clone();
+        for (i, key) in writes.iter().enumerate() {
+            inject_write(&mut c, origin, key, wave, i as u64);
+        }
+        c.run_for(Duration::from_millis(400));
+        c.sim_mut().network_mut().heal();
+        c.set_replica_status(victim, true);
+        c.run_for(Duration::from_millis(500));
+    }
+
+    c.run_for(Duration::from_secs(3));
+    for i in c.member_slots() {
+        assert_eq!(
+            c.server(i).view_digest(),
+            c.view_digest(),
+            "server {i} view diverged"
+        );
+    }
+    c.wire_report()
+}
+
+/// One record in the committed baseline schema; the `*_ns` fields carry
+/// a byte count (the id says so).
+fn record(out: &mut Vec<String>, id: &str, bytes: u64) {
+    out.push(format!(
+        "  {{\"id\": \"{id}\", \"mean_ns\": {bytes}.00, \"min_ns\": {bytes}.00, \
+         \"max_ns\": {bytes}.00, \"samples\": 1, \"iters_per_sample\": 1}}"
+    ));
+    println!("wire: {id} = {bytes} bytes");
+}
+
+fn main() {
+    // tolerate the harness-style flags cargo/ci pass (--bench, --quick):
+    // the scenario is deterministic, there is no quick/full distinction
+    let mut out: Vec<String> = Vec::new();
+    for (name, policy) in [
+        ("full", DeltaPolicy::Full),
+        ("auto", DeltaPolicy::Auto),
+        ("force", DeltaPolicy::Force),
+    ] {
+        let r = run_scenario(policy);
+        let base = format!("wire/churn_heal_aae/{name}");
+        record(
+            &mut out,
+            &format!("{base}/reconciliation_bytes"),
+            r.reconciliation_bytes(),
+        );
+        record(
+            &mut out,
+            &format!("{base}/anti_entropy_bytes"),
+            r.bytes(MsgClass::AntiEntropy),
+        );
+        record(
+            &mut out,
+            &format!("{base}/membership_bytes"),
+            r.bytes(MsgClass::Membership),
+        );
+        record(&mut out, &format!("{base}/total_bytes"), r.total_bytes());
+    }
+    let json = format!("[\n{}\n]\n", out.join(",\n"));
+    let path = std::env::var("CRITERION_JSON_OUT").unwrap_or_else(|_| "BENCH_wire.json".into());
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wire: baseline written to {path}");
+}

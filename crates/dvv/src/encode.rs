@@ -524,6 +524,387 @@ fn collect_exceptions<A: Actor>(v: &Vve<A>) -> Vec<Dot<A>> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Delta codecs
+//
+// The wire protocols above ship *values*; the codecs below ship *runs*:
+// sorted id sequences as gap deltas, counter sequences as zigzag deltas,
+// hash sequences bit-packed at the run's maximum significant width, and
+// sorted key sets as shared-prefix deltas. Runs of correlated values
+// (adjacent replica ids, adjacent counters, keys under a common prefix)
+// collapse to a byte or two per element where the plain encodings spend
+// ten.
+
+/// Maps a signed delta onto small unsigned values: 0, -1, 1, -2, …
+/// become 0, 1, 2, 3, …, keeping varints short for deltas near zero.
+#[must_use]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[must_use]
+pub fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Number of significant bits in `v` (0 for 0).
+#[must_use]
+pub fn bit_width(v: u64) -> u32 {
+    64 - v.leading_zeros()
+}
+
+/// Bytes a bit-packed run of `count` values at `width` bits occupies.
+#[must_use]
+pub fn bitpacked_len(count: usize, width: u32) -> usize {
+    (count * width as usize).div_ceil(8)
+}
+
+/// Packs fixed-width values into a byte stream, LSB first.
+#[derive(Debug)]
+pub struct BitWriter<'a> {
+    out: &'a mut Vec<u8>,
+    cur: u128,
+    filled: u32,
+}
+
+impl<'a> BitWriter<'a> {
+    /// Starts a packed run appended to `out`.
+    pub fn new(out: &'a mut Vec<u8>) -> Self {
+        BitWriter {
+            out,
+            cur: 0,
+            filled: 0,
+        }
+    }
+
+    /// Appends the low `width` bits of `value` (`width ≤ 64`).
+    pub fn write(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 64);
+        let masked = if width == 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        };
+        self.cur |= u128::from(masked) << self.filled;
+        self.filled += width;
+        while self.filled >= 8 {
+            self.out.push((self.cur & 0xff) as u8);
+            self.cur >>= 8;
+            self.filled -= 8;
+        }
+    }
+
+    /// Flushes the final partial byte (zero-padded high bits).
+    pub fn finish(self) {
+        if self.filled > 0 {
+            self.out.push((self.cur & 0xff) as u8);
+        }
+    }
+}
+
+/// Reads back a [`BitWriter`] run from a [`Decoder`]. Dropping the
+/// reader discards any padding bits in the last consumed byte.
+#[derive(Debug)]
+pub struct BitReader<'d, 'a> {
+    d: &'d mut Decoder<'a>,
+    cur: u128,
+    avail: u32,
+}
+
+impl<'d, 'a> BitReader<'d, 'a> {
+    /// Starts reading a packed run at the decoder's position.
+    pub fn new(d: &'d mut Decoder<'a>) -> Self {
+        BitReader {
+            d,
+            cur: 0,
+            avail: 0,
+        }
+    }
+
+    /// Reads the next `width`-bit value (`width ≤ 64`).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEnd`] if the input is exhausted.
+    pub fn read(&mut self, width: u32) -> Result<u64, DecodeError> {
+        debug_assert!(width <= 64);
+        while self.avail < width {
+            self.cur |= u128::from(self.d.byte()?) << self.avail;
+            self.avail += 8;
+        }
+        let mask: u128 = if width == 0 { 0 } else { (1u128 << width) - 1 };
+        let v = (self.cur & mask) as u64;
+        self.cur >>= width;
+        self.avail -= width;
+        Ok(v)
+    }
+}
+
+/// Appends a strictly increasing id sequence as gap deltas: the count,
+/// the first id verbatim, then `id[i] − id[i−1] − 1` per element.
+///
+/// # Panics
+///
+/// Debug-asserts that `ids` is strictly increasing.
+pub fn put_sorted_ids(buf: &mut Vec<u8>, ids: &[u64]) {
+    put_varint(buf, ids.len() as u64);
+    let mut prev = 0u64;
+    for (i, &id) in ids.iter().enumerate() {
+        if i == 0 {
+            put_varint(buf, id);
+        } else {
+            debug_assert!(id > prev, "ids must be strictly increasing");
+            put_varint(buf, id - prev - 1);
+        }
+        prev = id;
+    }
+}
+
+/// Exact size of [`put_sorted_ids`]'s output.
+#[must_use]
+pub fn sorted_ids_len(ids: &[u64]) -> usize {
+    let mut n = varint_len(ids.len() as u64);
+    let mut prev = 0u64;
+    for (i, &id) in ids.iter().enumerate() {
+        n += if i == 0 {
+            varint_len(id)
+        } else {
+            varint_len(id - prev - 1)
+        };
+        prev = id;
+    }
+    n
+}
+
+/// Reads back a [`put_sorted_ids`] sequence.
+///
+/// # Errors
+///
+/// [`DecodeError::UnexpectedEnd`] on truncation,
+/// [`DecodeError::InvalidValue`] if a reconstructed id overflows `u64`.
+pub fn get_sorted_ids(d: &mut Decoder<'_>) -> Result<Vec<u64>, DecodeError> {
+    let n = d.varint()? as usize;
+    let mut out = Vec::with_capacity(n.min(d.remaining() + 1));
+    let mut prev = 0u64;
+    for i in 0..n {
+        let v = d.varint()?;
+        let id = if i == 0 {
+            v
+        } else {
+            prev.checked_add(v)
+                .and_then(|x| x.checked_add(1))
+                .ok_or(DecodeError::InvalidValue {
+                    reason: "sorted-id delta overflows u64",
+                })?
+        };
+        out.push(id);
+        prev = id;
+    }
+    Ok(out)
+}
+
+/// Appends sorted `(id, value)` pairs: ids as gap deltas, values as a
+/// one-byte bit width followed by a bit-packed run at that width — the
+/// pcodec chunk-metadata shape. An empty slice writes only the count.
+pub fn put_id_value_pairs(buf: &mut Vec<u8>, pairs: &[(u64, u64)]) {
+    let ids: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+    put_sorted_ids(buf, &ids);
+    if pairs.is_empty() {
+        return;
+    }
+    let width = pairs.iter().map(|p| bit_width(p.1)).max().unwrap_or(0);
+    buf.push(width as u8);
+    let mut w = BitWriter::new(buf);
+    for &(_, v) in pairs {
+        w.write(v, width);
+    }
+    w.finish();
+}
+
+/// Exact size of [`put_id_value_pairs`]'s output.
+#[must_use]
+pub fn id_value_pairs_len(pairs: &[(u64, u64)]) -> usize {
+    let ids: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+    let mut n = sorted_ids_len(&ids);
+    if !pairs.is_empty() {
+        let width = pairs.iter().map(|p| bit_width(p.1)).max().unwrap_or(0);
+        n += 1 + bitpacked_len(pairs.len(), width);
+    }
+    n
+}
+
+/// Reads back a [`put_id_value_pairs`] sequence.
+///
+/// # Errors
+///
+/// Any [`DecodeError`] on malformed input.
+pub fn get_id_value_pairs(d: &mut Decoder<'_>) -> Result<Vec<(u64, u64)>, DecodeError> {
+    let ids = get_sorted_ids(d)?;
+    if ids.is_empty() {
+        return Ok(Vec::new());
+    }
+    let width = u32::from(d.byte()?);
+    if width > 64 {
+        return Err(DecodeError::InvalidValue {
+            reason: "bit width above 64",
+        });
+    }
+    let mut r = BitReader::new(d);
+    let mut out = Vec::with_capacity(ids.len());
+    for id in ids {
+        out.push((id, r.read(width)?));
+    }
+    Ok(out)
+}
+
+/// Appends a delta encoding of a version vector over [`ReplicaId`]
+/// actors: actor ids as sorted gap deltas, counters as a raw first value
+/// followed by zigzag-varint deltas (replicas of one key tend to hold
+/// nearby counters, so deltas stay within a byte or two).
+pub fn put_vv_delta(buf: &mut Vec<u8>, vv: &VersionVector<ReplicaId>) {
+    let ids: Vec<u64> = vv.iter().map(|(a, _)| u64::from(a.0)).collect();
+    put_sorted_ids(buf, &ids);
+    let mut prev: Option<u64> = None;
+    for (_, c) in vv.iter() {
+        match prev {
+            None => put_varint(buf, c),
+            Some(p) => put_varint(buf, zigzag(c.wrapping_sub(p) as i64)),
+        }
+        prev = Some(c);
+    }
+}
+
+/// Exact size of [`put_vv_delta`]'s output.
+#[must_use]
+pub fn vv_delta_len(vv: &VersionVector<ReplicaId>) -> usize {
+    let ids: Vec<u64> = vv.iter().map(|(a, _)| u64::from(a.0)).collect();
+    let mut n = sorted_ids_len(&ids);
+    let mut prev: Option<u64> = None;
+    for (_, c) in vv.iter() {
+        n += match prev {
+            None => varint_len(c),
+            Some(p) => varint_len(zigzag(c.wrapping_sub(p) as i64)),
+        };
+        prev = Some(c);
+    }
+    n
+}
+
+/// Reads back a [`put_vv_delta`] version vector.
+///
+/// # Errors
+///
+/// Any [`DecodeError`] on malformed input; zero counters are rejected as
+/// in the plain [`Encode`] decoder.
+pub fn get_vv_delta(d: &mut Decoder<'_>) -> Result<VersionVector<ReplicaId>, DecodeError> {
+    let ids = get_sorted_ids(d)?;
+    let mut vv = VersionVector::new();
+    let mut prev: Option<u64> = None;
+    for id in ids {
+        let raw = d.varint()?;
+        let c = match prev {
+            None => raw,
+            Some(p) => p.wrapping_add(unzigzag(raw) as u64),
+        };
+        if c == 0 {
+            return Err(DecodeError::InvalidValue {
+                reason: "version vector entries must be non-zero",
+            });
+        }
+        let a = u32::try_from(id).map_err(|_| DecodeError::InvalidValue {
+            reason: "replica id out of range",
+        })?;
+        vv.set(ReplicaId(a), c);
+        prev = Some(c);
+    }
+    Ok(vv)
+}
+
+fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+/// Appends a Merkle leaf set — `(key, hash)` pairs — with keys as
+/// shared-prefix deltas against the previous key (prefix length +
+/// suffix) and hashes bit-packed at the run's maximum width. Any key
+/// order round-trips; sorted keys compress best.
+pub fn put_leaf_set(buf: &mut Vec<u8>, leaves: &[(Vec<u8>, u64)]) {
+    put_varint(buf, leaves.len() as u64);
+    let mut prev: &[u8] = &[];
+    for (k, _) in leaves {
+        let lcp = common_prefix(prev, k);
+        put_varint(buf, lcp as u64);
+        put_varint(buf, (k.len() - lcp) as u64);
+        buf.extend_from_slice(&k[lcp..]);
+        prev = k;
+    }
+    if leaves.is_empty() {
+        return;
+    }
+    let width = leaves.iter().map(|(_, h)| bit_width(*h)).max().unwrap_or(0);
+    buf.push(width as u8);
+    let mut w = BitWriter::new(buf);
+    for &(_, h) in leaves {
+        w.write(h, width);
+    }
+    w.finish();
+}
+
+/// Exact size of [`put_leaf_set`]'s output.
+#[must_use]
+pub fn leaf_set_len(leaves: &[(Vec<u8>, u64)]) -> usize {
+    let mut n = varint_len(leaves.len() as u64);
+    let mut prev: &[u8] = &[];
+    for (k, _) in leaves {
+        let lcp = common_prefix(prev, k);
+        n += varint_len(lcp as u64) + varint_len((k.len() - lcp) as u64) + (k.len() - lcp);
+        prev = k;
+    }
+    if !leaves.is_empty() {
+        let width = leaves.iter().map(|(_, h)| bit_width(*h)).max().unwrap_or(0);
+        n += 1 + bitpacked_len(leaves.len(), width);
+    }
+    n
+}
+
+/// Reads back a [`put_leaf_set`] leaf set.
+///
+/// # Errors
+///
+/// Any [`DecodeError`] on malformed input, including a prefix length
+/// exceeding the previous key.
+pub fn get_leaf_set(d: &mut Decoder<'_>) -> Result<Vec<(Vec<u8>, u64)>, DecodeError> {
+    let n = d.varint()? as usize;
+    let mut keys: Vec<Vec<u8>> = Vec::with_capacity(n.min(d.remaining() / 2 + 1));
+    let mut prev: Vec<u8> = Vec::new();
+    for _ in 0..n {
+        let lcp = d.varint()? as usize;
+        if lcp > prev.len() {
+            return Err(DecodeError::InvalidValue {
+                reason: "leaf key prefix longer than previous key",
+            });
+        }
+        let suffix_len = d.varint()? as usize;
+        let suffix = d.bytes(suffix_len)?;
+        let mut k = prev[..lcp].to_vec();
+        k.extend_from_slice(suffix);
+        keys.push(k.clone());
+        prev = k;
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let width = u32::from(d.byte()?);
+    if width > 64 {
+        return Err(DecodeError::InvalidValue {
+            reason: "bit width above 64",
+        });
+    }
+    let mut r = BitReader::new(d);
+    keys.into_iter().map(|k| Ok((k, r.read(width)?))).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -706,6 +1087,177 @@ mod tests {
         assert_eq!(bytes.len(), v.encoded_len());
         let back: Vve<ReplicaId> = from_bytes(&bytes).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn zigzag_is_involutive_at_extremes() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 1 << 40, -(1 << 40)] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn bitpack_roundtrips_boundary_widths() {
+        for width in [0u32, 1, 2, 7, 8, 9, 31, 63, 64] {
+            let max = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let values: Vec<u64> = (0..13).map(|i| max.saturating_sub(i) & max).collect();
+            let mut buf = Vec::new();
+            let mut w = BitWriter::new(&mut buf);
+            for &v in &values {
+                w.write(v, width);
+            }
+            w.finish();
+            assert_eq!(buf.len(), bitpacked_len(values.len(), width));
+            let mut d = Decoder::new(&buf);
+            let mut r = BitReader::new(&mut d);
+            for &v in &values {
+                assert_eq!(r.read(width).unwrap(), v, "width {width}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitreader_truncation_errors() {
+        let mut d = Decoder::new(&[0xff]);
+        let mut r = BitReader::new(&mut d);
+        assert_eq!(r.read(8).unwrap(), 0xff);
+        assert!(r.read(1).is_err());
+    }
+
+    #[test]
+    fn sorted_ids_roundtrip_and_gap_compression() {
+        for ids in [vec![], vec![0], vec![5, 6, 7, 9, 1000], vec![u64::MAX]] {
+            let mut buf = Vec::new();
+            put_sorted_ids(&mut buf, &ids);
+            assert_eq!(buf.len(), sorted_ids_len(&ids));
+            let mut d = Decoder::new(&buf);
+            assert_eq!(get_sorted_ids(&mut d).unwrap(), ids);
+            assert_eq!(d.remaining(), 0);
+        }
+        // dense runs cost one byte per element after the first
+        let dense: Vec<u64> = (1000..1100).collect();
+        assert_eq!(sorted_ids_len(&dense), 1 + 2 + 99);
+    }
+
+    #[test]
+    fn sorted_ids_decode_rejects_overflow() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 2); // count
+        put_varint(&mut buf, u64::MAX); // first id
+        put_varint(&mut buf, 0); // gap → MAX + 1 overflows
+        let mut d = Decoder::new(&buf);
+        assert!(matches!(
+            get_sorted_ids(&mut d),
+            Err(DecodeError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn id_value_pairs_roundtrip() {
+        for pairs in [
+            vec![],
+            vec![(3u64, 0u64)],
+            vec![(0, u64::MAX), (7, 1), (8, 0xdead_beef)],
+            vec![(1, 0), (2, 0), (9, 0)], // all-zero values: width 0, no payload
+        ] {
+            let mut buf = Vec::new();
+            put_id_value_pairs(&mut buf, &pairs);
+            assert_eq!(buf.len(), id_value_pairs_len(&pairs));
+            let mut d = Decoder::new(&buf);
+            assert_eq!(get_id_value_pairs(&mut d).unwrap(), pairs);
+            assert_eq!(d.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn id_value_pairs_zero_width_has_no_packed_payload() {
+        let pairs = vec![(1u64, 0u64), (2, 0), (3, 0)];
+        // count + first + 2 gaps + width byte, no packed payload
+        assert_eq!(id_value_pairs_len(&pairs), 5);
+    }
+
+    #[test]
+    fn vv_delta_roundtrip_and_compression() {
+        let mut vv: VersionVector<ReplicaId> = VersionVector::new();
+        for i in 0..8u32 {
+            vv.set(ReplicaId(i), 1000 + u64::from(i % 3));
+        }
+        let mut buf = Vec::new();
+        put_vv_delta(&mut buf, &vv);
+        assert_eq!(buf.len(), vv_delta_len(&vv));
+        let mut d = Decoder::new(&buf);
+        assert_eq!(get_vv_delta(&mut d).unwrap(), vv);
+        assert_eq!(d.remaining(), 0);
+        assert!(
+            vv_delta_len(&vv) < vv.encoded_len(),
+            "delta form must beat the plain encoding on dense nearby counters: {} vs {}",
+            vv_delta_len(&vv),
+            vv.encoded_len()
+        );
+
+        let empty = VersionVector::<ReplicaId>::new();
+        let mut buf = Vec::new();
+        put_vv_delta(&mut buf, &empty);
+        let mut d = Decoder::new(&buf);
+        assert_eq!(get_vv_delta(&mut d).unwrap(), empty);
+    }
+
+    #[test]
+    fn vv_delta_rejects_zero_counters() {
+        let mut buf = Vec::new();
+        put_sorted_ids(&mut buf, &[0]);
+        put_varint(&mut buf, 0); // zero counter
+        let mut d = Decoder::new(&buf);
+        assert!(matches!(
+            get_vv_delta(&mut d),
+            Err(DecodeError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn leaf_set_roundtrip_and_prefix_compression() {
+        let leaves: Vec<(Vec<u8>, u64)> = (0..50)
+            .map(|i| (format!("user:{i:04}").into_bytes(), 0xabc0 + i as u64))
+            .collect();
+        let mut buf = Vec::new();
+        put_leaf_set(&mut buf, &leaves);
+        assert_eq!(buf.len(), leaf_set_len(&leaves));
+        let mut d = Decoder::new(&buf);
+        assert_eq!(get_leaf_set(&mut d).unwrap(), leaves);
+        assert_eq!(d.remaining(), 0);
+        // flat cost would be ≥ (9-byte key + 8-byte hash) each
+        assert!(
+            leaf_set_len(&leaves) < leaves.len() * 17 / 2,
+            "prefix+bitpack must at least halve the flat cost, got {}",
+            leaf_set_len(&leaves)
+        );
+
+        let empty: Vec<(Vec<u8>, u64)> = Vec::new();
+        let mut buf = Vec::new();
+        put_leaf_set(&mut buf, &empty);
+        assert_eq!(buf, vec![0]);
+        let mut d = Decoder::new(&buf);
+        assert_eq!(get_leaf_set(&mut d).unwrap(), empty);
+    }
+
+    #[test]
+    fn leaf_set_rejects_bad_prefix_len() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1); // one leaf
+        put_varint(&mut buf, 3); // lcp 3 against an empty previous key
+        put_varint(&mut buf, 0);
+        let mut d = Decoder::new(&buf);
+        assert!(matches!(
+            get_leaf_set(&mut d),
+            Err(DecodeError::InvalidValue { .. })
+        ));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use simnet::{NodeId, ProcessCtx, SimTime, TimerId};
 use workloads::{Histogram, KeySpace, Popularity};
 
 use crate::config::ClientConfig;
-use crate::messages::{Msg, ReqId};
+use crate::messages::{Msg, ReqId, WireStats};
 use crate::value::{Key, StampedValue, WriteId};
 
 /// One logged write: what the client wrote and what it had observed —
@@ -92,6 +92,8 @@ pub struct ClientNode<M: Mechanism<StampedValue>> {
     /// Public write log for the oracle.
     write_log: Vec<WriteLogEntry>,
     stats: ClientStats,
+    /// Per-class bytes/messages this client has put on the wire.
+    wire: WireStats,
     done: bool,
 }
 
@@ -142,6 +144,7 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
             timers: BTreeMap::new(),
             write_log: Vec::new(),
             stats: ClientStats::default(),
+            wire: WireStats::default(),
             done: false,
         }
     }
@@ -169,6 +172,11 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
     /// Latency/outcome counters.
     pub fn stats(&self) -> &ClientStats {
         &self.stats
+    }
+
+    /// Per-class wire bytes/messages this client has sent.
+    pub fn wire_stats(&self) -> WireStats {
+        self.wire
     }
 
     /// Marks a replica up/down in this client's routing view.
@@ -209,8 +217,9 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
         (u64::from(self.node_index) << 32) | self.next_req
     }
 
-    fn send(&self, ctx: &mut ProcessCtx<'_, Msg<M>>, to: NodeId, msg: Msg<M>) {
+    fn send(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, to: NodeId, msg: Msg<M>) {
         let bytes = msg.wire_size(&self.mech) + self.header_bytes;
+        self.wire.record(msg.class(), bytes);
         ctx.send(to, msg, bytes);
     }
 

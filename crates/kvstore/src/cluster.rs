@@ -11,7 +11,7 @@ use workloads::Histogram;
 
 use crate::client::ClientNode;
 use crate::config::{ClientConfig, StoreConfig};
-use crate::messages::Msg;
+use crate::messages::{Msg, WireStats};
 use crate::node::StoreNode;
 use crate::oracle::{AnomalyReport, Oracle};
 use crate::value::{Key, StampedValue, WriteId};
@@ -766,6 +766,21 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
             out.put.merge(&s.put_latency);
             out.failed_cycles += s.failed_cycles;
             out.retries += s.retries;
+        }
+        out
+    }
+
+    /// Sums every node's per-class wire counters — servers (dormant
+    /// spares included, since a retired leaver keeps gossiping) and
+    /// clients. The cluster-wide bytes-on-the-wire ledger the wire
+    /// bench reports from.
+    pub fn wire_report(&self) -> WireStats {
+        let mut out = WireStats::default();
+        for i in 0..self.server_slots {
+            out.absorb(&self.server(i).wire_stats());
+        }
+        for j in 0..self.clients {
+            out.absorb(&self.client(j).wire_stats());
         }
         out
     }

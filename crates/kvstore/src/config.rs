@@ -2,6 +2,38 @@
 
 use simnet::Duration;
 
+/// How eagerly a node uses the incremental (delta) form of a wire
+/// protocol that also has a full-push form.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DeltaPolicy {
+    /// Always push full state (the pre-delta wire protocol).
+    Full,
+    /// Use the delta form when its size heuristics say it will pay off;
+    /// fall back to the full push otherwise.
+    #[default]
+    Auto,
+    /// Always use the delta form when it is *correct* to do so —
+    /// size heuristics are ignored, but correctness guards (e.g. the
+    /// view-alignment digest check before comparing arc indices) still
+    /// apply. Soak lanes run this to pin delta/full equivalence.
+    Force,
+}
+
+impl DeltaPolicy {
+    /// Reads a policy from the `DELTA_PROTOCOLS` environment variable
+    /// (`full` | `auto` | `force`), defaulting to `Auto` when unset or
+    /// unrecognised. Churn suites apply this so the nightly soak lane
+    /// can force the delta paths on without a code change.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("DELTA_PROTOCOLS").as_deref() {
+            Ok("full") => DeltaPolicy::Full,
+            Ok("force") => DeltaPolicy::Force,
+            _ => DeltaPolicy::Auto,
+        }
+    }
+}
+
 /// Replication and protocol parameters of the store (Riak's N/R/W model).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StoreConfig {
@@ -38,6 +70,17 @@ pub struct StoreConfig {
     /// Virtual nodes per server on the hash ring a node rebuilds from an
     /// adopted ring view.
     pub vnodes: u32,
+    /// How ring-view gossip reconciles digest mismatches: full view
+    /// pushes, or two-step summary/delta exchanges.
+    pub delta_views: DeltaPolicy,
+    /// How anti-entropy narrows a shared-root mismatch: a full leaf
+    /// push, or per-arc root exchange first and leaves only for the
+    /// arcs that differ.
+    pub delta_aae: DeltaPolicy,
+    /// Maximum keys per range-transfer batch.
+    pub transfer_batch_keys: usize,
+    /// Maximum keys per hinted-handoff batch.
+    pub handoff_batch_keys: usize,
 }
 
 impl Default for StoreConfig {
@@ -56,6 +99,10 @@ impl Default for StoreConfig {
             gossip_interval: Duration::from_millis(100),
             header_bytes: 16,
             vnodes: 32,
+            delta_views: DeltaPolicy::default(),
+            delta_aae: DeltaPolicy::default(),
+            transfer_batch_keys: 64,
+            handoff_batch_keys: 32,
         }
     }
 }
@@ -77,6 +124,26 @@ impl StoreConfig {
             "write quorum must be within 1..=n"
         );
         assert!(self.vnodes > 0, "a node must own at least one token");
+        assert!(
+            self.transfer_batch_keys > 0,
+            "transfer batches must hold at least one key"
+        );
+        assert!(
+            self.handoff_batch_keys > 0,
+            "handoff batches must hold at least one key"
+        );
+    }
+
+    /// Returns a copy with both delta policies set from the
+    /// `DELTA_PROTOCOLS` environment variable ([`DeltaPolicy::from_env`]).
+    /// Applied explicitly by the churn suites rather than centrally, so
+    /// tests that pin a specific policy stay pinned.
+    #[must_use]
+    pub fn with_env_delta(mut self) -> Self {
+        let policy = DeltaPolicy::from_env();
+        self.delta_views = policy;
+        self.delta_aae = policy;
+        self
     }
 }
 

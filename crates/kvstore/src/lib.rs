@@ -62,8 +62,9 @@ pub mod messages;
 pub mod node;
 pub mod oracle;
 pub mod value;
+pub mod wire;
 
 pub use cluster::{Cluster, ClusterConfig};
-pub use config::StoreConfig;
+pub use config::{DeltaPolicy, StoreConfig};
 pub use oracle::{AnomalyReport, Oracle};
 pub use value::{Key, StampedValue, WriteId};

@@ -1,10 +1,12 @@
 //! The store's wire protocol, generic over the causality mechanism.
 
+use dvv::encode::{put_varint, varint_len, Encode};
 use dvv::mechanisms::Mechanism;
 use dvv::ReplicaId;
-use ring::RingView;
+use ring::{MemberEntry, RingView};
 
 use crate::value::{Key, StampedValue};
+use crate::wire;
 
 /// Request identifier: unique per originating client (`client_index << 32
 /// | sequence`), echoed through coordinator and replica traffic.
@@ -121,10 +123,31 @@ pub enum Msg<M: Mechanism<StampedValue>> {
         /// whose digest differs pushes its full view so the two merge.
         digest: u64,
     },
-    /// Anti-entropy round 2: responder's leaf hashes (roots differed).
+    /// Anti-entropy arc reconciliation: on a shared-root mismatch the
+    /// responder recurses into the per-arc Merkle roots instead of
+    /// shipping every leaf. Arc indices are positions in the ring's
+    /// token order, so both ends must hold identical views — the digest
+    /// guards the exchange, and a mismatch aborts it (the next AAE tick
+    /// retries after the views converge).
+    AaeArcRoots {
+        /// `(arc index, arc root)` for every shared arc with data.
+        arcs: Vec<(u32, u64)>,
+        /// The sender's ring-view digest: scope guard + gossip piggyback.
+        digest: u64,
+    },
+    /// Anti-entropy leaf exchange (roots differed).
     AaeLeaves {
         /// `(key, leaf hash)` pairs.
         leaves: Vec<(Key, u64)>,
+        /// `None`: the full-push protocol — every shared leaf travels.
+        /// `Some(arcs)`: the delta protocol — only leaves in the listed
+        /// differing arcs travel, and the receiver diffs against the
+        /// same scope. Arc-scoped exchanges are only meaningful under
+        /// identical views (see `digest`).
+        arcs: Option<Vec<u32>>,
+        /// The sender's ring-view digest: gossip piggyback, and the
+        /// validity guard for arc-scoped exchanges.
+        digest: u64,
     },
     /// Anti-entropy round 3: initiator pushes its divergent states and
     /// names the keys it wants back.
@@ -218,33 +241,51 @@ pub enum Msg<M: Mechanism<StampedValue>> {
         /// The sender's complete ring view.
         view: RingView<ReplicaId>,
     },
+    /// Delta-view step 1 (reply to a mismatched digest): the sender's
+    /// per-member summary — each entry's `(member, summary key)`, where
+    /// the key is order-isomorphic to the merge order. The receiver
+    /// compares per member and answers with a [`Msg::RingDelta`]
+    /// carrying exactly the entries the summary proves missing or
+    /// dominated, or falls back to a full [`Msg::RingEpoch`] when the
+    /// delta would not be smaller.
+    RingSummary {
+        /// Every entry's `(member, summary key)`, tombstones included.
+        entries: Vec<(ReplicaId, u64)>,
+    },
+    /// Delta-view step 2: the entries the peer provably lacks, plus the
+    /// members this sender wants back (where the peer's summary proved
+    /// domination). Merged through the same per-member join as
+    /// [`Msg::RingEpoch`] (`RingView::absorb_delta` beside `absorb`);
+    /// the receiver answers `want` — and any entry it dominates — with
+    /// a further `RingDelta`, which terminates because only strictly
+    /// newer entries ever travel back.
+    RingDelta {
+        /// Entries the receiver provably lacks or holds dominated.
+        entries: Vec<(ReplicaId, MemberEntry)>,
+        /// Members whose entries the sender wants back.
+        want: Vec<ReplicaId>,
+    },
     /// Periodic gossip: the sender's ring-view digest (a 64-bit hash of
     /// its merged membership state). A receiver whose own digest differs
-    /// pushes its full view ([`Msg::RingEpoch`]); equal digests end the
-    /// round. Digests carry no order — merging, not comparison, decides
-    /// what changes.
+    /// pushes its full view ([`Msg::RingEpoch`]) or opens a delta
+    /// exchange ([`Msg::RingSummary`]); equal digests end the round.
+    /// Digests carry no order — merging, not comparison, decides what
+    /// changes.
     GossipDigest {
         /// The sender's ring-view digest.
         digest: u64,
     },
-    /// Fallback → recovered replica: hinted state handed off.
+    /// Fallback → recovered replica: hinted states handed off, batched
+    /// per recovered target.
     Handoff {
-        /// Key handed off.
-        key: Key,
-        /// State for the key.
-        state: M::State,
+        /// The handed-off `(key, state)` pairs.
+        entries: Vec<(Key, M::State)>,
     },
-    /// Recovered replica → fallback: handoff applied.
+    /// Recovered replica → fallback: the batch was applied.
     HandoffAck {
-        /// Key acknowledged.
-        key: Key,
+        /// Keys acknowledged.
+        keys: Vec<Key>,
     },
-}
-
-/// Wire size of a ring view: per entry a 4-byte member id, an 8-byte
-/// incarnation and a status tag.
-pub fn view_wire_size(view: &RingView<ReplicaId>) -> usize {
-    13 * view.entry_count()
 }
 
 /// Wire size of a full per-key state: causal metadata plus the values.
@@ -253,45 +294,399 @@ pub fn state_wire_size<M: Mechanism<StampedValue>>(mech: &M, state: &M::State) -
     mech.metadata_size(state) + values.iter().map(StampedValue::wire_size).sum::<usize>()
 }
 
-impl<M: Mechanism<StampedValue>> Msg<M> {
-    /// Bytes this message occupies on the wire (plus the fixed envelope
-    /// the caller adds). This is where metadata size becomes latency.
-    pub fn wire_size(&self, mech: &M) -> usize {
+/// Coarse classification of the wire protocol, for per-class byte
+/// accounting: each message belongs to exactly one class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MsgClass {
+    /// Client request/response traffic.
+    Client,
+    /// Quorum replication, delegation and read repair.
+    Replication,
+    /// Merkle anti-entropy exchanges.
+    AntiEntropy,
+    /// Membership dissemination: gossip, views, summaries, deltas.
+    Membership,
+    /// Range transfers (rebalance and leave-drain).
+    Transfer,
+    /// Hinted handoff.
+    Handoff,
+}
+
+impl MsgClass {
+    /// Every class, in display order.
+    pub const ALL: [MsgClass; 6] = [
+        MsgClass::Client,
+        MsgClass::Replication,
+        MsgClass::AntiEntropy,
+        MsgClass::Membership,
+        MsgClass::Transfer,
+        MsgClass::Handoff,
+    ];
+
+    /// Stable lowercase name (report keys).
+    #[must_use]
+    pub fn name(self) -> &'static str {
         match self {
-            Msg::ClientGet { key, .. } => key.len() + 16,
-            Msg::ClientGetResp { values, ctx, .. } => {
-                1 + values.iter().map(StampedValue::wire_size).sum::<usize>()
-                    + mech.context_size(ctx)
+            MsgClass::Client => "client",
+            MsgClass::Replication => "replication",
+            MsgClass::AntiEntropy => "anti_entropy",
+            MsgClass::Membership => "membership",
+            MsgClass::Transfer => "transfer",
+            MsgClass::Handoff => "handoff",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            MsgClass::Client => 0,
+            MsgClass::Replication => 1,
+            MsgClass::AntiEntropy => 2,
+            MsgClass::Membership => 3,
+            MsgClass::Transfer => 4,
+            MsgClass::Handoff => 5,
+        }
+    }
+}
+
+/// Per-class wire counters a node accumulates for every message it
+/// sends (payload plus envelope). Bytes-on-the-wire as a first-class
+/// metric: what the delta protocols exist to shrink.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    msgs: [u64; 6],
+    bytes: [u64; 6],
+}
+
+impl WireStats {
+    /// Records one sent message of `bytes` in `class`.
+    pub fn record(&mut self, class: MsgClass, bytes: usize) {
+        self.msgs[class.index()] += 1;
+        self.bytes[class.index()] += bytes as u64;
+    }
+
+    /// Messages sent in `class`.
+    #[must_use]
+    pub fn msgs(&self, class: MsgClass) -> u64 {
+        self.msgs[class.index()]
+    }
+
+    /// Bytes sent in `class`.
+    #[must_use]
+    pub fn bytes(&self, class: MsgClass) -> u64 {
+        self.bytes[class.index()]
+    }
+
+    /// Total bytes sent across every class.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Bytes spent *reconciling state* rather than serving clients or
+    /// moving data: membership dissemination plus anti-entropy. This is
+    /// the headline bytes-to-convergence metric — exactly the traffic
+    /// the delta protocols address (transfers and handoff move the same
+    /// key states under either protocol).
+    #[must_use]
+    pub fn reconciliation_bytes(&self) -> u64 {
+        self.bytes(MsgClass::Membership) + self.bytes(MsgClass::AntiEntropy)
+    }
+
+    /// Adds another node's counters into this one (cluster roll-up).
+    pub fn absorb(&mut self, other: &WireStats) {
+        for i in 0..self.msgs.len() {
+            self.msgs[i] += other.msgs[i];
+            self.bytes[i] += other.bytes[i];
+        }
+    }
+}
+
+impl<M: Mechanism<StampedValue>> Msg<M> {
+    /// One-byte variant tag, the first wire byte of every message.
+    fn tag(&self) -> u8 {
+        match self {
+            Msg::ClientGet { .. } => 0,
+            Msg::ClientGetResp { .. } => 1,
+            Msg::ClientPut { .. } => 2,
+            Msg::ClientPutResp { .. } => 3,
+            Msg::RepGet { .. } => 4,
+            Msg::RepGetResp { .. } => 5,
+            Msg::RepPut { .. } => 6,
+            Msg::RepPutAck { .. } => 7,
+            Msg::ReadRepair { .. } => 8,
+            Msg::AaeRoot { .. } => 9,
+            Msg::AaeArcRoots { .. } => 10,
+            Msg::AaeLeaves { .. } => 11,
+            Msg::AaeStates { .. } => 12,
+            Msg::AaeStatesResp { .. } => 13,
+            Msg::RepWrite { .. } => 14,
+            Msg::RepWriteResp { .. } => 15,
+            Msg::JoinAnnounce { .. } => 16,
+            Msg::Rejoin { .. } => 17,
+            Msg::RangeTransfer { .. } => 18,
+            Msg::TransferAck { .. } => 19,
+            Msg::RingEpoch { .. } => 20,
+            Msg::RingSummary { .. } => 21,
+            Msg::RingDelta { .. } => 22,
+            Msg::GossipDigest { .. } => 23,
+            Msg::Handoff { .. } => 24,
+            Msg::HandoffAck { .. } => 25,
+        }
+    }
+
+    /// The message's accounting class.
+    #[must_use]
+    pub fn class(&self) -> MsgClass {
+        match self {
+            Msg::ClientGet { .. }
+            | Msg::ClientGetResp { .. }
+            | Msg::ClientPut { .. }
+            | Msg::ClientPutResp { .. } => MsgClass::Client,
+            Msg::RepGet { .. }
+            | Msg::RepGetResp { .. }
+            | Msg::RepPut { .. }
+            | Msg::RepPutAck { .. }
+            | Msg::ReadRepair { .. }
+            | Msg::RepWrite { .. }
+            | Msg::RepWriteResp { .. } => MsgClass::Replication,
+            Msg::AaeRoot { .. }
+            | Msg::AaeArcRoots { .. }
+            | Msg::AaeLeaves { .. }
+            | Msg::AaeStates { .. }
+            | Msg::AaeStatesResp { .. } => MsgClass::AntiEntropy,
+            Msg::JoinAnnounce { .. }
+            | Msg::Rejoin { .. }
+            | Msg::RingEpoch { .. }
+            | Msg::RingSummary { .. }
+            | Msg::RingDelta { .. }
+            | Msg::GossipDigest { .. } => MsgClass::Membership,
+            Msg::RangeTransfer { .. } | Msg::TransferAck { .. } => MsgClass::Transfer,
+            Msg::Handoff { .. } | Msg::HandoffAck { .. } => MsgClass::Handoff,
+        }
+    }
+
+    /// Encodes the message: a variant tag byte, then the fields through
+    /// the codecs in [`crate::wire`]. Mechanism states and contexts
+    /// travel as modeled blobs (length prefix + placeholder bytes of the
+    /// modeled size — see the module docs of [`crate::wire`]), so this
+    /// is the byte-accounting ground truth rather than a parseable
+    /// serialisation of mechanism internals.
+    pub fn encode(&self, mech: &M) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.wire_size(mech));
+        buf.push(self.tag());
+        match self {
+            Msg::ClientGet { req, key, digest } => {
+                wire::put_u64(&mut buf, *req);
+                wire::put_key(&mut buf, key);
+                wire::put_u64(&mut buf, *digest);
+            }
+            Msg::ClientGetResp {
+                req,
+                ok,
+                values,
+                ctx,
+            }
+            | Msg::ClientPutResp {
+                req,
+                ok,
+                values,
+                ctx,
+            } => {
+                wire::put_u64(&mut buf, *req);
+                buf.push(u8::from(*ok));
+                put_varint(&mut buf, values.len() as u64);
+                for v in values {
+                    v.encode(&mut buf);
+                }
+                wire::put_blob(&mut buf, mech.context_size(ctx));
+            }
+            Msg::ClientPut {
+                req,
+                key,
+                value,
+                ctx,
+                digest,
+            } => {
+                wire::put_u64(&mut buf, *req);
+                wire::put_key(&mut buf, key);
+                value.encode(&mut buf);
+                wire::put_blob(&mut buf, mech.context_size(ctx));
+                wire::put_u64(&mut buf, *digest);
+            }
+            Msg::RepGet { req, key } => {
+                wire::put_u64(&mut buf, *req);
+                wire::put_key(&mut buf, key);
+            }
+            Msg::RepGetResp { req, key, state } | Msg::RepWriteResp { req, key, state } => {
+                wire::put_u64(&mut buf, *req);
+                wire::put_key(&mut buf, key);
+                wire::put_blob(&mut buf, state_wire_size(mech, state));
+            }
+            Msg::RepPut {
+                req,
+                key,
+                state,
+                hint,
+            } => {
+                wire::put_u64(&mut buf, *req);
+                wire::put_key(&mut buf, key);
+                wire::put_blob(&mut buf, state_wire_size(mech, state));
+                wire::put_hint(&mut buf, *hint);
+            }
+            Msg::RepPutAck { req } => wire::put_u64(&mut buf, *req),
+            Msg::ReadRepair { key, state, hint } => {
+                wire::put_key(&mut buf, key);
+                wire::put_blob(&mut buf, state_wire_size(mech, state));
+                wire::put_hint(&mut buf, *hint);
+            }
+            Msg::AaeRoot { root, digest } => {
+                wire::put_u64(&mut buf, *root);
+                wire::put_u64(&mut buf, *digest);
+            }
+            Msg::AaeArcRoots { arcs, digest } => {
+                wire::put_u64(&mut buf, *digest);
+                wire::put_arc_roots(&mut buf, arcs);
+            }
+            Msg::AaeLeaves {
+                leaves,
+                arcs,
+                digest,
+            } => {
+                wire::put_u64(&mut buf, *digest);
+                match arcs {
+                    None => buf.push(0),
+                    Some(list) => {
+                        buf.push(1);
+                        wire::put_arc_list(&mut buf, list);
+                    }
+                }
+                dvv::encode::put_leaf_set(&mut buf, leaves);
+            }
+            Msg::AaeStates { states, want } => {
+                let items: Vec<(&Key, usize)> = states
+                    .iter()
+                    .map(|(k, s)| (k, state_wire_size(mech, s)))
+                    .collect();
+                wire::put_keyed_blobs(&mut buf, &items);
+                wire::put_key_list(&mut buf, want);
+            }
+            Msg::AaeStatesResp { states } => {
+                let items: Vec<(&Key, usize)> = states
+                    .iter()
+                    .map(|(k, s)| (k, state_wire_size(mech, s)))
+                    .collect();
+                wire::put_keyed_blobs(&mut buf, &items);
+            }
+            Msg::RepWrite {
+                req,
+                key,
+                value,
+                ctx,
+                hint,
+            } => {
+                wire::put_u64(&mut buf, *req);
+                wire::put_key(&mut buf, key);
+                value.encode(&mut buf);
+                wire::put_blob(&mut buf, mech.context_size(ctx));
+                wire::put_hint(&mut buf, *hint);
+            }
+            Msg::JoinAnnounce { view, who, joining } => {
+                wire::put_view(&mut buf, view);
+                put_varint(&mut buf, u64::from(who.0));
+                buf.push(u8::from(*joining));
+            }
+            Msg::Rejoin { view } | Msg::RingEpoch { view } => {
+                wire::put_view(&mut buf, view);
+            }
+            Msg::RangeTransfer { id, entries } => {
+                wire::put_u64(&mut buf, *id);
+                let items: Vec<(&Key, usize)> = entries
+                    .iter()
+                    .map(|(k, s)| (k, state_wire_size(mech, s)))
+                    .collect();
+                wire::put_keyed_blobs(&mut buf, &items);
+            }
+            Msg::TransferAck { id } => wire::put_u64(&mut buf, *id),
+            Msg::RingSummary { entries } => wire::put_summary(&mut buf, entries),
+            Msg::RingDelta { entries, want } => {
+                wire::put_member_entries(&mut buf, entries);
+                wire::put_replica_ids(&mut buf, want);
+            }
+            Msg::GossipDigest { digest } => wire::put_u64(&mut buf, *digest),
+            Msg::Handoff { entries } => {
+                let items: Vec<(&Key, usize)> = entries
+                    .iter()
+                    .map(|(k, s)| (k, state_wire_size(mech, s)))
+                    .collect();
+                wire::put_keyed_blobs(&mut buf, &items);
+            }
+            Msg::HandoffAck { keys } => wire::put_key_list(&mut buf, keys),
+        }
+        buf
+    }
+
+    /// Bytes this message occupies on the wire (plus the fixed envelope
+    /// the caller adds). Computed with the same codec arithmetic
+    /// [`Msg::encode`] uses — `wire_size == encode().len()` for every
+    /// variant (pinned by the wire-parity property test). This is where
+    /// metadata size becomes latency.
+    pub fn wire_size(&self, mech: &M) -> usize {
+        let u = wire::U64_LEN;
+        1 + match self {
+            Msg::ClientGet { key, .. } => u + wire::key_len(key) + u,
+            Msg::ClientGetResp { values, ctx, .. } | Msg::ClientPutResp { values, ctx, .. } => {
+                u + 1
+                    + varint_len(values.len() as u64)
+                    + values.iter().map(StampedValue::wire_size).sum::<usize>()
+                    + wire::blob_len(mech.context_size(ctx))
             }
             Msg::ClientPut {
                 key, value, ctx, ..
-            } => key.len() + 16 + value.wire_size() + mech.context_size(ctx),
-            Msg::ClientPutResp { values, ctx, .. } => {
-                1 + values.iter().map(StampedValue::wire_size).sum::<usize>()
-                    + mech.context_size(ctx)
+            } => {
+                u + wire::key_len(key)
+                    + value.wire_size()
+                    + wire::blob_len(mech.context_size(ctx))
+                    + u
             }
-            Msg::RepGet { key, .. } => key.len() + 8,
-            Msg::RepGetResp { key, state, .. } => key.len() + 8 + state_wire_size(mech, state),
+            Msg::RepGet { key, .. } => u + wire::key_len(key),
+            Msg::RepGetResp { key, state, .. } | Msg::RepWriteResp { key, state, .. } => {
+                u + wire::key_len(key) + wire::blob_len(state_wire_size(mech, state))
+            }
             Msg::RepPut {
                 key, state, hint, ..
-            } => key.len() + 8 + state_wire_size(mech, state) + if hint.is_some() { 4 } else { 0 },
-            Msg::RepPutAck { .. } => 8,
+            } => {
+                u + wire::key_len(key)
+                    + wire::blob_len(state_wire_size(mech, state))
+                    + wire::hint_len(*hint)
+            }
+            Msg::RepPutAck { .. } | Msg::TransferAck { .. } | Msg::GossipDigest { .. } => u,
             Msg::ReadRepair { key, state, hint } => {
-                key.len() + state_wire_size(mech, state) + if hint.is_some() { 4 } else { 0 }
+                wire::key_len(key)
+                    + wire::blob_len(state_wire_size(mech, state))
+                    + wire::hint_len(*hint)
             }
-            Msg::AaeRoot { .. } => 16,
-            Msg::AaeLeaves { leaves } => leaves.iter().map(|(k, _)| k.len() + 10).sum(),
+            Msg::AaeRoot { .. } => u + u,
+            Msg::AaeArcRoots { arcs, .. } => u + wire::arc_roots_len(arcs),
+            Msg::AaeLeaves { leaves, arcs, .. } => {
+                u + match arcs {
+                    None => 1,
+                    Some(list) => 1 + wire::arc_list_len(list),
+                } + dvv::encode::leaf_set_len(leaves)
+            }
             Msg::AaeStates { states, want } => {
-                states
+                let items: Vec<(&Key, usize)> = states
                     .iter()
-                    .map(|(k, s)| k.len() + 2 + state_wire_size(mech, s))
-                    .sum::<usize>()
-                    + want.iter().map(|k| k.len() + 2).sum::<usize>()
+                    .map(|(k, s)| (k, state_wire_size(mech, s)))
+                    .collect();
+                wire::keyed_blobs_len(&items) + wire::key_list_len(want)
             }
-            Msg::AaeStatesResp { states } => states
-                .iter()
-                .map(|(k, s)| k.len() + 2 + state_wire_size(mech, s))
-                .sum(),
+            Msg::AaeStatesResp { states } => {
+                let items: Vec<(&Key, usize)> = states
+                    .iter()
+                    .map(|(k, s)| (k, state_wire_size(mech, s)))
+                    .collect();
+                wire::keyed_blobs_len(&items)
+            }
             Msg::RepWrite {
                 key,
                 value,
@@ -299,26 +694,34 @@ impl<M: Mechanism<StampedValue>> Msg<M> {
                 hint,
                 ..
             } => {
-                key.len()
-                    + 8
+                u + wire::key_len(key)
                     + value.wire_size()
-                    + mech.context_size(ctx)
-                    + if hint.is_some() { 4 } else { 0 }
+                    + wire::blob_len(mech.context_size(ctx))
+                    + wire::hint_len(*hint)
             }
-            Msg::RepWriteResp { key, state, .. } => key.len() + 8 + state_wire_size(mech, state),
-            Msg::JoinAnnounce { view, .. } => view_wire_size(view) + 5,
-            Msg::Rejoin { view } => view_wire_size(view),
+            Msg::JoinAnnounce { view, who, .. } => {
+                wire::view_len(view) + varint_len(u64::from(who.0)) + 1
+            }
+            Msg::Rejoin { view } | Msg::RingEpoch { view } => wire::view_len(view),
             Msg::RangeTransfer { entries, .. } => {
-                8 + entries
+                let items: Vec<(&Key, usize)> = entries
                     .iter()
-                    .map(|(k, s)| k.len() + 2 + state_wire_size(mech, s))
-                    .sum::<usize>()
+                    .map(|(k, s)| (k, state_wire_size(mech, s)))
+                    .collect();
+                u + wire::keyed_blobs_len(&items)
             }
-            Msg::TransferAck { .. } => 8,
-            Msg::RingEpoch { view } => view_wire_size(view),
-            Msg::GossipDigest { .. } => 8,
-            Msg::Handoff { key, state } => key.len() + state_wire_size(mech, state),
-            Msg::HandoffAck { key } => key.len(),
+            Msg::RingSummary { entries } => wire::summary_len(entries),
+            Msg::RingDelta { entries, want } => {
+                wire::member_entries_len(entries) + wire::replica_ids_len(want)
+            }
+            Msg::Handoff { entries } => {
+                let items: Vec<(&Key, usize)> = entries
+                    .iter()
+                    .map(|(k, s)| (k, state_wire_size(mech, s)))
+                    .collect();
+                wire::keyed_blobs_len(&items)
+            }
+            Msg::HandoffAck { keys } => wire::key_list_len(keys),
         }
     }
 }
@@ -369,8 +772,9 @@ mod tests {
             state: st.clone(),
         };
         assert!(get.wire_size(&mech) < resp.wire_size(&mech));
+        // tag byte + fixed 8-byte request id
         let ack: Msg<M> = Msg::RepPutAck { req: 1 };
-        assert_eq!(ack.wire_size(&mech), 8);
+        assert_eq!(ack.wire_size(&mech), 9);
     }
 
     #[test]
@@ -389,7 +793,8 @@ mod tests {
             state: st,
             hint: Some(ReplicaId(2)),
         };
-        assert_eq!(hinted.wire_size(&mech), plain.wire_size(&mech) + 4);
+        // presence byte is always there; the hint itself is one varint
+        assert_eq!(hinted.wire_size(&mech), plain.wire_size(&mech) + 1);
     }
 
     #[test]
@@ -418,11 +823,15 @@ mod tests {
         };
         assert!(transfer.wire_size(&mech) > empty.wire_size(&mech) + 64);
         let ack: Msg<M> = Msg::TransferAck { id: 1 };
-        assert_eq!(ack.wire_size(&mech), 8);
-        let push: Msg<M> = Msg::RingEpoch {
-            view: RingView::from_members([ReplicaId(0), ReplicaId(1)]),
-        };
-        assert_eq!(push.wire_size(&mech), 26, "13 bytes per view entry");
+        assert_eq!(ack.wire_size(&mech), 9);
+        let two = RingView::from_members([ReplicaId(0), ReplicaId(1)]);
+        let push: Msg<M> = Msg::RingEpoch { view: two.clone() };
+        assert_eq!(push.wire_size(&mech), 1 + wire::view_len(&two));
+        assert!(
+            push.wire_size(&mech) < 26,
+            "delta-coded view must beat the old 13-bytes-per-entry format, got {}",
+            push.wire_size(&mech)
+        );
         // tombstoned entries still ride along: they are what makes a
         // departure survive merges
         let mut with_tombstone = RingView::from_members([ReplicaId(0), ReplicaId(1)]);
@@ -430,23 +839,28 @@ mod tests {
         let bigger: Msg<M> = Msg::RingEpoch {
             view: with_tombstone,
         };
-        assert_eq!(bigger.wire_size(&mech), 39);
+        assert!(bigger.wire_size(&mech) > push.wire_size(&mech));
     }
 
     #[test]
     fn gossip_messages_are_tiny() {
         let mech = DvvMechanism;
         let digest: Msg<M> = Msg::GossipDigest { digest: 9 };
-        assert_eq!(digest.wire_size(&mech), 8);
-        // a digest is strictly cheaper than any full view push
+        assert_eq!(digest.wire_size(&mech), 9);
+        // a digest stays fixed-size while view pushes grow per member
         let push: Msg<M> = Msg::RingEpoch {
-            view: RingView::from_members([ReplicaId(0)]),
+            view: RingView::from_members([
+                ReplicaId(0),
+                ReplicaId(1),
+                ReplicaId(2),
+                ReplicaId(3),
+                ReplicaId(4),
+            ]),
         };
         assert!(digest.wire_size(&mech) < push.wire_size(&mech));
-        let rejoin: Msg<M> = Msg::Rejoin {
-            view: RingView::from_members([ReplicaId(0), ReplicaId(1)]),
-        };
-        assert_eq!(rejoin.wire_size(&mech), 26);
+        let two = RingView::from_members([ReplicaId(0), ReplicaId(1)]);
+        let rejoin: Msg<M> = Msg::Rejoin { view: two.clone() };
+        assert_eq!(rejoin.wire_size(&mech), 1 + wire::view_len(&two));
     }
 
     #[test]
@@ -463,7 +877,7 @@ mod tests {
             state: st,
             hint: Some(ReplicaId(4)),
         };
-        assert_eq!(hinted.wire_size(&mech), plain.wire_size(&mech) + 4);
+        assert_eq!(hinted.wire_size(&mech), plain.wire_size(&mech) + 1);
     }
 
     #[test]
@@ -487,12 +901,113 @@ mod tests {
 
     #[test]
     fn aae_root_is_tiny() {
-        // 8 bytes of Merkle root + 8 bytes of piggybacked ring digest
+        // tag + 8 bytes of Merkle root + 8 bytes of piggybacked digest
         let mech = DvvMechanism;
         let m: Msg<M> = Msg::AaeRoot {
             root: 42,
             digest: 3,
         };
-        assert_eq!(m.wire_size(&mech), 16);
+        assert_eq!(m.wire_size(&mech), 17);
+    }
+
+    #[test]
+    fn arc_roots_beat_full_leaf_push() {
+        // The whole point of delta-AAE: (arc, root) pairs for the shared
+        // arcs cost far less than pushing every leaf.
+        let mech = DvvMechanism;
+        let arcs: Vec<(u32, u64)> = (0..64).map(|i| (i, 0x1234_5678 + u64::from(i))).collect();
+        let roots: Msg<M> = Msg::AaeArcRoots { arcs, digest: 1 };
+        let leaves: Vec<(Key, u64)> = (0..512)
+            .map(|i| (format!("user:{i:05}").into_bytes(), i))
+            .collect();
+        let full: Msg<M> = Msg::AaeLeaves {
+            leaves,
+            arcs: None,
+            digest: 1,
+        };
+        assert!(roots.wire_size(&mech) * 4 < full.wire_size(&mech));
+    }
+
+    #[test]
+    fn ring_delta_beats_full_view_for_single_change() {
+        let mech = DvvMechanism;
+        let members: Vec<ReplicaId> = (0..20).map(ReplicaId).collect();
+        let view = RingView::from_members(members);
+        let full: Msg<M> = Msg::RingEpoch { view: view.clone() };
+        let entry = *view.entry(&ReplicaId(3)).unwrap();
+        let delta: Msg<M> = Msg::RingDelta {
+            entries: vec![(ReplicaId(3), entry)],
+            want: Vec::new(),
+        };
+        assert!(delta.wire_size(&mech) < full.wire_size(&mech));
+        let summary: Msg<M> = Msg::RingSummary {
+            entries: view.summary(),
+        };
+        // summaries are cheap relative to full entries, but not free
+        assert!(summary.wire_size(&mech) <= full.wire_size(&mech));
+        assert!(summary.wire_size(&mech) > 9);
+    }
+
+    #[test]
+    fn every_class_is_reachable_and_stats_roll_up() {
+        let mech = DvvMechanism;
+        let digest: Msg<M> = Msg::GossipDigest { digest: 1 };
+        assert_eq!(digest.class(), MsgClass::Membership);
+        let ho: Msg<M> = Msg::Handoff {
+            entries: vec![(b"k".to_vec(), sample_state())],
+        };
+        assert_eq!(ho.class(), MsgClass::Handoff);
+
+        let mut a = WireStats::default();
+        a.record(MsgClass::Membership, digest.wire_size(&mech));
+        a.record(MsgClass::AntiEntropy, 100);
+        let mut b = WireStats::default();
+        b.record(MsgClass::Transfer, 40);
+        b.absorb(&a);
+        assert_eq!(b.total_bytes(), 40 + 100 + 9);
+        assert_eq!(b.reconciliation_bytes(), 100 + 9);
+        assert_eq!(b.msgs(MsgClass::Membership), 1);
+        assert_eq!(MsgClass::ALL.len(), 6);
+    }
+
+    #[test]
+    fn wire_size_matches_encoding_for_sampled_variants() {
+        // Spot parity; the proptest suite in tests/wire_parity.rs walks
+        // every variant.
+        let mech = DvvMechanism;
+        let st = sample_state();
+        let msgs: Vec<Msg<M>> = vec![
+            Msg::ClientGet {
+                req: 7,
+                key: b"alpha".to_vec(),
+                digest: 3,
+            },
+            Msg::RepGetResp {
+                req: 7,
+                key: b"alpha".to_vec(),
+                state: st.clone(),
+            },
+            Msg::AaeLeaves {
+                leaves: vec![(b"a".to_vec(), 1), (b"ab".to_vec(), 2)],
+                arcs: Some(vec![1, 5, 9]),
+                digest: 11,
+            },
+            Msg::RingSummary {
+                entries: RingView::from_members([ReplicaId(0), ReplicaId(4)]).summary(),
+            },
+            Msg::Handoff {
+                entries: vec![(b"k1".to_vec(), st.clone()), (b"k2".to_vec(), st)],
+            },
+            Msg::HandoffAck {
+                keys: vec![b"k1".to_vec(), b"k2".to_vec()],
+            },
+        ];
+        for m in &msgs {
+            assert_eq!(
+                m.wire_size(&mech),
+                m.encode(&mech).len(),
+                "wire_size drifted from the encoder for {m:?}"
+            );
+        }
     }
 }

@@ -10,11 +10,17 @@ use dvv::{ClientId, ReplicaId};
 use ring::{HashRing, MemberStatus, Membership, RingView};
 use simnet::{NodeId, ProcessCtx, SimTime, TimerId};
 
-use crate::config::StoreConfig;
+use crate::config::{DeltaPolicy, StoreConfig};
 use crate::data::DataStore;
 use crate::merkle::{fingerprint, MerkleSummary};
-use crate::messages::{Msg, ReqId};
+use crate::messages::{Msg, ReqId, WireStats};
 use crate::value::{Key, StampedValue};
+use crate::wire;
+
+/// Dedupe window per donor, in *keys* (not transfer ids): batching makes
+/// ids coarser, so an id-count window would shrink the covered key
+/// horizon by the batch factor.
+const TRANSFER_DEDUPE_KEYS: usize = 4096;
 
 /// Counters a server maintains for reporting.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -111,6 +117,16 @@ struct TransferJob {
 /// flight.
 type HintFlight = Option<(SimTime, u64)>;
 
+/// Per-donor record of recently merged transfer batches, bounded by the
+/// number of keys the remembered batches covered.
+#[derive(Debug, Default)]
+struct TransferWindow {
+    /// transfer id → keys in the batch when it was first merged
+    seen: BTreeMap<u64, usize>,
+    /// total keys across `seen`
+    keys: usize,
+}
+
 /// A replica server process.
 ///
 /// Node `i` of the simulation hosts replica `ReplicaId(i)`; clients live
@@ -166,14 +182,16 @@ pub struct StoreNode<M: Mechanism<StampedValue>> {
     /// Unacknowledged outbound range transfers, by transfer id.
     outbound: BTreeMap<u64, TransferJob>,
     next_transfer: u64,
-    /// Recently merged transfer ids, per donor — dedupes the receipt
+    /// Recently merged transfer batches, per donor — dedupes the receipt
     /// counter when a retried batch is delivered more than once. Ids are
-    /// monotone per donor, so each set is pruned to a recent window
-    /// rather than growing forever.
-    transfers_seen: BTreeMap<NodeId, BTreeSet<u64>>,
+    /// monotone per donor, so each window is pruned to a recent span of
+    /// keys rather than growing forever.
+    transfers_seen: BTreeMap<NodeId, TransferWindow>,
     /// Keys written while leaving, awaiting (re-)drain.
     drain_dirty: BTreeSet<Key>,
     stats: NodeStats,
+    /// Per-class bytes/messages this node has put on the wire.
+    wire: WireStats,
 }
 
 impl<M: Mechanism<StampedValue>> StoreNode<M> {
@@ -208,6 +226,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             transfers_seen: BTreeMap::new(),
             drain_dirty: BTreeSet::new(),
             stats: NodeStats::default(),
+            wire: WireStats::default(),
         }
     }
 
@@ -233,6 +252,11 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     /// Counters.
     pub fn stats(&self) -> NodeStats {
         self.stats
+    }
+
+    /// Per-class wire bytes/messages this node has sent.
+    pub fn wire_stats(&self) -> WireStats {
+        self.wire
     }
 
     /// The per-key states this replica currently holds.
@@ -433,6 +457,42 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         m
     }
 
+    /// The non-empty shared arcs and their cached roots — the first,
+    /// cheap step of a delta anti-entropy exchange. Empty arcs are
+    /// omitted: the receiver iterates its *own* shared arcs and treats a
+    /// missing entry as root 0, which is exactly what an empty arc
+    /// hashes to, so the comparison stays symmetric under aligned views.
+    fn shared_arc_roots(&self, peer: ReplicaId) -> Vec<(u32, u64)> {
+        let mut arcs = Vec::new();
+        for idx in 0..self.ring.arc_count() {
+            if self.arc_shared_with(idx, peer) {
+                let root = self.data.arc_root(idx);
+                if root != 0 {
+                    arcs.push((idx as u32, root));
+                }
+            }
+        }
+        arcs
+    }
+
+    /// The Merkle summary shared with `peer`, restricted to `arcs` —
+    /// the leaves a delta exchange sends once per-arc roots have
+    /// narrowed the divergence down. Out-of-range or non-shared arc
+    /// indices are skipped (they cannot occur under the digest guard,
+    /// but a malformed index must not panic the node).
+    fn shared_summary_scoped(&self, peer: ReplicaId, arcs: &[u32]) -> MerkleSummary {
+        let mut m = MerkleSummary::new();
+        for &idx in arcs {
+            let idx = idx as usize;
+            if idx < self.ring.arc_count() && self.arc_shared_with(idx, peer) {
+                if let Some(s) = self.data.arc_summary(idx) {
+                    m.extend_from(s);
+                }
+            }
+        }
+        m
+    }
+
     /// From-scratch reference implementation of the shared summary: the
     /// pre-cache keyspace scan (per-key hash, uncached ring walk, state
     /// rehash). Used by [`Self::audit_aae_index`] as the equivalence
@@ -514,8 +574,9 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         Ok(())
     }
 
-    fn send(&self, ctx: &mut ProcessCtx<'_, Msg<M>>, to: NodeId, msg: Msg<M>) {
+    fn send(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, to: NodeId, msg: Msg<M>) {
         let bytes = msg.wire_size(&self.mech) + self.config.header_bytes;
+        self.wire.record(msg.class(), bytes);
         ctx.send(to, msg, bytes);
     }
 
@@ -595,15 +656,97 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     // --- ring-view gossip --------------------------------------------------
 
     /// Reacts to a peer's observed ring-view digest (request header,
-    /// gossip digest, or AAE piggyback): any mismatch pushes this node's
-    /// full view. Digests carry no order, so "behind" and "ahead" are
-    /// meaningless — the receiver merges, and pushes its merged view back
-    /// if the received one was incomplete ([`Self::handle_ring_epoch`]),
-    /// which converges both ends in at most one round-trip.
+    /// gossip digest, or AAE piggyback). Digests carry no order, so
+    /// "behind" and "ahead" are meaningless — a mismatch starts a
+    /// reconciliation that merges both ways:
+    ///
+    /// * **delta** (ring members, unless configured `Full`): send a
+    ///   per-member summary ([`Msg::RingSummary`]); the peer answers
+    ///   with only the entries the summary proves missing or dominated
+    ///   ([`Msg::RingDelta`]), plus the members it wants back.
+    /// * **full push** (clients and non-members, or `delta_views:
+    ///   Full`): send the whole view; the receiver merges and pushes
+    ///   back iff the sender's copy was incomplete
+    ///   ([`Self::handle_ring_epoch`]).
+    ///
+    /// Either way both ends converge in at most one round-trip.
     fn note_peer_digest(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, from: NodeId, digest: u64) {
-        if digest != self.view.digest() {
+        if digest == self.view.digest() {
+            return;
+        }
+        // A summary is only useful to a peer that speaks the delta
+        // protocol — clients (never ring members) only absorb full
+        // views, so they keep getting the push.
+        let peer = ReplicaId(from.0);
+        let use_summary = self.view.entry(&peer).is_some()
+            && match self.config.delta_views {
+                DeltaPolicy::Full => false,
+                DeltaPolicy::Force => true,
+                // below a handful of members the full view is at most a
+                // few bytes larger than the summary — skip the extra
+                // round-trip
+                DeltaPolicy::Auto => self.view.entry_count() >= 3,
+            };
+        if use_summary {
+            let entries = self.view.summary();
+            self.send(ctx, from, Msg::RingSummary { entries });
+        } else {
             let view = self.view.clone();
             self.send(ctx, from, Msg::RingEpoch { view });
+        }
+    }
+
+    /// Answers a peer's per-member summary with the delta it proves
+    /// necessary: entries the peer lacks or holds dominated, plus the
+    /// members this node wants back. Falls back to a full view push when
+    /// the delta would not be smaller (unless the policy forces deltas).
+    fn handle_ring_summary(
+        &mut self,
+        ctx: &mut ProcessCtx<'_, Msg<M>>,
+        from: NodeId,
+        summary: &[(ReplicaId, u64)],
+    ) {
+        let (entries, want) = self.view.delta_against(summary);
+        if entries.is_empty() && want.is_empty() {
+            return; // summaries matched: views already identical
+        }
+        let delta_bytes = wire::member_entries_len(&entries) + wire::replica_ids_len(&want);
+        if self.config.delta_views != DeltaPolicy::Force
+            && delta_bytes >= wire::view_len(&self.view)
+        {
+            let view = self.view.clone();
+            self.send(ctx, from, Msg::RingEpoch { view });
+        } else {
+            self.send(ctx, from, Msg::RingDelta { entries, want });
+        }
+    }
+
+    /// Merges a delta's entries through the same per-member join a full
+    /// view merge uses ([`RingView::absorb_delta`]); entries where the
+    /// *sender's* copy is the dominated one — plus any it asked for —
+    /// are pushed back as a further delta, converging both ends.
+    /// Push-backs only ever carry strictly dominating entries, so the
+    /// exchange terminates.
+    fn handle_ring_delta(
+        &mut self,
+        ctx: &mut ProcessCtx<'_, Msg<M>>,
+        from: NodeId,
+        entries: &[(ReplicaId, ring::MemberEntry)],
+        want: &[ReplicaId],
+    ) {
+        let (changed, push_back) = self.view.absorb_delta(entries, want);
+        if changed {
+            self.after_view_change(ctx);
+        }
+        if !push_back.is_empty() {
+            self.send(
+                ctx,
+                from,
+                Msg::RingDelta {
+                    entries: push_back,
+                    want: Vec::new(),
+                },
+            );
         }
     }
 
@@ -687,9 +830,17 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         view: &RingView<ReplicaId>,
     ) -> (bool, bool) {
         let (changed, sender_lacks) = self.view.absorb(view);
-        if !changed {
-            return (false, sender_lacks);
+        if changed {
+            self.after_view_change(ctx);
         }
+        (changed, sender_lacks)
+    }
+
+    /// Everything adopting a changed view implies, regardless of how the
+    /// change arrived (full view push or delta): rebuild routing state,
+    /// reconcile membership and lifecycle, retarget hints, queue the
+    /// ownership-diff data motion, and gossip the news on.
+    fn after_view_change(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
         let old_ring = std::mem::replace(&mut self.ring, self.view.to_ring(self.config.vnodes));
         self.data.repartition(self.ring.token_points().collect());
         let members = self.view.members();
@@ -724,7 +875,6 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             // backstop
             self.gossip_once(ctx, 2);
         }
-        (true, sender_lacks)
     }
 
     /// Moves every hint obligation aimed at `gone` to the key's current
@@ -796,7 +946,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         }
         let mut queued = false;
         for (t, keys) in per_target {
-            if let Some(id) = self.queue_transfer(t, keys) {
+            for id in self.queue_transfer(t, keys) {
                 self.send_transfer(ctx, id);
                 queued = true;
             }
@@ -1254,26 +1404,31 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             })
             .map(|(k, _)| k.clone())
             .collect();
+        // coalesce due obligations per intended owner; the per-key
+        // in-flight records keep retry pacing per *key*, so a batch
+        // retry resends only the keys whose in-flight window expired
+        let mut per_target: BTreeMap<ReplicaId, Vec<(Key, M::State)>> = BTreeMap::new();
         for (key, intended) in due {
             match self.data.get(&key) {
                 Some(state) => {
                     let state = state.clone();
                     let fp = self.data.leaf_of(&key).expect("state just read");
                     self.hints.insert((key.clone(), intended), Some((now, fp)));
-                    self.send(
-                        ctx,
-                        NodeId(intended.0),
-                        Msg::Handoff {
-                            key: key.clone(),
-                            state,
-                        },
-                    );
+                    per_target.entry(intended).or_default().push((key, state));
                 }
                 None => {
                     // the backing state is gone (GC or range transfer):
                     // the obligation can never be fulfilled — drop it
                     self.hints.remove(&(key, intended));
                 }
+            }
+        }
+        let batch = self.config.handoff_batch_keys.max(1);
+        for (intended, mut entries) in per_target {
+            while !entries.is_empty() {
+                let rest = entries.split_off(entries.len().min(batch));
+                let chunk = std::mem::replace(&mut entries, rest);
+                self.send(ctx, NodeId(intended.0), Msg::Handoff { entries: chunk });
             }
         }
         if self.config.handoff_interval > simnet::Duration::ZERO {
@@ -1315,21 +1470,29 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         self.timers.insert(t, TimerKind::Transfer);
     }
 
-    /// Queues a transfer batch of `keys` to `to` (states snapshotted by
-    /// fingerprint; resent until acknowledged).
-    fn queue_transfer(&mut self, to: ReplicaId, keys: Vec<Key>) -> Option<u64> {
+    /// Queues `keys` to `to` as one or more bounded transfer batches
+    /// (states snapshotted by fingerprint; resent until acknowledged),
+    /// returning the new batch ids.
+    fn queue_transfer(&mut self, to: ReplicaId, keys: Vec<Key>) -> Vec<u64> {
         // snapshot by the cached state fingerprint — no rehash, no clone
         let entries: Vec<(Key, u64)> = keys
             .into_iter()
             .filter_map(|k| self.data.leaf_of(&k).map(|fp| (k, fp)))
             .collect();
-        if entries.is_empty() {
-            return None;
+        let mut ids = Vec::new();
+        for chunk in entries.chunks(self.config.transfer_batch_keys.max(1)) {
+            let id = self.next_transfer;
+            self.next_transfer += 1;
+            self.outbound.insert(
+                id,
+                TransferJob {
+                    to,
+                    keys: chunk.to_vec(),
+                },
+            );
+            ids.push(id);
         }
-        let id = self.next_transfer;
-        self.next_transfer += 1;
-        self.outbound.insert(id, TransferJob { to, keys: entries });
-        Some(id)
+        ids
     }
 
     fn send_transfer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, id: u64) {
@@ -1418,8 +1581,12 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         }
         self.purge_orphan_hints();
         if !requeue.is_empty() {
-            if let Some(id) = self.queue_transfer(job.to, requeue) {
+            let mut queued = false;
+            for id in self.queue_transfer(job.to, requeue) {
                 self.send_transfer(ctx, id);
+                queued = true;
+            }
+            if queued {
                 self.ensure_transfer_timer(ctx);
             }
         }
@@ -1464,6 +1631,12 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 }
                 Msg::RingEpoch { view } => {
                     self.handle_ring_epoch(ctx, from, &view);
+                }
+                Msg::RingSummary { entries } => {
+                    self.handle_ring_summary(ctx, from, &entries);
+                }
+                Msg::RingDelta { entries, want } => {
+                    self.handle_ring_delta(ctx, from, &entries, &want);
                 }
                 Msg::GossipDigest { digest }
                 | Msg::AaeRoot { digest, .. }
@@ -1582,14 +1755,110 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 // mismatch
                 self.data.flush();
                 if self.shared_summary_root(peer) != root {
-                    let leaves = self.shared_summary(peer).leaves();
-                    self.send(ctx, from, Msg::AaeLeaves { leaves });
+                    // "Shared" is only well-defined under identical
+                    // views: answering a misaligned root with leaves
+                    // built under OUR view makes the initiator diff them
+                    // under ITS view — in the worst case (peer absent
+                    // from our ring mid-churn) an empty push that the
+                    // initiator answers by shipping every key it thinks
+                    // we share. Skip the round; note_peer_digest above
+                    // already started the realignment and the next AAE
+                    // tick retries with aligned views.
+                    if digest != self.view.digest() {
+                        return;
+                    }
+                    let use_arcs = match self.config.delta_aae {
+                        DeltaPolicy::Full => false,
+                        DeltaPolicy::Force => true,
+                        // with only a handful of arcs the root list
+                        // saves little over the leaves themselves
+                        DeltaPolicy::Auto => self.ring.arc_count() >= 8,
+                    };
+                    if use_arcs {
+                        let arcs = self.shared_arc_roots(peer);
+                        let digest = self.view.digest();
+                        self.send(ctx, from, Msg::AaeArcRoots { arcs, digest });
+                    } else {
+                        let leaves = self.shared_summary(peer).leaves();
+                        let digest = self.view.digest();
+                        self.send(
+                            ctx,
+                            from,
+                            Msg::AaeLeaves {
+                                leaves,
+                                arcs: None,
+                                digest,
+                            },
+                        );
+                    }
                 }
             }
-            Msg::AaeLeaves { leaves } => {
-                // we initiated this round; the responder's root differed
+            Msg::AaeArcRoots { arcs, digest } => {
+                // we initiated this round; the responder's shared root
+                // differed and it answered with its per-arc roots
+                if digest != self.view.digest() {
+                    // views moved between the root and arc steps: arc
+                    // indices no longer align — abort, realign views, and
+                    // let the next AAE tick retry
+                    self.note_peer_digest(ctx, from, digest);
+                    return;
+                }
+                let peer = ReplicaId(from.0);
                 self.data.flush();
-                let mine = self.shared_summary(ReplicaId(from.0));
+                let theirs: BTreeMap<u32, u64> = arcs.into_iter().collect();
+                let mut differing: Vec<u32> = Vec::new();
+                for idx in 0..self.ring.arc_count() {
+                    if self.arc_shared_with(idx, peer) {
+                        let mine = self.data.arc_root(idx);
+                        let their_root = theirs.get(&(idx as u32)).copied().unwrap_or(0);
+                        if mine != their_root {
+                            differing.push(idx as u32);
+                        }
+                    }
+                }
+                if differing.is_empty() {
+                    // shared roots differed but every arc agrees — can
+                    // only happen transiently (e.g. flush timing); the
+                    // next round settles it
+                    return;
+                }
+                // divergence is an initiator-side statistic, counted here
+                // on the delta path (and on receiving full leaves below)
+                self.stats.aae_divergent += 1;
+                // send even when our scoped summary is empty: the peer
+                // may hold keys in these arcs that we lack entirely
+                let leaves = self.shared_summary_scoped(peer, &differing).leaves();
+                self.send(
+                    ctx,
+                    from,
+                    Msg::AaeLeaves {
+                        leaves,
+                        arcs: Some(differing),
+                        digest,
+                    },
+                );
+            }
+            Msg::AaeLeaves {
+                leaves,
+                arcs,
+                digest,
+            } => {
+                if digest != self.view.digest() {
+                    // leaves (scoped or full) are only meaningful under
+                    // the view they were built by; realign and retry
+                    // next tick
+                    self.note_peer_digest(ctx, from, digest);
+                    return;
+                }
+                self.note_peer_digest(ctx, from, digest);
+                self.data.flush();
+                let peer = ReplicaId(from.0);
+                let mine = match &arcs {
+                    // delta exchange: compare only within the arcs the
+                    // initiator proved divergent
+                    Some(list) => self.shared_summary_scoped(peer, list),
+                    None => self.shared_summary(peer),
+                };
                 let mut theirs = MerkleSummary::new();
                 for (k, h) in leaves {
                     theirs.set(k, h);
@@ -1601,9 +1870,10 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                         keys.push(k);
                     }
                 }
-                if !keys.is_empty() {
-                    // divergence is an initiator-side statistic, so that
-                    // per-node divergent/rounds ratios stay meaningful
+                if !keys.is_empty() && arcs.is_none() {
+                    // full-push form: this node initiated the round, so
+                    // the divergence is counted here (the delta form
+                    // counts it when the arc roots differ)
                     self.stats.aae_divergent += 1;
                 }
                 let states: Vec<(Key, M::State)> = keys
@@ -1629,13 +1899,22 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                     self.absorb_remote_state(&k, &s, None);
                 }
             }
-            Msg::Handoff { key, state } => {
-                self.absorb_remote_state(&key, &state, None);
-                self.send(ctx, from, Msg::HandoffAck { key });
+            Msg::Handoff { entries } => {
+                let keys: Vec<Key> = entries.iter().map(|(k, _)| k.clone()).collect();
+                for (k, s) in entries {
+                    self.absorb_remote_state(&k, &s, None);
+                }
+                self.send(ctx, from, Msg::HandoffAck { keys });
             }
-            Msg::HandoffAck { key } => {
+            Msg::HandoffAck { keys } => {
                 let intended = ReplicaId(from.0);
-                if let Some(inflight) = self.hints.remove(&(key.clone(), intended)) {
+                // per-key settlement: a batch ack retires exactly the
+                // keys whose sent snapshot the owner now holds, and
+                // re-arms the rest individually
+                for key in keys {
+                    let Some(inflight) = self.hints.remove(&(key.clone(), intended)) else {
+                        continue;
+                    };
                     match (inflight, self.data.leaf_of(&key)) {
                         (Some((_, sent_fp)), Some(fp)) if fp == sent_fp => {
                             // the intended owner holds exactly what we
@@ -1666,18 +1945,24 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 self.handle_announce(ctx, view, who, joining)
             }
             Msg::RangeTransfer { id, entries } => {
+                let batch_keys = entries.len();
                 for (k, s) in entries {
                     self.absorb_remote_state(&k, &s, None);
                 }
-                let seen = self.transfers_seen.entry(from).or_default();
-                if seen.insert(id) {
+                let window = self.transfers_seen.entry(from).or_default();
+                if let std::collections::btree_map::Entry::Vacant(e) = window.seen.entry(id) {
+                    e.insert(batch_keys);
                     self.stats.transfers_in += 1;
+                    window.keys += batch_keys;
                     // ids are monotone per donor: only a recent window can
-                    // still be in flight, so bound the dedupe memory (a
-                    // duplicate older than the window would merely
+                    // still be in flight, so bound the dedupe memory — by
+                    // keys covered, not id count, since batch sizes vary
+                    // (a duplicate older than the window would merely
                     // double-count a statistic, never corrupt state)
-                    while seen.len() > 128 {
-                        seen.pop_first();
+                    while window.keys > TRANSFER_DEDUPE_KEYS && window.seen.len() > 8 {
+                        if let Some((_, n)) = window.seen.pop_first() {
+                            window.keys -= n;
+                        }
                     }
                 }
                 self.send(ctx, from, Msg::TransferAck { id });
@@ -1695,6 +1980,12 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 // here — no harness view synchronisation.
                 self.membership.mark_up(&self.replica);
                 self.merge_view(ctx, &view);
+            }
+            Msg::RingSummary { entries } => {
+                self.handle_ring_summary(ctx, from, &entries);
+            }
+            Msg::RingDelta { entries, want } => {
+                self.handle_ring_delta(ctx, from, &entries, &want);
             }
             Msg::GossipDigest { digest } => {
                 self.note_peer_digest(ctx, from, digest);

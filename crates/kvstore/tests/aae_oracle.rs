@@ -138,7 +138,9 @@ fn cluster_churn_keeps_incremental_summaries_equal_to_rebuild() {
                 w: 2,
                 anti_entropy_interval: Duration::from_millis(50),
                 ..StoreConfig::default()
-            },
+            }
+            // the soak lane re-runs this suite with DELTA_PROTOCOLS=force
+            .with_env_delta(),
             client: ClientConfig {
                 key_count: 8,
                 delete_fraction: 0.15,

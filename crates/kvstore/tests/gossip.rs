@@ -462,6 +462,227 @@ fn handoff_inflight_tracking_suppresses_duplicate_sends() {
 }
 
 #[test]
+fn forced_delta_gossip_converges_incomparable_views_with_tombstones() {
+    // Two members whose views are *incomparable*: node 0 holds a newer
+    // incarnation of its own entry, node 1 holds a tombstone node 0 has
+    // never seen. Under `DeltaPolicy::Force` every reconciliation runs
+    // the summary/delta protocol — this pins the push-back half: a
+    // receiver that merges a delta and finds the sender lacked entries
+    // must send those entries back (through the same centralized merge
+    // as a full push), or the tombstone side never learns the bump and
+    // the digests never meet.
+    let mech = DvvMechanism;
+    let base = RingView::from_members([ReplicaId(0), ReplicaId(1)]);
+    let mut va = base.clone();
+    va.bump(&ReplicaId(0), MemberStatus::Up);
+    let mut vb = base.clone();
+    vb.set(ReplicaId(7), 1, MemberStatus::Removed);
+
+    let mut expected = base;
+    expected.bump(&ReplicaId(0), MemberStatus::Up);
+    expected.set(ReplicaId(7), 1, MemberStatus::Removed);
+
+    let cfg = StoreConfig {
+        n: 1,
+        r: 1,
+        w: 1,
+        anti_entropy_interval: Duration::ZERO,
+        handoff_interval: Duration::ZERO,
+        gossip_interval: Duration::from_millis(20),
+        delta_views: kvstore::DeltaPolicy::Force,
+        vnodes: 16,
+        ..StoreConfig::default()
+    };
+    let mut sim: Simulation<StoreProc<M>> = Simulation::new(
+        3,
+        NetworkConfig::default(),
+        vec![
+            StoreProc::Server(StoreNode::new(ReplicaId(0), mech, cfg, va)),
+            StoreProc::Server(StoreNode::new(ReplicaId(1), mech, cfg, vb)),
+        ],
+    );
+    sim.run_until(simnet::SimTime::ZERO + Duration::from_millis(300));
+
+    let (a, b) = match (sim.process(0), sim.process(1)) {
+        (StoreProc::Server(a), StoreProc::Server(b)) => (a, b),
+        _ => unreachable!(),
+    };
+    assert_eq!(
+        a.view_digest(),
+        expected.digest(),
+        "node 0 must have merged the tombstone via the delta exchange"
+    );
+    assert_eq!(
+        b.view_digest(),
+        expected.digest(),
+        "node 1 must have received the bumped entry pushed back"
+    );
+    // the reconciliation really went over the wire, and was accounted
+    assert!(
+        a.wire_stats()
+            .bytes(kvstore::messages::MsgClass::Membership)
+            > 0
+    );
+    assert!(
+        b.wire_stats()
+            .bytes(kvstore::messages::MsgClass::Membership)
+            > 0
+    );
+}
+
+#[test]
+fn batched_transfers_dedupe_by_batch_across_retries() {
+    // Ten keys drain from a leaver with `transfer_batch_keys = 4`: the
+    // donor queues ceil(10/4) = 3 batches. With the ack path cut, every
+    // retry re-sends all three (each send counted); the receiver merges
+    // the duplicates but counts each distinct batch id exactly once —
+    // so `transfers_in` is the batch count, not the delivery count.
+    let mech = DvvMechanism;
+    let replicas = [ReplicaId(0), ReplicaId(1)];
+    let view = RingView::from_members(replicas);
+    let cfg = StoreConfig {
+        n: 1,
+        r: 1,
+        w: 1,
+        anti_entropy_interval: Duration::ZERO,
+        handoff_interval: Duration::ZERO,
+        gossip_interval: Duration::ZERO,
+        transfer_batch_keys: 4,
+        vnodes: 16,
+        ..StoreConfig::default()
+    };
+    let mut sim: Simulation<StoreProc<M>> = Simulation::new(
+        5,
+        NetworkConfig::default(),
+        vec![
+            StoreProc::Server(StoreNode::new(ReplicaId(0), mech, cfg, view.clone())),
+            StoreProc::Server(StoreNode::new(ReplicaId(1), mech, cfg, view.clone())),
+        ],
+    );
+    for k in 0..10u8 {
+        let st = sample_state(ReplicaId(0));
+        if let StoreProc::Server(s) = sim.process_mut(0) {
+            s.merge_state_direct(&[b'k', k], &st);
+        }
+    }
+
+    sim.network_mut().block_link(NodeId(1), NodeId(0));
+    let mut leave = view;
+    leave.bump(&ReplicaId(0), MemberStatus::Leaving);
+    sim.post(
+        NodeId(0),
+        Msg::JoinAnnounce {
+            view: leave,
+            who: ReplicaId(0),
+            joining: false,
+        },
+    );
+    sim.run_until(simnet::SimTime::ZERO + Duration::from_millis(200));
+
+    let (out_mid, in_mid) = match (sim.process(0), sim.process(1)) {
+        (StoreProc::Server(a), StoreProc::Server(b)) => {
+            (a.stats().transfers_out, b.stats().transfers_in)
+        }
+        _ => unreachable!(),
+    };
+    assert!(
+        out_mid >= 6,
+        "three batches retried at least once must all be counted, got {out_mid}"
+    );
+    assert_eq!(
+        in_mid, 3,
+        "duplicate deliveries dedupe per batch id: 10 keys / 4 per batch"
+    );
+
+    sim.network_mut().unblock_link(NodeId(1), NodeId(0));
+    sim.run_until(simnet::SimTime::ZERO + Duration::from_millis(400));
+    let (donor, receiver) = match (sim.process(0), sim.process(1)) {
+        (StoreProc::Server(a), StoreProc::Server(b)) => (a, b),
+        _ => unreachable!(),
+    };
+    assert!(donor.drain_complete(), "drain settles once acks flow");
+    assert_eq!(receiver.stats().transfers_in, 3);
+    for k in 0..10u8 {
+        assert!(
+            receiver.data().contains_key([b'k', k].as_slice()),
+            "key {k} arrived despite the lossy ack path"
+        );
+    }
+}
+
+#[test]
+fn handoff_batches_coalesce_per_target_and_settle_per_key() {
+    // Two hinted copies for the same recovered owner fall due on the
+    // same handoff tick: they must travel as ONE batched `Handoff` (one
+    // send on the wire), and the single ack must settle both
+    // obligations.
+    let mech = DvvMechanism;
+    let replicas = [ReplicaId(0), ReplicaId(1)];
+    let view = RingView::from_members(replicas);
+    let cfg = StoreConfig {
+        n: 2,
+        r: 1,
+        w: 1,
+        anti_entropy_interval: Duration::ZERO,
+        gossip_interval: Duration::ZERO,
+        handoff_interval: Duration::from_millis(10),
+        handoff_retry_interval: Duration::from_millis(200),
+        vnodes: 16,
+        ..StoreConfig::default()
+    };
+    let mut sim: Simulation<StoreProc<M>> = Simulation::new(
+        9,
+        NetworkConfig::default(),
+        vec![
+            StoreProc::Server(StoreNode::new(ReplicaId(0), mech, cfg, view.clone())),
+            StoreProc::Server(StoreNode::new(ReplicaId(1), mech, cfg, view)),
+        ],
+    );
+    sim.trace_mut().enable();
+    for (req, key) in [(1u64, b"hinted-a".to_vec()), (2, b"hinted-b".to_vec())] {
+        sim.post(
+            NodeId(1),
+            Msg::RepPut {
+                req,
+                key,
+                state: sample_state(ReplicaId(0)),
+                hint: Some(ReplicaId(0)),
+            },
+        );
+    }
+    // node 0 believed up but unreachable: the batch stays in flight
+    sim.network_mut().block_link(NodeId(1), NodeId(0));
+    sim.run_until(simnet::SimTime::ZERO + Duration::from_millis(105));
+
+    let sends_1_to_0 = sim
+        .trace()
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Sent { from, to, .. } if *from == NodeId(1) && *to == NodeId(0)))
+        .count();
+    assert_eq!(
+        sends_1_to_0, 1,
+        "two due hints to one target coalesce into one batched Handoff"
+    );
+
+    sim.network_mut().unblock_link(NodeId(1), NodeId(0));
+    sim.run_until(simnet::SimTime::ZERO + Duration::from_millis(600));
+    let (intended, fallback) = match (sim.process(0), sim.process(1)) {
+        (StoreProc::Server(a), StoreProc::Server(b)) => (a, b),
+        _ => unreachable!(),
+    };
+    assert_eq!(fallback.hint_count(), 0, "both hints drained");
+    assert_eq!(
+        fallback.stats().handoffs,
+        2,
+        "a batch ack settles each key individually"
+    );
+    for key in [b"hinted-a".as_slice(), b"hinted-b".as_slice()] {
+        assert!(intended.data().contains_key(key));
+    }
+}
+
+#[test]
 fn churn_under_partition_leaves_no_residual_copies_across_seeds() {
     // The gossip property suite: traffic + a healed partition + live
     // join/leave/join churn, with the harness force-sync disabled
@@ -481,7 +702,9 @@ fn churn_under_partition_leaves_no_residual_copies_across_seeds() {
                 w: 2,
                 anti_entropy_interval: Duration::from_millis(50),
                 ..StoreConfig::default()
-            },
+            }
+            // the soak lane re-runs this suite with DELTA_PROTOCOLS=force
+            .with_env_delta(),
             client: ClientConfig {
                 key_count: 6,
                 ..ClientConfig::default()

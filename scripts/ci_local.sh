@@ -78,7 +78,10 @@ if runs_lane bench; then
         cargo bench --bench store -- --quick
     CRITERION_JSON_OUT="$PWD/BENCH_aae.json" \
         cargo bench --bench aae -- --quick
-    echo "baselines written to BENCH_membership.json / BENCH_store.json / BENCH_aae.json"
+    CRITERION_JSON_OUT="$PWD/BENCH_wire.json" \
+        cargo bench --bench wire -- --quick
+    echo "baselines written to BENCH_membership.json / BENCH_store.json /" \
+         "BENCH_aae.json / BENCH_wire.json"
     ./scripts/bench_compare.sh
 fi
 
@@ -90,6 +93,20 @@ if runs_lane soak; then
         set -euo pipefail
         cargo test -p ring --test view_merge -- --nocapture
         cargo test -p ring --test properties -- --nocapture
+        cargo test -p kvstore --test elastic -- --nocapture
+        cargo test -p kvstore --test gossip -- --nocapture
+        cargo test -p kvstore --test overlap -- --nocapture
+        cargo test -p kvstore --test aae_oracle -- --nocapture
+        cargo test -p kvstore --test wire -- --nocapture
+    '
+    # the same churn suites again with the delta protocols forced on:
+    # the equivalence oracle must stay green when every reconciliation
+    # travels as summaries/deltas instead of full pushes
+    PROPTEST_CASES="${SOAK_PROPTEST_CASES:-1024}" \
+    EXTRA_CHURN_SEEDS="${EXTRA_CHURN_SEEDS:-59,83,127,211,349}" \
+    DELTA_PROTOCOLS=force \
+    bash -c '
+        set -euo pipefail
         cargo test -p kvstore --test elastic -- --nocapture
         cargo test -p kvstore --test gossip -- --nocapture
         cargo test -p kvstore --test overlap -- --nocapture
