@@ -1,0 +1,89 @@
+//! Sustained throughput and tail latency on the multi-threaded runtime:
+//! the performance story the discrete-event simulator cannot tell.
+//!
+//! 128 closed-loop clients (zero think time) hammer a 4-server fleet;
+//! the client sessions are partitioned across 1, 4 and 8 worker threads
+//! to show how op rate and p50/p99/p999 move with real parallelism.
+//! Latencies come from the clients' own round-trip histograms (µs);
+//! throughput is completed ops over the run's wall clock.
+//!
+//! Unlike the wire baseline these numbers are *timing* and therefore
+//! machine-dependent — `scripts/bench_compare.sh` treats deviations as
+//! warnings, not failures. Committed baseline:
+//! `bench-baselines/BENCH_runtime.json`.
+
+use std::time::Duration as StdDuration;
+
+use dvv::mechanisms::DvvMechanism;
+use kvstore::config::{ClientConfig, StoreConfig};
+use runtime::{RuntimeConfig, RuntimeFleet};
+use simnet::Duration;
+use workloads::Histogram;
+
+const SEED: u64 = 97;
+const SERVERS: usize = 4;
+const CLIENTS: usize = 128;
+const CYCLES: u32 = 40;
+
+fn config(workers: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        servers: SERVERS,
+        clients: CLIENTS,
+        client_workers: workers,
+        cycles_per_client: CYCLES,
+        store: StoreConfig {
+            request_timeout: Duration::from_millis(250),
+            anti_entropy_interval: Duration::from_millis(50),
+            gossip_interval: Duration::from_millis(100),
+            ..StoreConfig::default()
+        },
+        client: ClientConfig {
+            think_time: Duration::ZERO,
+            key_count: 64,
+            request_timeout: Duration::from_millis(500),
+            ..ClientConfig::default()
+        },
+        stall_budget: StdDuration::from_secs(20),
+        run_budget: StdDuration::from_secs(120),
+        // Throughput lane: measure to the last client op, skip settling.
+        quiesce: StdDuration::ZERO,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn record(out: &mut Vec<String>, id: &str, v: u64) {
+    out.push(format!(
+        "  {{\"id\": \"{id}\", \"mean_ns\": {v}.00, \"min_ns\": {v}.00, \
+         \"max_ns\": {v}.00, \"samples\": 1, \"iters_per_sample\": 1}}"
+    ));
+    println!("runtime: {id} = {v}");
+}
+
+fn main() {
+    // tolerate harness-style flags (--bench, --quick): one closed-loop
+    // run per worker count is already the measurement
+    let mut out: Vec<String> = Vec::new();
+    for workers in [1usize, 4, 8] {
+        let mut fleet = RuntimeFleet::new(SEED, DvvMechanism, config(workers));
+        let report = fleet
+            .run()
+            .unwrap_or_else(|stall| panic!("runtime bench stalled (w={workers}):\n{stall}"));
+        let lat = fleet.latency_report();
+        let mut rtt = Histogram::new();
+        rtt.merge(&lat.get);
+        rtt.merge(&lat.put);
+        assert!(report.all_done && rtt.count() > 0, "bench run incomplete");
+
+        let secs = report.elapsed.as_secs_f64().max(1e-9);
+        let ops_per_sec = (report.ops_ok as f64 / secs).round() as u64;
+        let base = format!("runtime/closed_loop/s{SERVERS}_c{CLIENTS}/w{workers}");
+        record(&mut out, &format!("{base}/ops_per_sec"), ops_per_sec);
+        record(&mut out, &format!("{base}/p50_us"), rtt.percentile(0.50));
+        record(&mut out, &format!("{base}/p99_us"), rtt.percentile(0.99));
+        record(&mut out, &format!("{base}/p999_us"), rtt.percentile(0.999));
+    }
+    let json = format!("[\n{}\n]\n", out.join(",\n"));
+    let path = std::env::var("CRITERION_JSON_OUT").unwrap_or_else(|_| "BENCH_runtime.json".into());
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("runtime: baseline written to {path}");
+}

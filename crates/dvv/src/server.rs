@@ -119,7 +119,19 @@ pub fn update<A: Actor, V>(
 
     siblings.retain(|s| !ctx.contains(s.clock.dot()));
     siblings.push(Tagged::new(clock.clone(), value));
+    canonicalize(siblings);
     clock
+}
+
+/// Sorts a sibling set into its canonical representation: ascending by dot.
+///
+/// Sibling sets are logically unordered, but they are stored and hashed as
+/// vectors — anti-entropy fingerprints two replicas' states structurally.
+/// Keeping every mutation path canonical makes [`sync`] commutative at the
+/// representation level, so replicas that hold the same *set* of versions
+/// also hold the same *vector* and their Merkle leaves agree.
+pub fn canonicalize<A: Actor, V>(siblings: &mut [Tagged<A, V>]) {
+    siblings.sort_by(|a, b| a.clock.dot().cmp(b.clock.dot()));
 }
 
 /// The highest counter of `actor` appearing anywhere in the sibling set —
@@ -147,7 +159,8 @@ pub fn max_counter_of<A: Actor, V>(siblings: &[Tagged<A, V>], actor: &A) -> u64 
 /// it; versions present on both sides (same dot) are kept once. Each
 /// pairwise check is the O(1) dot-containment test.
 ///
-/// The result is returned as a fresh vector; inputs are unchanged.
+/// The result is returned as a fresh vector in canonical (dot-sorted)
+/// order — see [`canonicalize`]; inputs are unchanged.
 ///
 /// # Examples
 ///
@@ -182,6 +195,7 @@ pub fn sync<A: Actor, V: Clone>(s1: &[Tagged<A, V>], s2: &[Tagged<A, V>]) -> Vec
             out.push(y.clone());
         }
     }
+    canonicalize(&mut out);
     out
 }
 

@@ -7,10 +7,11 @@ use std::collections::BTreeMap;
 use dvv::mechanisms::Mechanism;
 use dvv::{ClientId, ReplicaId};
 use ring::{HashRing, Membership, RingView};
-use simnet::{NodeId, ProcessCtx, SimTime, TimerId};
+use simnet::{NodeId, SimTime, TimerId};
 use workloads::{Histogram, KeySpace, Popularity};
 
 use crate::config::ClientConfig;
+use crate::ctx::NodeCtx;
 use crate::messages::{Msg, ReqId, WireStats};
 use crate::value::{Key, StampedValue, WriteId};
 
@@ -164,6 +165,17 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
         self.client
     }
 
+    /// The causality mechanism this client runs (drivers clone it into
+    /// their [`NodeCtx`] impls for message sizing).
+    pub fn mech(&self) -> &M {
+        &self.mech
+    }
+
+    /// Per-message header overhead in bytes.
+    pub fn header_bytes(&self) -> usize {
+        self.header_bytes
+    }
+
     /// The observation log for the oracle.
     pub fn write_log(&self) -> &[WriteLogEntry] {
         &self.write_log
@@ -217,13 +229,32 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
         (u64::from(self.node_index) << 32) | self.next_req
     }
 
-    fn send(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, to: NodeId, msg: Msg<M>) {
-        let bytes = msg.wire_size(&self.mech) + self.header_bytes;
-        self.wire.record(msg.class(), bytes);
-        ctx.send(to, msg, bytes);
+    /// Sends through the driver and records what *it* charged (see
+    /// [`NodeCtx::send`] — the single source of truth for wire bytes).
+    fn send(&mut self, ctx: &mut impl NodeCtx<M>, to: NodeId, msg: Msg<M>) {
+        let class = msg.class();
+        let bytes = ctx.send(to, msg);
+        self.wire.record(class, bytes);
     }
 
-    fn pick_coordinator(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, key: &[u8]) -> Option<NodeId> {
+    /// Cancels (advisorily) every pending timeout timer for `req` once
+    /// its flight has concluded. On the simulator the fire still arrives
+    /// and is ignored; on the threaded runtime the wheel entry is
+    /// actually removed, saving a wakeup.
+    fn cancel_timeout(&mut self, ctx: &mut impl NodeCtx<M>, req: ReqId) {
+        let stale: Vec<TimerId> = self
+            .timers
+            .iter()
+            .filter(|(_, k)| **k == ClientTimer::Timeout(req))
+            .map(|(t, _)| *t)
+            .collect();
+        for t in stale {
+            self.timers.remove(&t);
+            ctx.cancel_timer(t);
+        }
+    }
+
+    fn pick_coordinator(&mut self, ctx: &mut impl NodeCtx<M>, key: &[u8]) -> Option<NodeId> {
         let (active, _) = self
             .membership
             .sloppy_preference_list(&self.ring, key, self.replication);
@@ -234,12 +265,12 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
         Some(NodeId(active[pick].0))
     }
 
-    fn arm_timeout(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, req: ReqId) {
+    fn arm_timeout(&mut self, ctx: &mut impl NodeCtx<M>, req: ReqId) {
         let t = ctx.set_timer(self.config.request_timeout);
         self.timers.insert(t, ClientTimer::Timeout(req));
     }
 
-    fn begin_cycle(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+    fn begin_cycle(&mut self, ctx: &mut impl NodeCtx<M>) {
         if self.cycles_done >= self.config.cycles {
             self.done = true;
             return;
@@ -249,7 +280,7 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
         self.issue_get(ctx, key, 0);
     }
 
-    fn issue_get(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, key: Key, retries: u32) {
+    fn issue_get(&mut self, ctx: &mut impl NodeCtx<M>, key: Key, retries: u32) {
         let req = self.fresh_req();
         let Some(coord) = self.pick_coordinator(ctx, &key) else {
             self.abandon_cycle(ctx);
@@ -269,7 +300,7 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
 
     fn issue_put(
         &mut self,
-        ctx: &mut ProcessCtx<'_, Msg<M>>,
+        ctx: &mut impl NodeCtx<M>,
         key: Key,
         value: StampedValue,
         put_ctx: M::Context,
@@ -305,14 +336,14 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
         self.arm_timeout(ctx, req);
     }
 
-    fn abandon_cycle(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+    fn abandon_cycle(&mut self, ctx: &mut impl NodeCtx<M>) {
         self.stats.failed_cycles += 1;
         self.current = None;
         self.cycles_done += 1; // the cycle is spent even though it failed
         self.think_then_continue(ctx);
     }
 
-    fn think_then_continue(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+    fn think_then_continue(&mut self, ctx: &mut impl NodeCtx<M>) {
         if self.cycles_done >= self.config.cycles {
             self.done = true;
             return;
@@ -340,7 +371,7 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
         }
     }
 
-    fn retry_or_abandon(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, flight: InFlight<M>) {
+    fn retry_or_abandon(&mut self, ctx: &mut impl NodeCtx<M>, flight: InFlight<M>) {
         if flight.retries >= self.config.max_retries {
             self.abandon_cycle(ctx);
             return;
@@ -385,7 +416,7 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
     }
 
     /// Entry point: dispatches one message.
-    pub fn on_message(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, from: NodeId, msg: Msg<M>) {
+    pub fn on_message(&mut self, ctx: &mut impl NodeCtx<M>, from: NodeId, msg: Msg<M>) {
         match msg {
             Msg::ClientGetResp {
                 req,
@@ -400,6 +431,7 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
                     self.current = Some(flight); // stale response
                     return;
                 }
+                self.cancel_timeout(ctx, req);
                 if !ok {
                     self.retry_or_abandon(ctx, flight);
                     return;
@@ -439,6 +471,7 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
                     self.current = Some(flight);
                     return;
                 }
+                self.cancel_timeout(ctx, req);
                 if !ok {
                     self.retry_or_abandon(ctx, flight);
                     return;
@@ -475,7 +508,7 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
     }
 
     /// Entry point: kicks off the first cycle.
-    pub fn on_start(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+    pub fn on_start(&mut self, ctx: &mut impl NodeCtx<M>) {
         // Stagger session starts a little so clients do not phase-lock.
         let jitter = simnet::Duration::from_micros(ctx.rng().range_u64(0, 500));
         let t = ctx.set_timer(jitter);
@@ -483,7 +516,7 @@ impl<M: Mechanism<StampedValue>> ClientNode<M> {
     }
 
     /// Entry point: dispatches one timer.
-    pub fn on_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, timer: TimerId) {
+    pub fn on_timer(&mut self, ctx: &mut impl NodeCtx<M>, timer: TimerId) {
         match self.timers.remove(&timer) {
             Some(ClientTimer::Think) if self.current.is_none() && !self.done => {
                 self.begin_cycle(ctx);

@@ -11,6 +11,7 @@ use workloads::Histogram;
 
 use crate::client::ClientNode;
 use crate::config::{ClientConfig, StoreConfig};
+use crate::ctx::SimCtx;
 use crate::messages::{Msg, WireStats};
 use crate::node::StoreNode;
 use crate::oracle::{AnomalyReport, Oracle};
@@ -34,22 +35,40 @@ impl<M: Mechanism<StampedValue>> Process for StoreProc<M> {
 
     fn on_start(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
         match self {
-            StoreProc::Server(s) => s.on_start(ctx),
-            StoreProc::Client(c) => c.on_start(ctx),
+            StoreProc::Server(s) => {
+                let mut c = SimCtx::new(ctx, s.mech().clone(), s.header_bytes());
+                s.on_start(&mut c)
+            }
+            StoreProc::Client(c) => {
+                let mut sc = SimCtx::new(ctx, c.mech().clone(), c.header_bytes());
+                c.on_start(&mut sc)
+            }
         }
     }
 
     fn on_message(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, from: NodeId, msg: Msg<M>) {
         match self {
-            StoreProc::Server(s) => s.on_message(ctx, from, msg),
-            StoreProc::Client(c) => c.on_message(ctx, from, msg),
+            StoreProc::Server(s) => {
+                let mut c = SimCtx::new(ctx, s.mech().clone(), s.header_bytes());
+                s.on_message(&mut c, from, msg)
+            }
+            StoreProc::Client(c) => {
+                let mut sc = SimCtx::new(ctx, c.mech().clone(), c.header_bytes());
+                c.on_message(&mut sc, from, msg)
+            }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, timer: TimerId) {
         match self {
-            StoreProc::Server(s) => s.on_timer(ctx, timer),
-            StoreProc::Client(c) => c.on_timer(ctx, timer),
+            StoreProc::Server(s) => {
+                let mut c = SimCtx::new(ctx, s.mech().clone(), s.header_bytes());
+                s.on_timer(&mut c, timer)
+            }
+            StoreProc::Client(c) => {
+                let mut sc = SimCtx::new(ctx, c.mech().clone(), c.header_bytes());
+                c.on_timer(&mut sc, timer)
+            }
         }
     }
 }

@@ -28,6 +28,10 @@
 //! * [`cluster::Cluster`] — wires servers + clients into a
 //!   [`simnet::Simulation`], runs workloads, converges replicas, and
 //!   produces [`oracle::AnomalyReport`]s and metadata statistics.
+//! * [`ctx::NodeCtx`] — the driver-agnostic node↔network boundary. Both
+//!   node types are generic over it, so the same protocol logic runs on
+//!   the simulator (via [`ctx::SimCtx`]) and on the multi-threaded
+//!   `runtime` crate.
 //!
 //! ## Quick example
 //!
@@ -56,6 +60,7 @@
 pub mod client;
 pub mod cluster;
 pub mod config;
+pub mod ctx;
 pub mod data;
 pub mod merkle;
 pub mod messages;
@@ -66,5 +71,6 @@ pub mod wire;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use config::{DeltaPolicy, StoreConfig};
+pub use ctx::{NodeCtx, SimCtx};
 pub use oracle::{AnomalyReport, Oracle};
 pub use value::{Key, StampedValue, WriteId};

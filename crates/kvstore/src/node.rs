@@ -8,9 +8,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use dvv::mechanisms::{Mechanism, WriteOrigin};
 use dvv::{ClientId, ReplicaId};
 use ring::{HashRing, MemberStatus, Membership, RingView};
-use simnet::{NodeId, ProcessCtx, SimTime, TimerId};
+use simnet::{NodeId, SimTime, TimerId};
 
 use crate::config::{DeltaPolicy, StoreConfig};
+use crate::ctx::NodeCtx;
 use crate::data::DataStore;
 use crate::merkle::{fingerprint, MerkleSummary};
 use crate::messages::{Msg, ReqId, WireStats};
@@ -247,6 +248,18 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     /// This server's replica id.
     pub fn replica(&self) -> ReplicaId {
         self.replica
+    }
+
+    /// The causality mechanism this node runs (drivers clone it into
+    /// their [`NodeCtx`] impls for message sizing).
+    pub fn mech(&self) -> &M {
+        &self.mech
+    }
+
+    /// Per-message header overhead in bytes (driver contexts charge it
+    /// on every send).
+    pub fn header_bytes(&self) -> usize {
+        self.config.header_bytes
     }
 
     /// Counters.
@@ -574,10 +587,14 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         Ok(())
     }
 
-    fn send(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, to: NodeId, msg: Msg<M>) {
-        let bytes = msg.wire_size(&self.mech) + self.config.header_bytes;
-        self.wire.record(msg.class(), bytes);
-        ctx.send(to, msg, bytes);
+    /// Sends through the driver and records what *it* charged: the
+    /// context is the single source of truth for wire bytes
+    /// ([`NodeCtx::send`] derives them from [`Msg::wire_size`] plus the
+    /// header overhead), so accounting cannot drift per call site.
+    fn send(&mut self, ctx: &mut impl NodeCtx<M>, to: NodeId, msg: Msg<M>) {
+        let class = msg.class();
+        let bytes = ctx.send(to, msg);
+        self.wire.record(class, bytes);
     }
 
     fn active_replicas(&self, key: &[u8]) -> (Vec<ReplicaId>, Vec<(ReplicaId, ReplicaId)>) {
@@ -670,7 +687,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     ///   ([`Self::handle_ring_epoch`]).
     ///
     /// Either way both ends converge in at most one round-trip.
-    fn note_peer_digest(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, from: NodeId, digest: u64) {
+    fn note_peer_digest(&mut self, ctx: &mut impl NodeCtx<M>, from: NodeId, digest: u64) {
         if digest == self.view.digest() {
             return;
         }
@@ -702,7 +719,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     /// the delta would not be smaller (unless the policy forces deltas).
     fn handle_ring_summary(
         &mut self,
-        ctx: &mut ProcessCtx<'_, Msg<M>>,
+        ctx: &mut impl NodeCtx<M>,
         from: NodeId,
         summary: &[(ReplicaId, u64)],
     ) {
@@ -729,7 +746,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     /// exchange terminates.
     fn handle_ring_delta(
         &mut self,
-        ctx: &mut ProcessCtx<'_, Msg<M>>,
+        ctx: &mut impl NodeCtx<M>,
         from: NodeId,
         entries: &[(ReplicaId, ring::MemberEntry)],
         want: &[ReplicaId],
@@ -755,7 +772,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     /// view back so the exchange leaves both ends identical.
     fn handle_ring_epoch(
         &mut self,
-        ctx: &mut ProcessCtx<'_, Msg<M>>,
+        ctx: &mut impl NodeCtx<M>,
         from: NodeId,
         view: &RingView<ReplicaId>,
     ) {
@@ -768,7 +785,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
 
     /// One gossip round: sends this node's view digest to up to `fanout`
     /// distinct random up ring peers.
-    fn gossip_once(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, fanout: usize) {
+    fn gossip_once(&mut self, ctx: &mut impl NodeCtx<M>, fanout: usize) {
         let mut peers: Vec<ReplicaId> = self
             .membership
             .up_nodes()
@@ -787,7 +804,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         }
     }
 
-    fn handle_gossip_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+    fn handle_gossip_timer(&mut self, ctx: &mut impl NodeCtx<M>) {
         self.gossip_once(ctx, 1);
         if self.config.gossip_interval > simnet::Duration::ZERO {
             let t = ctx.set_timer(self.config.gossip_interval);
@@ -826,7 +843,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     /// `(changed, sender_lacks)` as reported by [`RingView::absorb`].
     fn merge_view(
         &mut self,
-        ctx: &mut ProcessCtx<'_, Msg<M>>,
+        ctx: &mut impl NodeCtx<M>,
         view: &RingView<ReplicaId>,
     ) -> (bool, bool) {
         let (changed, sender_lacks) = self.view.absorb(view);
@@ -840,7 +857,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     /// change arrived (full view push or delta): rebuild routing state,
     /// reconcile membership and lifecycle, retarget hints, queue the
     /// ownership-diff data motion, and gossip the news on.
-    fn after_view_change(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+    fn after_view_change(&mut self, ctx: &mut impl NodeCtx<M>) {
         let old_ring = std::mem::replace(&mut self.ring, self.view.to_ring(self.config.vnodes));
         self.data.repartition(self.ring.token_points().collect());
         let members = self.view.members();
@@ -909,11 +926,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     ///
     /// A leaving node owns nothing under the new ring, so this doubles as
     /// the drain plan.
-    fn queue_rebalance(
-        &mut self,
-        ctx: &mut ProcessCtx<'_, Msg<M>>,
-        old_ring: &HashRing<ReplicaId>,
-    ) {
+    fn queue_rebalance(&mut self, ctx: &mut impl NodeCtx<M>, old_ring: &HashRing<ReplicaId>) {
         let mut per_target: BTreeMap<ReplicaId, Vec<Key>> = BTreeMap::new();
         for (key, point, _) in self.data.iter_points() {
             // both rings' walks come from their arc caches: a binary
@@ -956,14 +969,30 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         }
     }
 
-    fn arm_request_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, req: ReqId) {
+    fn arm_request_timer(&mut self, ctx: &mut impl NodeCtx<M>, req: ReqId) {
         let t = ctx.set_timer(self.config.request_timeout);
         self.timers.insert(t, TimerKind::Request(req));
     }
 
+    /// Advisorily cancels the timeout timer of a request that retired
+    /// with every response in (the simulator still fires it into a
+    /// no-op; the threaded runtime unschedules it).
+    fn cancel_request_timer(&mut self, ctx: &mut impl NodeCtx<M>, req: ReqId) {
+        let stale: Vec<TimerId> = self
+            .timers
+            .iter()
+            .filter(|(_, k)| **k == TimerKind::Request(req))
+            .map(|(t, _)| *t)
+            .collect();
+        for t in stale {
+            self.timers.remove(&t);
+            ctx.cancel_timer(t);
+        }
+    }
+
     fn handle_client_get(
         &mut self,
-        ctx: &mut ProcessCtx<'_, Msg<M>>,
+        ctx: &mut impl NodeCtx<M>,
         from: NodeId,
         req: ReqId,
         key: Key,
@@ -1027,7 +1056,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         self.try_complete_get(ctx, req);
     }
 
-    fn try_complete_get(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, req: ReqId) {
+    fn try_complete_get(&mut self, ctx: &mut impl NodeCtx<M>, req: ReqId) {
         // phase 1: reply to the client as soon as R responses are in
         let mut reply: Option<(NodeId, Vec<StampedValue>, M::Context)> = None;
         if let Some(Pending::Get {
@@ -1076,13 +1105,14 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             else {
                 return;
             };
+            self.cancel_request_timer(ctx, req);
             self.finish_read_repair(ctx, &key, acc, &seen, owner, &subs);
         }
     }
 
     fn finish_read_repair(
         &mut self,
-        ctx: &mut ProcessCtx<'_, Msg<M>>,
+        ctx: &mut impl NodeCtx<M>,
         key: &[u8],
         merged: M::State,
         seen: &[(ReplicaId, u64)],
@@ -1133,7 +1163,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     #[allow(clippy::too_many_arguments)]
     fn handle_client_put(
         &mut self,
-        ctx: &mut ProcessCtx<'_, Msg<M>>,
+        ctx: &mut impl NodeCtx<M>,
         from: NodeId,
         req: ReqId,
         key: Key,
@@ -1246,7 +1276,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         self.try_complete_put(ctx, req);
     }
 
-    fn try_complete_put(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, req: ReqId) {
+    fn try_complete_put(&mut self, ctx: &mut impl NodeCtx<M>, req: ReqId) {
         let Some(Pending::Put {
             key,
             client,
@@ -1285,20 +1315,18 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 },
             );
         }
-        if let Some(Pending::Put {
-            acks,
-            expected,
-            replied,
-            ..
-        }) = self.pending.get(&req)
-        {
-            if *acks >= *expected && *replied {
-                self.pending.remove(&req);
-            }
+        let retire = matches!(
+            self.pending.get(&req),
+            Some(Pending::Put { acks, expected, replied, .. })
+                if *acks >= *expected && *replied
+        );
+        if retire {
+            self.pending.remove(&req);
+            self.cancel_request_timer(ctx, req);
         }
     }
 
-    fn handle_request_timeout(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, req: ReqId) {
+    fn handle_request_timeout(&mut self, ctx: &mut impl NodeCtx<M>, req: ReqId) {
         let Some(p) = self.pending.get(&req) else {
             return;
         };
@@ -1361,7 +1389,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         }
     }
 
-    fn handle_aae_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+    fn handle_aae_timer(&mut self, ctx: &mut impl NodeCtx<M>) {
         // pick a random up peer and start an exchange
         let peers: Vec<ReplicaId> = self
             .membership
@@ -1390,7 +1418,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         }
     }
 
-    fn handle_handoff_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+    fn handle_handoff_timer(&mut self, ctx: &mut impl NodeCtx<M>) {
         let now = ctx.now();
         let retry = self.config.handoff_retry_interval;
         // a hint is due when its intended owner is up and no handoff is
@@ -1439,7 +1467,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
 
     // --- elastic membership ------------------------------------------------
 
-    fn arm_periodic_timers(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+    fn arm_periodic_timers(&mut self, ctx: &mut impl NodeCtx<M>) {
         if self.config.anti_entropy_interval > simnet::Duration::ZERO {
             // stagger first AAE by replica id to avoid thundering herd
             let first = simnet::Duration::from_micros(
@@ -1462,7 +1490,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         }
     }
 
-    fn ensure_transfer_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+    fn ensure_transfer_timer(&mut self, ctx: &mut impl NodeCtx<M>) {
         if self.timers.values().any(|k| *k == TimerKind::Transfer) {
             return;
         }
@@ -1495,7 +1523,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         ids
     }
 
-    fn send_transfer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, id: u64) {
+    fn send_transfer(&mut self, ctx: &mut impl NodeCtx<M>, id: u64) {
         let Some(job) = self.outbound.get(&id) else {
             return;
         };
@@ -1531,7 +1559,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     /// learns about its *own* change transitively behaves identically.
     fn handle_announce(
         &mut self,
-        ctx: &mut ProcessCtx<'_, Msg<M>>,
+        ctx: &mut impl NodeCtx<M>,
         view: RingView<ReplicaId>,
         who: ReplicaId,
         joining: bool,
@@ -1556,7 +1584,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         self.merge_view(ctx, &view);
     }
 
-    fn handle_transfer_ack(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, id: u64) {
+    fn handle_transfer_ack(&mut self, ctx: &mut impl NodeCtx<M>, id: u64) {
         let Some(job) = self.outbound.remove(&id) else {
             return;
         };
@@ -1592,7 +1620,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         }
     }
 
-    fn handle_transfer_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+    fn handle_transfer_timer(&mut self, ctx: &mut impl NodeCtx<M>) {
         // drain keys written since the last tick to their current owners
         let dirty: Vec<Key> = std::mem::take(&mut self.drain_dirty).into_iter().collect();
         let mut per_target: BTreeMap<ReplicaId, Vec<Key>> = BTreeMap::new();
@@ -1619,7 +1647,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     }
 
     /// Entry point: dispatches one message.
-    pub fn on_message(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, from: NodeId, msg: Msg<M>) {
+    pub fn on_message(&mut self, ctx: &mut impl NodeCtx<M>, from: NodeId, msg: Msg<M>) {
         if !self.active {
             // A dormant node serves no data, but it stays a good ring
             // citizen: it wakes for its own join, passively merges views,
@@ -1996,14 +2024,14 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     }
 
     /// Entry point: starts periodic timers.
-    pub fn on_start(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>) {
+    pub fn on_start(&mut self, ctx: &mut impl NodeCtx<M>) {
         if self.active {
             self.arm_periodic_timers(ctx);
         }
     }
 
     /// Entry point: dispatches one timer.
-    pub fn on_timer(&mut self, ctx: &mut ProcessCtx<'_, Msg<M>>, timer: TimerId) {
+    pub fn on_timer(&mut self, ctx: &mut impl NodeCtx<M>, timer: TimerId) {
         match self.timers.remove(&timer) {
             Some(TimerKind::Request(req)) => self.handle_request_timeout(ctx, req),
             Some(TimerKind::AntiEntropy) => self.handle_aae_timer(ctx),

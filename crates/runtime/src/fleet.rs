@@ -1,0 +1,874 @@
+//! [`RuntimeFleet`]: hosts the kvstore protocol on real threads.
+//!
+//! Layout mirrors [`kvstore::cluster::Cluster`]: node ids `0..servers`
+//! are replica servers, `servers..servers + clients` are closed-loop
+//! client sessions, and the same [`StoreProc`] enum holds either. Each
+//! server gets a dedicated event-loop thread; clients are partitioned
+//! across `client_workers` threads (the parallelism knob the bench
+//! sweeps). Every worker owns a bounded inbox, a
+//! [`TimerWheel`](crate::wheel::TimerWheel) per hosted node, and a
+//! forked RNG stream, and dispatches the *same* generic
+//! `on_start`/`on_message`/`on_timer` code the simulator drives —
+//! [`RtCtx`](crate::rtctx::RtCtx) is the only runtime-specific layer a
+//! node ever sees.
+//!
+//! Messages route through `std::sync::mpsc` sync channels. A full inbox
+//! drops the message (wire loss; the protocol's timeouts, retries and
+//! anti-entropy absorb it), so workers can never deadlock on a send.
+//! An optional delayer thread holds back messages sampled into a
+//! latency window, and a fault plan can drop messages probabilistically
+//! or wedge chosen servers to exercise the stall watchdog.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration as StdDuration, Instant};
+
+use dvv::mechanisms::Mechanism;
+use dvv::{ClientId, ReplicaId};
+use kvstore::client::ClientNode;
+use kvstore::cluster::{LatencyReport, StoreProc};
+use kvstore::messages::{Msg, WireStats};
+use kvstore::node::{NodeStats, StoreNode};
+use kvstore::oracle::{AnomalyReport, Oracle};
+use kvstore::value::{Key, StampedValue, WriteId};
+use ring::RingView;
+use simnet::{NodeId, SimRng, SimTime, TimerId};
+
+use crate::rtctx::RtCtx;
+use crate::watchdog::{self, Progress, StallReport};
+use crate::wheel::TimerWheel;
+use crate::{FaultPlan, RuntimeConfig};
+
+/// Clean AAE rounds every server must initiate, after the last observed
+/// repair activity, before the quiesce phase may end early (with 3+
+/// servers and random peer choice this gives each pair several chances
+/// to detect leftover divergence).
+const SETTLE_CLEAN_ROUNDS: u64 = 8;
+
+/// An addressed message in flight between nodes.
+#[derive(Debug)]
+struct Packet<M: Mechanism<StampedValue>> {
+    from: NodeId,
+    to: NodeId,
+    msg: Msg<M>,
+}
+
+/// State shared by every thread of a run (mechanism-independent).
+/// `shutdown` is its own `Arc` so the watchdog can hold the flag
+/// without the rest of the struct.
+#[derive(Debug)]
+struct Shared {
+    origin: Instant,
+    faults: FaultPlan,
+    faults_on: std::sync::atomic::AtomicBool,
+    shutdown: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl Shared {
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// A worker thread's view of the message fabric: per-node inbox senders
+/// plus the fault plan and its RNG stream for loss/latency sampling.
+struct Router<M: Mechanism<StampedValue>> {
+    shared: Arc<Shared>,
+    progress: Arc<Progress>,
+    slots: Vec<SyncSender<Packet<M>>>,
+    delayer: Option<Sender<(u64, Packet<M>)>>,
+    rng: SimRng,
+}
+
+impl<M: Mechanism<StampedValue>> Router<M> {
+    fn route(&mut self, from: NodeId, to: NodeId, msg: Msg<M>) {
+        // Self-sends bypass fault injection, matching the simulator's
+        // reliable zero-delay local delivery.
+        if from != to && self.shared.faults_on.load(Ordering::Relaxed) {
+            let f = &self.shared.faults;
+            if f.drop_probability > 0.0 && self.rng.chance(f.drop_probability) {
+                return;
+            }
+            if let Some((lo, hi)) = f.delay_micros {
+                if let Some(tx) = &self.delayer {
+                    let d = if hi > lo {
+                        self.rng.range_u64(lo, hi + 1)
+                    } else {
+                        lo
+                    };
+                    let due = self.shared.now_us() + d;
+                    let _ = tx.send((due, Packet { from, to, msg }));
+                    return;
+                }
+            }
+        }
+        deliver(&self.progress, &self.slots, Packet { from, to, msg });
+    }
+}
+
+/// Enqueues `pkt` at its destination; a full inbox is wire loss.
+fn deliver<M: Mechanism<StampedValue>>(
+    progress: &Progress,
+    slots: &[SyncSender<Packet<M>>],
+    pkt: Packet<M>,
+) {
+    let to = pkt.to.0 as usize;
+    if slots[to].try_send(pkt).is_ok() {
+        progress.inbox_depth[to].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One node hosted on a worker thread: the protocol state machine plus
+/// its runtime-side scheduling state.
+#[derive(Debug)]
+struct Hosted<M: Mechanism<StampedValue>> {
+    id: NodeId,
+    proc_: StoreProc<M>,
+    rng: SimRng,
+    wheel: TimerWheel<TimerId>,
+    next_timer: u64,
+    was_done: bool,
+    last_ops: u64,
+}
+
+/// An event to dispatch into a hosted node.
+enum Ev<M: Mechanism<StampedValue>> {
+    Start,
+    Message { from: NodeId, msg: Msg<M> },
+    Timer(TimerId),
+}
+
+/// Cheap, lock-scoped copy of one node's reporting state, refreshed by
+/// its worker after every dispatch — the runtime analogue of reading a
+/// live `Cluster` node, available *while the fleet is running*.
+#[derive(Clone, Debug, Default)]
+pub struct NodeSnapshot {
+    /// Per-class wire ledger ([`WireStats`] is `Copy`).
+    pub wire: WireStats,
+    /// Server counters; `None` for client nodes.
+    pub server: Option<NodeStats>,
+    /// Client ops completed (GET + PUT acks); 0 for servers.
+    pub ops_ok: u64,
+    /// Client cycles finished; 0 for servers.
+    pub cycles_done: u32,
+    /// Whether a client session has completed all its cycles.
+    pub done: bool,
+    /// Events this node has dispatched.
+    pub events: u64,
+}
+
+/// Clonable live-stats handle: snapshot any node or fold the fleet-wide
+/// wire ledger without pausing worker threads (satellite: the
+/// `Cluster::wire_report()`-equivalent for the runtime).
+#[derive(Clone, Debug)]
+pub struct FleetStats {
+    snapshots: Arc<Vec<Mutex<NodeSnapshot>>>,
+}
+
+impl FleetStats {
+    /// A copy of node `i`'s latest snapshot (fleet layout order:
+    /// servers, then clients).
+    pub fn snapshot(&self, i: usize) -> NodeSnapshot {
+        self.snapshots[i].lock().expect("snapshot lock").clone()
+    }
+
+    /// Sums every node's per-class wire counters from the live
+    /// snapshots — same fold as [`kvstore::cluster::Cluster::wire_report`].
+    pub fn wire_report(&self) -> WireStats {
+        let mut out = WireStats::default();
+        for s in self.snapshots.iter() {
+            out.absorb(&s.lock().expect("snapshot lock").wire);
+        }
+        out
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True when the handle covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+}
+
+/// Outcome of a completed (non-stalled) run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Wall-clock from worker start to the last client finishing
+    /// (quiesce excluded), at the main loop's polling granularity.
+    pub elapsed: StdDuration,
+    /// Client operations completed fleet-wide.
+    pub ops_ok: u64,
+    /// All clients finished within the run budget.
+    pub all_done: bool,
+}
+
+/// The multi-threaded fleet. Build with [`RuntimeFleet::new`], run with
+/// [`RuntimeFleet::run`], then inspect nodes and reports exactly like a
+/// [`Cluster`](kvstore::cluster::Cluster) after a simulated run.
+#[derive(Debug)]
+pub struct RuntimeFleet<M: Mechanism<StampedValue>> {
+    config: RuntimeConfig,
+    mech: M,
+    view: RingView<ReplicaId>,
+    nodes: Vec<Hosted<M>>,
+    snapshots: Arc<Vec<Mutex<NodeSnapshot>>>,
+    progress: Arc<Progress>,
+    net_root: SimRng,
+}
+
+impl<M> RuntimeFleet<M>
+where
+    M: Mechanism<StampedValue> + Send + 'static,
+    M::State: Send,
+    M::Context: Send,
+{
+    /// Builds a fleet. All protocol randomness derives from `seed`
+    /// through the same `fork_indexed("node", i)` scheme the simulator
+    /// uses, so a node's RNG stream depends only on `(seed, i)`.
+    pub fn new(seed: u64, mech: M, config: RuntimeConfig) -> Self {
+        assert!(config.servers > 0, "need at least one server");
+        assert!(config.client_workers > 0, "need at least one client worker");
+        config.store.validate();
+        assert!(
+            config.store.n <= config.servers,
+            "replication factor exceeds server count"
+        );
+        let root = SimRng::new(seed);
+        let replicas: Vec<ReplicaId> = (0..config.servers as u32).map(ReplicaId).collect();
+        let view = RingView::from_members(replicas.iter().copied());
+        let total = config.servers + config.clients;
+
+        let mut nodes = Vec::with_capacity(total);
+        for r in &replicas {
+            nodes.push(Hosted {
+                id: NodeId(r.0),
+                proc_: StoreProc::Server(StoreNode::new(
+                    *r,
+                    mech.clone(),
+                    config.store,
+                    view.clone(),
+                )),
+                rng: root.fork_indexed("node", r.0 as u64),
+                wheel: TimerWheel::new(),
+                next_timer: 0,
+                was_done: false,
+                last_ops: 0,
+            });
+        }
+        for j in 0..config.clients {
+            let node_index = (config.servers + j) as u32;
+            let mut client_cfg = config.client.clone();
+            client_cfg.cycles = config.cycles_per_client;
+            nodes.push(Hosted {
+                id: NodeId(node_index),
+                proc_: StoreProc::Client(ClientNode::new(
+                    ClientId(j as u64),
+                    node_index,
+                    mech.clone(),
+                    client_cfg,
+                    config.store.n,
+                    config.store.header_bytes,
+                    view.clone(),
+                    config.store.vnodes,
+                )),
+                rng: root.fork_indexed("node", node_index as u64),
+                wheel: TimerWheel::new(),
+                next_timer: 0,
+                was_done: false,
+                last_ops: 0,
+            });
+        }
+        RuntimeFleet {
+            config,
+            mech,
+            view,
+            nodes,
+            snapshots: Arc::new(
+                (0..total)
+                    .map(|_| Mutex::new(NodeSnapshot::default()))
+                    .collect(),
+            ),
+            progress: Arc::new(Progress::new(total)),
+            net_root: root.fork("rtnet"),
+        }
+    }
+
+    /// A clonable handle for observing the fleet while (or after) it
+    /// runs.
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            snapshots: Arc::clone(&self.snapshots),
+        }
+    }
+
+    /// Runs the fleet to completion: spawns per-server and client-worker
+    /// threads (plus the optional delayer and the stall watchdog), waits
+    /// for every client to finish, lets the fleet quiesce with faults
+    /// disabled, then joins all threads and reassembles the nodes for
+    /// inspection.
+    ///
+    /// Returns `Err` with per-node diagnostics if the watchdog declares
+    /// a stall or the run budget expires first.
+    pub fn run(&mut self) -> Result<RunReport, StallReport> {
+        let cfg = self.config.clone();
+        let total = cfg.servers + cfg.clients;
+        let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            origin: Instant::now(),
+            faults: cfg.faults.clone(),
+            faults_on: std::sync::atomic::AtomicBool::new(!cfg.faults.is_noop()),
+            shutdown: Arc::clone(&shutdown),
+        });
+
+        // Partition nodes onto workers: one per server, then clients
+        // chunked across `client_workers` threads.
+        let nodes = std::mem::take(&mut self.nodes);
+        let mut groups: Vec<Vec<Hosted<M>>> = Vec::new();
+        let mut client_groups: Vec<Vec<Hosted<M>>> =
+            (0..cfg.client_workers).map(|_| Vec::new()).collect();
+        for (i, h) in nodes.into_iter().enumerate() {
+            if i < cfg.servers {
+                groups.push(vec![h]);
+            } else {
+                client_groups[(i - cfg.servers) % cfg.client_workers].push(h);
+            }
+        }
+        groups.extend(client_groups.into_iter().filter(|g| !g.is_empty()));
+
+        // One bounded inbox per worker; slot j routes to the worker
+        // hosting node j.
+        type Inbox<M> = (SyncSender<Packet<M>>, Option<Receiver<Packet<M>>>);
+        let mut worker_chans: Vec<Inbox<M>> = groups
+            .iter()
+            .map(|g| {
+                let (tx, rx) = mpsc::sync_channel(cfg.inbox_capacity * g.len());
+                (tx, Some(rx))
+            })
+            .collect();
+        let mut slots: Vec<SyncSender<Packet<M>>> = vec![worker_chans[0].0.clone(); total];
+        for (w, g) in groups.iter().enumerate() {
+            for h in g {
+                slots[h.id.0 as usize] = worker_chans[w].0.clone();
+            }
+        }
+
+        // Optional delayer thread holding back latency-sampled packets.
+        let (delayer_tx, delayer_handle) = if cfg.faults.delay_micros.is_some() {
+            let (tx, rx) = mpsc::channel::<(u64, Packet<M>)>();
+            let d_shared = Arc::clone(&shared);
+            let d_progress = Arc::clone(&self.progress);
+            let d_slots = slots.clone();
+            let h = thread::spawn(move || delayer_loop(rx, d_shared, d_progress, d_slots));
+            (Some(tx), Some(h))
+        } else {
+            (None, None)
+        };
+
+        // Worker threads.
+        let mut handles: Vec<JoinHandle<Vec<Hosted<M>>>> = Vec::new();
+        for (w, group) in groups.into_iter().enumerate() {
+            let router = Router {
+                shared: Arc::clone(&shared),
+                progress: Arc::clone(&self.progress),
+                slots: slots.clone(),
+                delayer: delayer_tx.clone(),
+                rng: self.net_root.fork_indexed("worker", w as u64),
+            };
+            let rx = worker_chans[w].1.take().expect("receiver taken once");
+            let snapshots = Arc::clone(&self.snapshots);
+            let hang = group
+                .iter()
+                .any(|h| cfg.faults.hang_servers.contains(&(h.id.0 as usize)));
+            handles.push(thread::spawn(move || {
+                worker_loop(group, rx, router, snapshots, hang)
+            }));
+        }
+
+        // Stall watchdog.
+        let report_slot: Arc<Mutex<Option<StallReport>>> = Arc::new(Mutex::new(None));
+        let wd_handle = {
+            let progress = Arc::clone(&self.progress);
+            let wd_shutdown = Arc::clone(&shutdown);
+            let slot = Arc::clone(&report_slot);
+            let origin = shared.origin;
+            let clients = cfg.clients as u64;
+            let budget = cfg.stall_budget;
+            let poll = cfg.watchdog_poll;
+            thread::spawn(move || {
+                watchdog::supervise(progress, wd_shutdown, slot, origin, clients, budget, poll)
+            })
+        };
+
+        // Wait for completion, a stall, or the run budget.
+        let started = Instant::now();
+        let mut elapsed = None;
+        loop {
+            if self.progress.stalled.load(Ordering::Relaxed) {
+                break;
+            }
+            if self.progress.done_clients.load(Ordering::Relaxed) >= cfg.clients as u64 {
+                elapsed = Some(started.elapsed());
+                break;
+            }
+            if started.elapsed() > cfg.run_budget {
+                break;
+            }
+            thread::sleep(StdDuration::from_millis(2));
+        }
+
+        let stalled = self.progress.stalled.load(Ordering::Relaxed);
+        if elapsed.is_some() {
+            // Successful run: quiesce with faults off so in-flight
+            // repairs, handoffs and AAE rounds land on a clean network.
+            // Exit early once repair activity has been still for the
+            // settle window — anti-entropy keeps gossiping forever, so
+            // "done" is a quiet repair ledger, not a quiet wire.
+            shared.faults_on.store(false, Ordering::Relaxed);
+            let settle_started = Instant::now();
+            let (mut last_sig, mut rounds_floor) = self.settle_probe();
+            let mut still_since = Instant::now();
+            while settle_started.elapsed() < cfg.quiesce {
+                thread::sleep(StdDuration::from_millis(50));
+                let (sig, rounds) = self.settle_probe();
+                if sig != last_sig {
+                    last_sig = sig;
+                    rounds_floor = rounds;
+                    still_since = Instant::now();
+                } else if still_since.elapsed() >= cfg.settle_window
+                    && rounds >= rounds_floor + SETTLE_CLEAN_ROUNDS
+                {
+                    // Quiet for the window *and* every server has since
+                    // initiated several divergence-free AAE rounds — the
+                    // stillness reflects convergence, not CPU starvation.
+                    break;
+                }
+            }
+        }
+        shared.shutdown.store(true, Ordering::Relaxed);
+
+        let mut returned: Vec<Hosted<M>> = Vec::with_capacity(total);
+        for h in handles {
+            returned.extend(h.join().expect("worker thread panicked"));
+        }
+        if let Some(h) = delayer_handle {
+            h.join().expect("delayer thread panicked");
+        }
+        wd_handle.join().expect("watchdog thread panicked");
+        returned.sort_by_key(|h| h.id.0);
+        self.nodes = returned;
+
+        if stalled {
+            let report = report_slot
+                .lock()
+                .expect("watchdog slot")
+                .take()
+                .expect("stall implies report");
+            return Err(report);
+        }
+        match elapsed {
+            Some(elapsed) => Ok(RunReport {
+                elapsed,
+                ops_ok: self.progress.ops_ok.load(Ordering::Relaxed),
+                all_done: true,
+            }),
+            None => Err(watchdog::diagnose(
+                &self.progress,
+                shared.origin,
+                cfg.run_budget,
+            )),
+        }
+    }
+
+    /// Fold of the live repair counters (changes while AAE repairs,
+    /// read repairs, handoffs or transfers are still landing), plus the
+    /// minimum per-server count of *initiated* AAE rounds — the settle
+    /// loop uses the latter to require actual clean rounds, not just
+    /// elapsed quiet time.
+    fn settle_probe(&self) -> ((u64, u64, u64, u64), u64) {
+        let mut sig = (0u64, 0u64, 0u64, 0u64);
+        let mut min_rounds = u64::MAX;
+        for i in 0..self.config.servers {
+            let snap = self.snapshots[i].lock().expect("snapshot lock");
+            if let Some(s) = snap.server {
+                sig.0 += s.aae_divergent;
+                sig.1 += s.read_repairs;
+                sig.2 += s.handoffs;
+                sig.3 += s.transfers_in + s.transfers_out;
+                min_rounds = min_rounds.min(s.aae_rounds);
+            }
+        }
+        (
+            sig,
+            if min_rounds == u64::MAX {
+                0
+            } else {
+                min_rounds
+            },
+        )
+    }
+
+    // ---- post-run inspection (Cluster-equivalent surface) ----
+
+    /// Read access to server `i`'s store node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a server index.
+    pub fn server(&self, i: usize) -> &StoreNode<M> {
+        assert!(i < self.config.servers, "node {i} is not a server");
+        match &self.nodes[i].proc_ {
+            StoreProc::Server(s) => s,
+            StoreProc::Client(_) => unreachable!("layout: servers first"),
+        }
+    }
+
+    /// Read access to client `j`'s session node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is not a client index.
+    pub fn client(&self, j: usize) -> &ClientNode<M> {
+        assert!(j < self.config.clients, "client {j} out of range");
+        match &self.nodes[self.config.servers + j].proc_ {
+            StoreProc::Client(c) => c,
+            StoreProc::Server(_) => unreachable!("layout: clients after servers"),
+        }
+    }
+
+    /// Number of replica servers.
+    pub fn server_count(&self) -> usize {
+        self.config.servers
+    }
+
+    /// Number of client sessions.
+    pub fn client_count(&self) -> usize {
+        self.config.clients
+    }
+
+    /// Builds the ground-truth oracle from all client logs.
+    pub fn oracle(&self) -> Oracle {
+        let logs = (0..self.config.clients).flat_map(|j| self.client(j).write_log().iter());
+        Oracle::from_logs(logs)
+    }
+
+    /// Deterministically merges every key across all servers to a
+    /// fixpoint — same test-harness operation as
+    /// [`Cluster::converge`](kvstore::cluster::Cluster::converge).
+    pub fn converge(&mut self) {
+        loop {
+            let mut global: BTreeMap<Key, M::State> = BTreeMap::new();
+            for i in 0..self.config.servers {
+                for (k, st) in self.server(i).data() {
+                    let entry = global.entry(k.clone()).or_default();
+                    self.mech.merge(entry, st);
+                }
+            }
+            let mut changed = false;
+            for i in 0..self.config.servers {
+                let StoreProc::Server(s) = &mut self.nodes[i].proc_ else {
+                    continue;
+                };
+                for (k, st) in &global {
+                    let before = s.data().get(k).cloned();
+                    s.merge_state_direct(k, st);
+                    if s.data().get(k) != before.as_ref() {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    /// The surviving write ids for `key` at server `i`.
+    pub fn surviving_at(&self, i: usize, key: &[u8]) -> std::collections::BTreeSet<WriteId> {
+        match self.server(i).data().get(key) {
+            None => Default::default(),
+            Some(st) => {
+                let (values, _) = self.mech.read(st);
+                values.into_iter().map(|v| v.id).collect()
+            }
+        }
+    }
+
+    /// Audits the (converged) store against the oracle — same audit as
+    /// [`Cluster::anomaly_report`](kvstore::cluster::Cluster::anomaly_report).
+    pub fn anomaly_report(&self) -> AnomalyReport {
+        let oracle = self.oracle();
+        let mut report = AnomalyReport::default();
+        for j in 0..self.config.clients {
+            for e in self.client(j).write_log() {
+                report.total_writes += 1;
+                if e.acked {
+                    report.acked_writes += 1;
+                }
+            }
+        }
+        for key in oracle.keys() {
+            report.keys += 1;
+            let surviving = self.surviving_at(0, &key);
+            report.surviving_values += surviving.len() as u64;
+            let (lost, fc) = oracle.audit_key(&key, &surviving);
+            report.lost_updates += lost;
+            report.false_concurrency += fc;
+        }
+        report
+    }
+
+    /// Every `(server, key)` pair held outside the key's preference
+    /// list — must be empty after a quiescent period.
+    pub fn residual_copies(&self) -> Vec<(usize, Key)> {
+        let ring = self.view.to_ring(self.config.store.vnodes);
+        let mut out = Vec::new();
+        for i in 0..self.config.servers {
+            let me = ReplicaId(i as u32);
+            for key in self.server(i).data().keys() {
+                if !ring.preference_list(key, self.config.store.n).contains(&me) {
+                    out.push((i, key.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Aggregates all clients' latency statistics.
+    pub fn latency_report(&self) -> LatencyReport {
+        let mut out = LatencyReport::default();
+        for j in 0..self.config.clients {
+            let s = self.client(j).stats();
+            out.get.merge(&s.get_latency);
+            out.put.merge(&s.put_latency);
+            out.failed_cycles += s.failed_cycles;
+            out.retries += s.retries;
+        }
+        out
+    }
+
+    /// Sums every node's per-class wire counters from the node ledgers
+    /// themselves (post-run authoritative fold; see [`FleetStats`] for
+    /// the live one).
+    pub fn wire_report(&self) -> WireStats {
+        let mut out = WireStats::default();
+        for i in 0..self.config.servers {
+            out.absorb(&self.server(i).wire_stats());
+        }
+        for j in 0..self.config.clients {
+            out.absorb(&self.client(j).wire_stats());
+        }
+        out
+    }
+}
+
+fn worker_loop<M: Mechanism<StampedValue>>(
+    mut hosted: Vec<Hosted<M>>,
+    rx: Receiver<Packet<M>>,
+    mut router: Router<M>,
+    snapshots: Arc<Vec<Mutex<NodeSnapshot>>>,
+    hang: bool,
+) -> Vec<Hosted<M>> {
+    if hang {
+        // A wedged worker: never starts its nodes, never drains its
+        // inbox. Exists to prove the watchdog fires.
+        while !router.shared.shutdown.load(Ordering::Relaxed) {
+            thread::sleep(StdDuration::from_millis(5));
+        }
+        return hosted;
+    }
+
+    for h in &mut hosted {
+        dispatch(h, Ev::Start, &mut router, &snapshots);
+    }
+
+    loop {
+        if router.shared.shutdown.load(Ordering::Relaxed) {
+            return hosted;
+        }
+
+        // Fire everything due, repeatedly: a timer handler may arm
+        // another timer already due.
+        let mut fired = true;
+        while fired {
+            fired = false;
+            let now_us = router.shared.now_us();
+            for h in &mut hosted {
+                while let Some(t) = h.wheel.pop_due(now_us) {
+                    dispatch(h, Ev::Timer(t), &mut router, &snapshots);
+                    fired = true;
+                }
+            }
+        }
+
+        // Sleep until the next timer or the next packet, whichever
+        // comes first (capped so shutdown is noticed promptly).
+        let now_us = router.shared.now_us();
+        let mut next: Option<u64> = None;
+        for h in &mut hosted {
+            if let Some(d) = h.wheel.next_due() {
+                next = Some(next.map_or(d, |n| n.min(d)));
+            }
+        }
+        let wait = match next {
+            Some(d) if d <= now_us => StdDuration::ZERO,
+            Some(d) => StdDuration::from_micros((d - now_us).min(20_000)),
+            None => StdDuration::from_millis(20),
+        };
+
+        let first = if wait.is_zero() {
+            rx.try_recv().ok()
+        } else {
+            match rx.recv_timeout(wait) {
+                Ok(p) => Some(p),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => return hosted,
+            }
+        };
+        if let Some(first) = first {
+            dispatch_packet(&mut hosted, first, &mut router, &snapshots);
+            // Drain whatever else arrived while we worked.
+            while let Ok(p) = rx.try_recv() {
+                dispatch_packet(&mut hosted, p, &mut router, &snapshots);
+            }
+        }
+    }
+}
+
+fn dispatch_packet<M: Mechanism<StampedValue>>(
+    hosted: &mut [Hosted<M>],
+    pkt: Packet<M>,
+    router: &mut Router<M>,
+    snapshots: &Arc<Vec<Mutex<NodeSnapshot>>>,
+) {
+    router.progress.inbox_depth[pkt.to.0 as usize].fetch_sub(1, Ordering::Relaxed);
+    let Some(h) = hosted.iter_mut().find(|h| h.id == pkt.to) else {
+        return;
+    };
+    dispatch(
+        h,
+        Ev::Message {
+            from: pkt.from,
+            msg: pkt.msg,
+        },
+        router,
+        snapshots,
+    );
+}
+
+/// Runs one event through a hosted node and applies its effects: armed
+/// timers to the wheel, cancelled timers out of it, outbound messages
+/// into the fabric, fresh counters into the progress atomics and the
+/// node's snapshot.
+fn dispatch<M: Mechanism<StampedValue>>(
+    h: &mut Hosted<M>,
+    ev: Ev<M>,
+    router: &mut Router<M>,
+    snapshots: &Arc<Vec<Mutex<NodeSnapshot>>>,
+) {
+    let now = SimTime::from_micros(router.shared.now_us());
+    let (mech, header_bytes) = match &h.proc_ {
+        StoreProc::Server(s) => (s.mech().clone(), s.header_bytes()),
+        StoreProc::Client(c) => (c.mech().clone(), c.header_bytes()),
+    };
+    let mut ctx = RtCtx::new(h.id, now, &mut h.rng, mech, header_bytes, &mut h.next_timer);
+    match (&mut h.proc_, ev) {
+        (StoreProc::Server(s), Ev::Start) => s.on_start(&mut ctx),
+        (StoreProc::Server(s), Ev::Message { from, msg }) => s.on_message(&mut ctx, from, msg),
+        (StoreProc::Server(s), Ev::Timer(t)) => s.on_timer(&mut ctx, t),
+        (StoreProc::Client(c), Ev::Start) => c.on_start(&mut ctx),
+        (StoreProc::Client(c), Ev::Message { from, msg }) => c.on_message(&mut ctx, from, msg),
+        (StoreProc::Client(c), Ev::Timer(t)) => c.on_timer(&mut ctx, t),
+    }
+    let RtCtx {
+        outbox,
+        timer_sets,
+        timer_cancels,
+        ..
+    } = ctx;
+    for (due, t) in timer_sets {
+        h.wheel.schedule(due, t);
+    }
+    for t in timer_cancels {
+        h.wheel.cancel(t);
+    }
+    for (to, msg) in outbox {
+        router.route(h.id, to, msg);
+    }
+
+    // Progress + snapshot bookkeeping.
+    let id = h.id.0 as usize;
+    router.progress.events[id].fetch_add(1, Ordering::Relaxed);
+    router.progress.last_event_micros[id].store(now.as_micros().max(1), Ordering::Relaxed);
+    let mut snap = snapshots[id].lock().expect("snapshot lock");
+    snap.events += 1;
+    match &h.proc_ {
+        StoreProc::Server(s) => {
+            snap.wire = s.wire_stats();
+            snap.server = Some(s.stats());
+        }
+        StoreProc::Client(c) => {
+            snap.wire = c.wire_stats();
+            let stats = c.stats();
+            let ops = stats.get_latency.count() + stats.put_latency.count();
+            if ops > h.last_ops {
+                router
+                    .progress
+                    .ops_ok
+                    .fetch_add(ops - h.last_ops, Ordering::Relaxed);
+                h.last_ops = ops;
+            }
+            snap.ops_ok = ops;
+            snap.cycles_done = c.cycles_done();
+            snap.done = c.is_done();
+            if c.is_done() && !h.was_done {
+                h.was_done = true;
+                router.progress.done_clients.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Holds back latency-sampled packets until their due instant, then
+/// delivers them. Runs on its own thread whenever the fault plan has a
+/// delay window.
+fn delayer_loop<M: Mechanism<StampedValue>>(
+    rx: Receiver<(u64, Packet<M>)>,
+    shared: Arc<Shared>,
+    progress: Arc<Progress>,
+    slots: Vec<SyncSender<Packet<M>>>,
+) {
+    let mut wheel: TimerWheel<u64> = TimerWheel::new();
+    let mut parked: BTreeMap<u64, Packet<M>> = BTreeMap::new();
+    let mut seq = 0u64;
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let now = shared.now_us();
+        while let Some(s) = wheel.pop_due(now) {
+            if let Some(p) = parked.remove(&s) {
+                deliver(&progress, &slots, p);
+            }
+        }
+        let wait_us = wheel
+            .next_due()
+            .map(|d| d.saturating_sub(now).min(10_000))
+            .unwrap_or(10_000)
+            .max(100);
+        match rx.recv_timeout(StdDuration::from_micros(wait_us)) {
+            Ok((due, pkt)) => {
+                wheel.schedule(due, seq);
+                parked.insert(seq, pkt);
+                seq += 1;
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! # runtime — the kvstore protocol on real threads
+//!
+//! The deterministic simulator (`simnet`) is one driver for the store's
+//! protocol logic; this crate is the other. The *same*
+//! [`StoreNode`](kvstore::node::StoreNode) and
+//! [`ClientNode`](kvstore::client::ClientNode) code — written against
+//! [`kvstore::ctx::NodeCtx`] — runs here on std threads and mpsc
+//! channels (no async runtime, nothing vendored beyond std):
+//!
+//! * one event-loop thread per server, clients partitioned across a
+//!   configurable number of worker threads (the bench's 1/4/8 knob);
+//! * bounded inboxes — a full inbox is wire loss, which the protocol's
+//!   timeouts, retries and anti-entropy already absorb, so no
+//!   backpressure deadlock is possible;
+//! * a per-node [`TimerWheel`](wheel::TimerWheel) on the monotonic
+//!   clock, with the simulator's same-instant FIFO semantics (and real
+//!   cancellation, which the simulator approximates by ignoring fires);
+//! * per-node seeded [`SimRng`](simnet::SimRng) streams forked exactly
+//!   like the simulator forks them;
+//! * an optional loss/latency-injecting channel layer ([`FaultPlan`])
+//!   so fault scenarios carry over from the simulated suites;
+//! * a stall watchdog ([`watchdog`]) that fails a wedged run fast with
+//!   per-node inbox depths and last-event timestamps.
+//!
+//! What this buys over the simulator is *real* concurrency: sustained
+//! throughput and tail latency under hundreds of concurrent closed-loop
+//! clients (`crates/bench/benches/runtime.rs`), while the simulator
+//! remains the conformance oracle — `tests/conformance.rs` runs a
+//! seeded workload on both drivers and asserts both fleets converge to
+//! AAE-equivalent, residual-audit-clean, anomaly-free states.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fleet;
+pub mod rtctx;
+pub mod watchdog;
+pub mod wheel;
+
+pub use fleet::{FleetStats, NodeSnapshot, RunReport, RuntimeFleet};
+pub use rtctx::RtCtx;
+pub use watchdog::{NodeDiag, Progress, StallReport};
+pub use wheel::TimerWheel;
+
+use kvstore::config::{ClientConfig, StoreConfig};
+use std::time::Duration as StdDuration;
+
+/// Network fault injection for the threaded runtime: the runtime
+/// analogue of `simnet::NetworkConfig`'s loss/latency knobs, applied at
+/// routing time while a run is active (faults are switched off for the
+/// quiesce phase so the fleet can settle).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Probability of dropping each inter-node message.
+    pub drop_probability: f64,
+    /// When set, each inter-node message is held back for a uniform
+    /// random delay in `[lo, hi]` microseconds.
+    pub delay_micros: Option<(u64, u64)>,
+    /// Server node indices whose worker threads wedge on purpose —
+    /// never start, never drain their inbox. For watchdog tests.
+    pub hang_servers: Vec<usize>,
+}
+
+impl FaultPlan {
+    /// True when the plan injects nothing (routing can skip the fault
+    /// path entirely).
+    pub fn is_noop(&self) -> bool {
+        self.drop_probability <= 0.0 && self.delay_micros.is_none() && self.hang_servers.is_empty()
+    }
+}
+
+/// Complete configuration of a [`RuntimeFleet`] run.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Number of replica servers (one event-loop thread each).
+    pub servers: usize,
+    /// Number of closed-loop client sessions.
+    pub clients: usize,
+    /// Worker threads the client sessions are partitioned across.
+    pub client_workers: usize,
+    /// Read-modify-write cycles per client.
+    pub cycles_per_client: u32,
+    /// Store protocol parameters (shared with the simulator driver).
+    pub store: StoreConfig,
+    /// Client session parameters (its `cycles` field is overridden by
+    /// `cycles_per_client`).
+    pub client: ClientConfig,
+    /// Inbox slots per hosted node; a full inbox drops (wire loss).
+    pub inbox_capacity: usize,
+    /// Network fault injection while the run is active.
+    pub faults: FaultPlan,
+    /// The watchdog declares a stall after this long without a single
+    /// client op completing.
+    pub stall_budget: StdDuration,
+    /// Watchdog polling interval.
+    pub watchdog_poll: StdDuration,
+    /// Hard wall-clock stop for the whole run.
+    pub run_budget: StdDuration,
+    /// Fault-free settling budget after the last client finishes,
+    /// before threads are stopped (lets repairs, handoffs and AAE
+    /// land). The fleet exits the quiesce early once repair activity
+    /// has been quiet for [`settle_window`](Self::settle_window).
+    pub quiesce: StdDuration,
+    /// How long the fleet-wide repair counters (AAE divergence, read
+    /// repairs, handoffs, transfers) must sit still before the quiesce
+    /// is considered settled.
+    pub settle_window: StdDuration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            servers: 3,
+            clients: 8,
+            client_workers: 2,
+            cycles_per_client: 20,
+            store: StoreConfig::default(),
+            client: ClientConfig::default(),
+            inbox_capacity: 1024,
+            faults: FaultPlan::default(),
+            stall_budget: StdDuration::from_secs(10),
+            watchdog_poll: StdDuration::from_millis(25),
+            run_budget: StdDuration::from_secs(120),
+            quiesce: StdDuration::from_millis(500),
+            settle_window: StdDuration::from_millis(400),
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! [`TimerWheel`]: a monotonic-clock timer queue with simulator-matching
+//! same-instant semantics.
+//!
+//! The deterministic simulator documents (and tests, in `simnet`'s
+//! `queue.rs`) that events scheduled for the same instant fire in
+//! insertion order. The threaded runtime must preserve that contract so
+//! node logic written against [`kvstore::ctx::NodeCtx`] behaves the same
+//! on both drivers; the shared property test in `tests/timer_order.rs`
+//! drives both structures with one schedule and compares pop orders.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// A min-heap timer queue keyed on `(due_micros, insertion_seq)`.
+///
+/// Unlike the simulator's event queue, the wheel supports true
+/// cancellation: cancelled items are tombstoned and lazily skipped, so a
+/// [`NodeCtx::cancel_timer`](kvstore::ctx::NodeCtx::cancel_timer) on the
+/// runtime actually unschedules the wakeup instead of firing it into a
+/// no-op.
+#[derive(Debug)]
+pub struct TimerWheel<T: Ord + Copy> {
+    heap: BinaryHeap<Reverse<(u64, u64, T)>>,
+    cancelled: BTreeSet<T>,
+    seq: u64,
+}
+
+impl<T: Ord + Copy> Default for TimerWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Ord + Copy> TimerWheel<T> {
+    /// An empty wheel.
+    pub fn new() -> Self {
+        TimerWheel {
+            heap: BinaryHeap::new(),
+            cancelled: BTreeSet::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `item` to fire at `due_micros` (absolute, on whatever
+    /// monotonic clock the caller uses). Items due at the same instant
+    /// pop in the order they were scheduled.
+    pub fn schedule(&mut self, due_micros: u64, item: T) {
+        // Re-scheduling a previously cancelled id revives it.
+        self.cancelled.remove(&item);
+        self.heap.push(Reverse((due_micros, self.seq, item)));
+        self.seq += 1;
+    }
+
+    /// Unschedules `item`; a no-op if it is not pending.
+    pub fn cancel(&mut self, item: T) {
+        self.cancelled.insert(item);
+    }
+
+    /// The due time of the earliest live timer, if any. Prunes cancelled
+    /// entries from the top of the heap as a side effect.
+    pub fn next_due(&mut self) -> Option<u64> {
+        while let Some(Reverse((due, _, item))) = self.heap.peek().copied() {
+            if self.cancelled.remove(&item) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(due);
+        }
+        None
+    }
+
+    /// Pops the earliest live timer due at or before `now_micros`.
+    pub fn pop_due(&mut self, now_micros: u64) -> Option<T> {
+        match self.next_due() {
+            Some(due) if due <= now_micros => {
+                let Reverse((_, _, item)) = self.heap.pop().expect("peeked");
+                Some(item)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of entries in the heap, cancelled tombstones included.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no entries remain (live or tombstoned).
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_insertion_order() {
+        let mut w = TimerWheel::new();
+        w.schedule(30, 'c');
+        w.schedule(10, 'a');
+        w.schedule(10, 'b');
+        assert_eq!(w.pop_due(5), None);
+        assert_eq!(w.pop_due(10), Some('a'));
+        assert_eq!(w.pop_due(10), Some('b'));
+        assert_eq!(w.pop_due(10), None);
+        assert_eq!(w.pop_due(30), Some('c'));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cancel_removes_and_reschedule_revives() {
+        let mut w = TimerWheel::new();
+        w.schedule(10, 1u32);
+        w.schedule(20, 2u32);
+        w.cancel(1);
+        assert_eq!(w.next_due(), Some(20));
+        assert_eq!(w.pop_due(100), Some(2));
+        assert_eq!(w.pop_due(100), None);
+        w.schedule(5, 1);
+        assert_eq!(w.pop_due(100), Some(1));
+    }
+}

@@ -1,0 +1,216 @@
+//! Cross-backend conformance: the same seeded workload, run once on
+//! the deterministic simulator and once on the threaded runtime, must
+//! leave both fleets in AAE-equivalent, oracle-clean states.
+//!
+//! "Equivalent" here is *protocol-level*, not bit-level — the threaded
+//! driver has real wall-clock interleavings — so the assertions are the
+//! store's own convergence and safety audits:
+//!
+//! * every client finished its cycles;
+//! * all servers gossiped to one ring view;
+//! * each server pair's shared Merkle summaries agree leaf-for-leaf
+//!   (the anti-entropy definition of "replicas converged");
+//! * no server holds a key outside its preference list;
+//! * after the harness converge, the oracle audit finds zero lost
+//!   updates and zero false concurrency — on both drivers.
+//!
+//! `RUNTIME_CONFORMANCE_SEEDS` widens the seed sweep for soak lanes.
+
+use std::time::Duration as StdDuration;
+
+use dvv::mechanisms::DvvMechanism;
+use dvv::ReplicaId;
+use kvstore::cluster::{Cluster, ClusterConfig};
+use kvstore::config::{ClientConfig, StoreConfig};
+use runtime::{FaultPlan, RuntimeConfig, RuntimeFleet};
+use simnet::Duration;
+
+const SERVERS: usize = 4;
+const CLIENTS: usize = 12;
+const CYCLES: u32 = 6;
+
+fn store_config() -> StoreConfig {
+    StoreConfig {
+        anti_entropy_interval: Duration::from_millis(25),
+        gossip_interval: Duration::from_millis(25),
+        handoff_interval: Duration::from_millis(30),
+        ..StoreConfig::default()
+    }
+}
+
+fn client_config() -> ClientConfig {
+    ClientConfig {
+        key_count: 16,
+        think_time: Duration::from_millis(1),
+        ..ClientConfig::default()
+    }
+}
+
+fn runtime_config() -> RuntimeConfig {
+    RuntimeConfig {
+        servers: SERVERS,
+        clients: CLIENTS,
+        client_workers: 3,
+        cycles_per_client: CYCLES,
+        store: store_config(),
+        client: client_config(),
+        faults: FaultPlan {
+            drop_probability: 0.03,
+            delay_micros: Some((100, 400)),
+            hang_servers: vec![],
+        },
+        stall_budget: StdDuration::from_secs(10),
+        run_budget: StdDuration::from_secs(60),
+        // Settle budget, not a fixed sleep: the fleet exits early once
+        // repair activity has been quiet for `settle_window`.
+        quiesce: StdDuration::from_secs(12),
+        settle_window: StdDuration::from_millis(600),
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Seeds to sweep: one by default, more under `RUNTIME_CONFORMANCE_SEEDS`
+/// (the nightly soak lane sets it).
+fn seeds() -> Vec<u64> {
+    let n: u64 = std::env::var("RUNTIME_CONFORMANCE_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    (0..n).map(|i| 0xC0DE + i * 101).collect()
+}
+
+/// Runs the seeded workload on the threaded runtime and applies the
+/// full audit stack.
+fn audit_runtime(seed: u64) {
+    let mut fleet = RuntimeFleet::new(seed, DvvMechanism, runtime_config());
+    let report = match fleet.run() {
+        Ok(r) => r,
+        Err(stall) => panic!("seed {seed}: runtime stalled:\n{stall}"),
+    };
+    assert!(report.all_done, "seed {seed}: clients left unfinished");
+    assert_eq!(
+        report.ops_ok,
+        fleet.latency_report().get.count() + fleet.latency_report().put.count(),
+        "seed {seed}: live op counter diverged from client histograms"
+    );
+
+    // One ring view everywhere.
+    let digest0 = fleet.server(0).view_digest();
+    for i in 1..SERVERS {
+        assert_eq!(
+            fleet.server(i).view_digest(),
+            digest0,
+            "seed {seed}: server {i} view digest diverged"
+        );
+    }
+
+    // AAE equivalence: each pair's shared summaries agree leaf-for-leaf.
+    for i in 0..SERVERS {
+        for j in (i + 1)..SERVERS {
+            let a = fleet.server(i).rebuild_shared_summary(ReplicaId(j as u32));
+            let b = fleet.server(j).rebuild_shared_summary(ReplicaId(i as u32));
+            if a.leaves() != b.leaves() {
+                let al: std::collections::BTreeMap<_, _> = a.leaves().into_iter().collect();
+                let bl: std::collections::BTreeMap<_, _> = b.leaves().into_iter().collect();
+                let mut detail = String::new();
+                for (k, h) in &al {
+                    if bl.get(k) != Some(h) {
+                        detail.push_str(&format!(
+                            "\n  key {:?}: {i}={:?} vs {j}={:?}",
+                            String::from_utf8_lossy(k),
+                            fleet.server(i).data().get(k),
+                            fleet.server(j).data().get(k),
+                        ));
+                    }
+                }
+                for k in bl.keys() {
+                    if !al.contains_key(k) {
+                        detail.push_str(&format!(
+                            "\n  key {:?}: missing on {i}",
+                            String::from_utf8_lossy(k)
+                        ));
+                    }
+                }
+                let diag: Vec<String> = (0..SERVERS)
+                    .map(|s| {
+                        let st = fleet.server(s).stats();
+                        format!(
+                            "server {s}: rounds={} divergent={}",
+                            st.aae_rounds, st.aae_divergent
+                        )
+                    })
+                    .collect();
+                panic!(
+                    "seed {seed}: servers {i}/{j} not AAE-equivalent after quiesce\n{}\ndiffering keys:{detail}",
+                    diag.join("\n")
+                );
+            }
+        }
+    }
+
+    // No data outside ownership.
+    let residuals = fleet.residual_copies();
+    assert!(
+        residuals.is_empty(),
+        "seed {seed}: residual copies after quiesce: {residuals:?}"
+    );
+
+    // Oracle-clean after harness converge, like the simulated suites.
+    fleet.converge();
+    let anomalies = fleet.anomaly_report();
+    assert_eq!(
+        anomalies.lost_updates, 0,
+        "seed {seed}: runtime lost updates: {anomalies:?}"
+    );
+    assert_eq!(
+        anomalies.false_concurrency, 0,
+        "seed {seed}: runtime false concurrency: {anomalies:?}"
+    );
+    assert!(anomalies.acked_writes > 0, "seed {seed}: no writes acked");
+
+    // The wire ledger folded from live snapshots matches the
+    // authoritative post-run fold.
+    assert_eq!(
+        fleet.stats().wire_report(),
+        fleet.wire_report(),
+        "seed {seed}: live wire fold diverged from node ledgers"
+    );
+}
+
+/// Runs the same seeded workload shape on the simulator and applies the
+/// same oracle audit — the baseline the runtime must match.
+fn audit_sim(seed: u64) {
+    let mut cluster = Cluster::new(
+        seed,
+        DvvMechanism,
+        ClusterConfig {
+            servers: SERVERS,
+            clients: CLIENTS,
+            cycles_per_client: CYCLES,
+            store: store_config(),
+            client: client_config(),
+            ..ClusterConfig::default()
+        },
+    );
+    cluster.run();
+    cluster.run_for(Duration::from_millis(1500));
+    cluster.converge();
+    let anomalies = cluster.anomaly_report();
+    assert_eq!(
+        anomalies.lost_updates, 0,
+        "seed {seed}: simulator lost updates: {anomalies:?}"
+    );
+    assert_eq!(
+        anomalies.false_concurrency, 0,
+        "seed {seed}: simulator false concurrency: {anomalies:?}"
+    );
+    assert!(anomalies.acked_writes > 0, "seed {seed}: no writes acked");
+}
+
+#[test]
+fn threaded_runtime_matches_simulator_audits() {
+    for seed in seeds() {
+        audit_sim(seed);
+        audit_runtime(seed);
+    }
+}

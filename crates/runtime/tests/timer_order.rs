@@ -1,0 +1,97 @@
+//! Same-instant timer ordering, shared across both drivers.
+//!
+//! `simnet::EventQueue` documents that entries pushed for the same
+//! instant pop in push order (`(time, seq)` tie-break). The runtime's
+//! [`TimerWheel`] must match, or protocol code that arms several timers
+//! in one dispatch would observe different interleavings across
+//! drivers. The property test here drives *both* structures with one
+//! random schedule — duplicate instants deliberately likely — and
+//! asserts identical pop orders.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use runtime::TimerWheel;
+use simnet::queue::EventQueue;
+use simnet::SimTime;
+
+proptest! {
+    /// One schedule in, identical total order out of both drivers.
+    #[test]
+    fn wheel_matches_event_queue(times in vec(0u64..8, 1..64)) {
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        let mut wheel: TimerWheel<usize> = TimerWheel::new();
+        for (label, &t) in times.iter().enumerate() {
+            queue.push(SimTime::from_micros(t), label);
+            wheel.schedule(t, label);
+        }
+        let mut q_order = Vec::new();
+        while let Some((_, label)) = queue.pop() {
+            q_order.push(label);
+        }
+        let mut w_order = Vec::new();
+        while let Some(label) = wheel.pop_due(u64::MAX) {
+            w_order.push(label);
+        }
+        prop_assert_eq!(q_order, w_order);
+    }
+
+    /// Cancellation only removes the cancelled items; survivors keep
+    /// the queue-conformant order.
+    #[test]
+    fn cancelled_timers_never_fire(
+        times in vec(0u64..8, 1..48),
+        cancel_mask in vec(any::<bool>(), 48),
+    ) {
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        let mut wheel: TimerWheel<usize> = TimerWheel::new();
+        for (label, &t) in times.iter().enumerate() {
+            queue.push(SimTime::from_micros(t), label);
+            wheel.schedule(t, label);
+        }
+        for (label, _) in times.iter().enumerate() {
+            if cancel_mask[label] {
+                wheel.cancel(label);
+            }
+        }
+        let mut expect = Vec::new();
+        while let Some((_, label)) = queue.pop() {
+            if !cancel_mask[label] {
+                expect.push(label);
+            }
+        }
+        let mut got = Vec::new();
+        while let Some(label) = wheel.pop_due(u64::MAX) {
+            got.push(label);
+        }
+        prop_assert_eq!(expect, got);
+    }
+}
+
+/// The contract in its smallest form: three timers armed for one
+/// instant fire in arm order on both drivers.
+#[test]
+fn same_instant_fifo() {
+    let mut queue: EventQueue<&str> = EventQueue::new();
+    let mut wheel: TimerWheel<&str> = TimerWheel::new();
+    for label in ["first", "second", "third"] {
+        queue.push(SimTime::from_micros(5), label);
+        wheel.schedule(5, label);
+    }
+    for expect in ["first", "second", "third"] {
+        assert_eq!(queue.pop().map(|(_, l)| l), Some(expect));
+        assert_eq!(wheel.pop_due(5), Some(expect));
+    }
+}
+
+/// Nothing fires before its due instant.
+#[test]
+fn respects_due_time() {
+    let mut wheel: TimerWheel<u32> = TimerWheel::new();
+    wheel.schedule(100, 1);
+    wheel.schedule(50, 2);
+    assert_eq!(wheel.pop_due(49), None);
+    assert_eq!(wheel.next_due(), Some(50));
+    assert_eq!(wheel.pop_due(50), Some(2));
+    assert_eq!(wheel.pop_due(99), None);
+    assert_eq!(wheel.pop_due(100), Some(1));
+}

@@ -11,6 +11,23 @@ use crate::trace::{Trace, TraceEvent};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerId(u64);
 
+impl TimerId {
+    /// Constructs a timer id from its raw counter value. Timer ids only
+    /// need to be unique per node, so drivers other than [`Simulation`]
+    /// (which allocates from a global counter via
+    /// [`ProcessCtx::set_timer`]) can mint them from per-node counters.
+    #[must_use]
+    pub fn from_raw(raw: u64) -> Self {
+        TimerId(raw)
+    }
+
+    /// The raw counter value behind this id.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 /// A deterministic state machine hosted by the simulation.
 ///
 /// Processes communicate only through messages and timers; all

@@ -3,13 +3,13 @@
 # waiting on (or having access to) the hosted runners.
 #
 #   scripts/ci_local.sh              # the PR gate: build-test, elastic,
-#                                    #   examples, bench-baseline lanes
+#                                    #   examples, runtime, bench lanes
 #   scripts/ci_local.sh --soak       # additionally the nightly soak lane
 #                                    #   (PROPTEST_CASES=1024 + extra
 #                                    #   churn seeds)
 #   scripts/ci_local.sh --lane elastic   # just one lane
 #
-# Lanes: build-test, elastic, examples, bench, soak.
+# Lanes: build-test, elastic, examples, runtime, bench, soak.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -70,6 +70,13 @@ if runs_lane examples; then
     cargo run -q --release --bin figures
 fi
 
+if runs_lane runtime; then
+    banner "runtime"
+    cargo test -p runtime --test timer_order -- --nocapture
+    cargo test -p runtime --test watchdog -- --nocapture
+    cargo test -p runtime --test conformance -- --nocapture
+fi
+
 if runs_lane bench; then
     banner "bench-baseline"
     CRITERION_JSON_OUT="$PWD/BENCH_membership.json" \
@@ -80,8 +87,10 @@ if runs_lane bench; then
         cargo bench --bench aae -- --quick
     CRITERION_JSON_OUT="$PWD/BENCH_wire.json" \
         cargo bench --bench wire -- --quick
+    CRITERION_JSON_OUT="$PWD/BENCH_runtime.json" \
+        cargo bench --bench runtime -- --quick
     echo "baselines written to BENCH_membership.json / BENCH_store.json /" \
-         "BENCH_aae.json / BENCH_wire.json"
+         "BENCH_aae.json / BENCH_wire.json / BENCH_runtime.json"
     ./scripts/bench_compare.sh
 fi
 
@@ -112,6 +121,10 @@ if runs_lane soak; then
         cargo test -p kvstore --test overlap -- --nocapture
         cargo test -p kvstore --test aae_oracle -- --nocapture
     '
+    # cross-backend conformance at soak breadth: several seeds so rare
+    # thread interleavings get real coverage
+    RUNTIME_CONFORMANCE_SEEDS="${RUNTIME_CONFORMANCE_SEEDS:-8}" \
+        cargo test -p runtime --test conformance -- --nocapture
 fi
 
 echo
