@@ -16,7 +16,9 @@ use super::{merge_siblings, Mechanism, WriteOrigin};
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CausalHistoryMechanism;
 
-impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash> Mechanism<V> for CausalHistoryMechanism {
+impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash + Send + 'static> Mechanism<V>
+    for CausalHistoryMechanism
+{
     type State = Vec<(CausalHistory<ReplicaId>, V)>;
     type Context = CausalHistory<ReplicaId>;
 

@@ -30,7 +30,9 @@ use super::{Mechanism, WriteOrigin};
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DvvMechanism;
 
-impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash> Mechanism<V> for DvvMechanism {
+impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash + Send + 'static> Mechanism<V>
+    for DvvMechanism
+{
     type State = Vec<Tagged<ReplicaId, V>>;
     type Context = VersionVector<ReplicaId>;
 

@@ -16,7 +16,7 @@ use super::{Mechanism, WriteOrigin};
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DvvSetMechanism;
 
-impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash + Encode> Mechanism<V>
+impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash + Send + 'static + Encode> Mechanism<V>
     for DvvSetMechanism
 {
     type State = DvvSet<ReplicaId, V>;

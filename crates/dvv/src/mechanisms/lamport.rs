@@ -18,7 +18,9 @@ pub struct LamportMechanism;
 /// Per-key state: the winning version's timestamp, writer, and value.
 pub type LamportState<V> = Option<(u64, ClientId, V)>;
 
-impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash> Mechanism<V> for LamportMechanism {
+impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash + Send + 'static> Mechanism<V>
+    for LamportMechanism
+{
     type State = LamportState<V>;
     type Context = u64;
 

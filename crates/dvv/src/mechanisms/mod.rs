@@ -83,7 +83,9 @@ impl WriteOrigin {
 pub trait Mechanism<V: Clone>: Clone + Debug {
     /// Complete per-key state at one replica (clocks and values).
     /// `Hash`/`Eq` support anti-entropy fingerprints and read repair.
-    type State: Clone + Debug + Default + PartialEq + core::hash::Hash;
+    /// `Send + 'static` lets states cross thread boundaries in the
+    /// threaded runtime driver and live behind boxed storage engines.
+    type State: Clone + Debug + Default + PartialEq + core::hash::Hash + Send + 'static;
     /// What a reader gets besides the values, and must echo on write.
     type Context: Clone + Debug + Default;
 

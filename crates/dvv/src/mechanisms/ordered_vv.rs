@@ -178,7 +178,9 @@ impl<A: Actor + Encode> Encode for OrderedVv<A> {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OrderedVvMechanism;
 
-impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash> Mechanism<V> for OrderedVvMechanism {
+impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash + Send + 'static> Mechanism<V>
+    for OrderedVvMechanism
+{
     type State = Vec<(OrderedVv<ReplicaId>, V)>;
     type Context = OrderedVv<ReplicaId>;
 

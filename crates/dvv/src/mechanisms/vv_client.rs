@@ -84,7 +84,9 @@ impl VvClientMechanism {
     }
 }
 
-impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash> Mechanism<V> for VvClientMechanism {
+impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash + Send + 'static> Mechanism<V>
+    for VvClientMechanism
+{
     type State = Vec<(VersionVector<ClientId>, V)>;
     type Context = VersionVector<ClientId>;
 

@@ -19,7 +19,9 @@ use super::{merge_siblings, Mechanism, WriteOrigin};
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct VvServerMechanism;
 
-impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash> Mechanism<V> for VvServerMechanism {
+impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash + Send + 'static> Mechanism<V>
+    for VvServerMechanism
+{
     type State = Vec<(VersionVector<ReplicaId>, V)>;
     type Context = VersionVector<ReplicaId>;
 

@@ -30,7 +30,9 @@ pub type VveClock = (Dot<ReplicaId>, Vve<ReplicaId>);
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct VveMechanism;
 
-impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash> Mechanism<V> for VveMechanism {
+impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash + Send + 'static> Mechanism<V>
+    for VveMechanism
+{
     type State = Vec<(VveClock, V)>;
     type Context = Vve<ReplicaId>;
 

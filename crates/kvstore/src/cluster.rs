@@ -2,11 +2,16 @@
 //! the measurement surface used by tests, examples and benchmarks.
 
 use std::collections::BTreeSet;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
 
+use dvv::encode::Encode;
 use dvv::mechanisms::Mechanism;
 use dvv::{ClientId, ReplicaId};
 use ring::{MemberStatus, RingView};
 use simnet::{Duration, NetworkConfig, NodeId, Process, ProcessCtx, SimTime, Simulation, TimerId};
+use storage::{LogConfig, LogEngine, MemEngine, StorageEngine};
 use workloads::Histogram;
 
 use crate::client::ClientNode;
@@ -70,6 +75,68 @@ impl<M: Mechanism<StampedValue>> Process for StoreProc<M> {
                 c.on_timer(&mut sc, timer)
             }
         }
+    }
+}
+
+/// Builds the storage engine for a server slot — shared by initial
+/// construction and crash recovery, so a restarted node re-opens
+/// exactly the backend (and on-disk state) its predecessor wrote.
+/// Cloneable and thread-safe: the threaded runtime hands it to worker
+/// threads for in-thread respawn.
+pub struct EngineFactory<M: Mechanism<StampedValue>> {
+    #[allow(clippy::type_complexity)]
+    build: Arc<dyn Fn(usize) -> Box<dyn StorageEngine<M::State>> + Send + Sync>,
+}
+
+impl<M: Mechanism<StampedValue>> Clone for EngineFactory<M> {
+    fn clone(&self) -> Self {
+        EngineFactory {
+            build: Arc::clone(&self.build),
+        }
+    }
+}
+
+impl<M: Mechanism<StampedValue>> fmt::Debug for EngineFactory<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("EngineFactory(..)")
+    }
+}
+
+impl<M: Mechanism<StampedValue>> EngineFactory<M> {
+    /// Wraps an arbitrary engine builder.
+    pub fn new(
+        build: impl Fn(usize) -> Box<dyn StorageEngine<M::State>> + Send + Sync + 'static,
+    ) -> Self {
+        EngineFactory {
+            build: Arc::new(build),
+        }
+    }
+
+    /// The standard durable layout: one [`LogEngine`] per server slot at
+    /// `dir/node-<slot>.log`. Opening replays whatever a previous
+    /// incarnation durably synced there.
+    ///
+    /// # Panics
+    ///
+    /// The built closure panics if the log cannot be opened (harness
+    /// context: an unopenable disk is a test-environment failure).
+    pub fn log_in(dir: impl Into<PathBuf>, cfg: LogConfig) -> Self
+    where
+        M::State: Encode,
+    {
+        let dir = dir.into();
+        Self::new(move |slot| {
+            Box::new(
+                LogEngine::open(dir.join(format!("node-{slot}.log")), cfg)
+                    .expect("open log engine"),
+            )
+        })
+    }
+
+    /// Builds the engine for server slot `slot`.
+    #[must_use]
+    pub fn build(&self, slot: usize) -> Box<dyn StorageEngine<M::State>> {
+        (self.build)(slot)
     }
 }
 
@@ -190,9 +257,19 @@ pub struct Cluster<M: Mechanism<StampedValue>> {
     pending_leaves: BTreeSet<usize>,
     vnodes: u32,
     store_n: usize,
+    store_config: StoreConfig,
     deadline: SimTime,
     settle_budget: Duration,
     force_view_sync: bool,
+    /// The view servers boot with — what a crash-recovered node knows
+    /// before its in-band [`Msg::Rejoin`] catches it up.
+    genesis_view: RingView<ReplicaId>,
+    /// Per-slot storage engine builder; `None` means in-memory engines
+    /// (a crashed node then restarts empty — the diskless baseline).
+    engine_factory: Option<EngineFactory<M>>,
+    /// Server slots currently crashed: an inert husk holds the slot and
+    /// every link to it is severed until [`Cluster::restart_node`].
+    crashed: BTreeSet<usize>,
 }
 
 impl<M: Mechanism<StampedValue>> Cluster<M> {
@@ -201,8 +278,32 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
     /// default matches this constant).
     pub const VNODES: u32 = 32;
 
-    /// Builds a cluster. All randomness derives from `seed`.
+    /// Builds a cluster on in-memory storage engines. All randomness
+    /// derives from `seed`.
     pub fn new(seed: u64, mech: M, config: ClusterConfig) -> Self {
+        Self::build(seed, mech, config, None)
+    }
+
+    /// Builds a cluster whose servers store through engines built by
+    /// `factory` — the durable variant. A [`Cluster::crash_node`] /
+    /// [`Cluster::restart_node`] cycle then rebuilds the node from the
+    /// same factory, so a log-backed replica comes back with everything
+    /// it durably synced before the crash.
+    pub fn new_durable(
+        seed: u64,
+        mech: M,
+        config: ClusterConfig,
+        factory: EngineFactory<M>,
+    ) -> Self {
+        Self::build(seed, mech, config, Some(factory))
+    }
+
+    fn build(
+        seed: u64,
+        mech: M,
+        config: ClusterConfig,
+        engine_factory: Option<EngineFactory<M>>,
+    ) -> Self {
         assert!(config.servers > 0, "need at least one server");
         config.store.validate();
         assert!(
@@ -214,21 +315,29 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
         let replicas: Vec<ReplicaId> = (0..config.servers as u32).map(ReplicaId).collect();
         let view = RingView::from_members(replicas.iter().copied());
 
+        let engine = |slot: usize| -> Box<dyn StorageEngine<M::State>> {
+            match &engine_factory {
+                Some(f) => f.build(slot),
+                None => Box::new(MemEngine::new()),
+            }
+        };
         let mut procs: Vec<StoreProc<M>> = Vec::with_capacity(server_slots + config.clients);
         for r in &replicas {
-            procs.push(StoreProc::Server(StoreNode::new(
+            procs.push(StoreProc::Server(StoreNode::with_engine(
                 *r,
                 mech.clone(),
                 config.store,
                 view.clone(),
+                engine(r.0 as usize),
             )));
         }
         for spare in config.servers..server_slots {
-            procs.push(StoreProc::Server(StoreNode::dormant(
+            procs.push(StoreProc::Server(StoreNode::dormant_with_engine(
                 ReplicaId(spare as u32),
                 mech.clone(),
                 config.store,
                 view.clone(),
+                engine(spare),
             )));
         }
         for j in 0..config.clients {
@@ -246,6 +355,7 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
                 vnodes,
             )));
         }
+        let genesis_view = view.clone();
         Cluster {
             sim: Simulation::new(seed, config.network, procs),
             mech,
@@ -258,9 +368,13 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
             pending_leaves: BTreeSet::new(),
             vnodes,
             store_n: config.store.n,
+            store_config: config.store,
             deadline: SimTime::ZERO + config.deadline,
             settle_budget: config.membership_settle_budget,
             force_view_sync: config.force_view_sync,
+            genesis_view,
+            engine_factory,
+            crashed: BTreeSet::new(),
         }
     }
 
@@ -369,6 +483,9 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
     /// on the happy path of a settled membership change.
     fn debug_assert_views_converged(&self) {
         for &i in &self.members {
+            if self.crashed.contains(&i) {
+                continue; // a crashed member cannot gossip
+            }
             debug_assert_eq!(
                 self.server_node(i).view_digest(),
                 self.view.digest(),
@@ -492,13 +609,19 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
     pub fn await_membership(&mut self) -> bool {
         let target = self.view.digest();
         let settled = self.run_until_settled(self.settle_budget, |c| {
+            // crashed slots are excluded: they can neither drain nor
+            // converge until restarted
             c.pending_leaves
                 .iter()
+                .filter(|s| !c.crashed.contains(s))
                 .all(|&s| c.server_node(s).drain_complete())
-                && c.members.iter().all(|&i| {
-                    let s = c.server_node(i);
-                    s.view_digest() == target && s.transfer_backlog() == 0
-                })
+                && c.members
+                    .iter()
+                    .filter(|i| !c.crashed.contains(i))
+                    .all(|&i| {
+                        let s = c.server_node(i);
+                        s.view_digest() == target && s.transfer_backlog() == 0
+                    })
         });
         let leaves: Vec<usize> = std::mem::take(&mut self.pending_leaves)
             .into_iter()
@@ -506,6 +629,13 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
         let mut all_ok = settled;
         let mut final_wave = false;
         for slot in leaves {
+            if self.crashed.contains(&slot) {
+                // a crashed leaver can neither drain nor be re-admitted
+                // until it restarts; keep the leave pending
+                self.pending_leaves.insert(slot);
+                all_ok = false;
+                continue;
+            }
             if self.server_node(slot).drain_complete() {
                 // fully drained: retire the node and tombstone its entry
                 // so the departure survives every future merge
@@ -561,6 +691,7 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
                 let converged = self.run_until_settled(self.settle_budget, |c| {
                     c.members
                         .iter()
+                        .filter(|i| !c.crashed.contains(i))
                         .all(|&i| c.server_node(i).view_digest() == target)
                 });
                 all_ok = converged;
@@ -572,6 +703,108 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
             self.debug_assert_views_converged();
         }
         all_ok
+    }
+
+    /// Crashes server `slot` **with its disk**: the hosted node is
+    /// dropped on the spot — taking with it every in-memory structure
+    /// *and* whatever its storage engine had buffered past the last
+    /// group sync, exactly like a real power cut — an inert husk holds
+    /// the slot, every network link to it is severed, and the global
+    /// failure detector marks it down. The slot stays a ring member
+    /// (crash ≠ leave): its entry ages in peers' views until
+    /// [`Cluster::restart_node`] brings it back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not a member or mid-drain leaver, or is
+    /// already crashed.
+    pub fn crash_node(&mut self, slot: usize) {
+        assert!(
+            self.members.contains(&slot) || self.pending_leaves.contains(&slot),
+            "slot {slot} is not a serving member"
+        );
+        assert!(self.crashed.insert(slot), "slot {slot} is already crashed");
+        let who = ReplicaId(slot as u32);
+        // Dropping the node drops its engine with the un-synced tail
+        // still in user space: that tail is genuinely lost. The husk is
+        // dormant and fully disconnected — it can neither serve nor
+        // gossip.
+        let husk = StoreNode::dormant(
+            who,
+            self.mech.clone(),
+            self.store_config,
+            self.genesis_view.clone(),
+        );
+        *self.sim.process_mut(slot) = StoreProc::Server(husk);
+        for other in 0..(self.server_slots + self.clients) {
+            if other != slot {
+                let net = self.sim.network_mut();
+                net.block_link(NodeId(slot as u32), NodeId(other as u32));
+                net.block_link(NodeId(other as u32), NodeId(slot as u32));
+            }
+        }
+        self.set_replica_status(who, false);
+    }
+
+    /// Restarts a crashed server from its disk: rebuilds the node from
+    /// the cluster's engine factory — a log-backed engine replays its
+    /// durable record prefix on open — restores connectivity, and
+    /// re-enters the fleet **in band**: the control plane mints a fresh
+    /// `Up` incarnation and posts [`Msg::Rejoin`], which re-arms the
+    /// recovered node's periodic timers and lets gossip spread the
+    /// re-admission. No harness view synchronisation. Without an engine
+    /// factory the node restarts empty (diskless baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not crashed.
+    pub fn restart_node(&mut self, slot: usize) {
+        assert!(self.crashed.remove(&slot), "slot {slot} is not crashed");
+        let who = ReplicaId(slot as u32);
+        let engine: Box<dyn StorageEngine<M::State>> = match &self.engine_factory {
+            Some(f) => f.build(slot),
+            None => Box::new(MemEngine::new()),
+        };
+        let node = StoreNode::with_engine(
+            who,
+            self.mech.clone(),
+            self.store_config,
+            self.genesis_view.clone(),
+            engine,
+        );
+        *self.sim.process_mut(slot) = StoreProc::Server(node);
+        for other in 0..(self.server_slots + self.clients) {
+            if other != slot {
+                let net = self.sim.network_mut();
+                net.unblock_link(NodeId(slot as u32), NodeId(other as u32));
+                net.unblock_link(NodeId(other as u32), NodeId(slot as u32));
+            }
+        }
+        self.set_replica_status(who, true);
+        // The crash aborted any membership flow the node was mid-way
+        // through; the fresh `Up` incarnation supersedes it.
+        self.pending_joins.remove(&slot);
+        self.pending_leaves.remove(&slot);
+        self.members.insert(slot);
+        self.view.bump(&who, MemberStatus::Up);
+        let view = self.view.clone();
+        self.sim.post(NodeId(slot as u32), Msg::Rejoin { view });
+    }
+
+    /// Server slots currently crashed.
+    pub fn crashed_slots(&self) -> Vec<usize> {
+        self.crashed.iter().copied().collect()
+    }
+
+    /// Forces server `slot`'s storage engine to sync its buffered
+    /// writes — the graceful counterpart of [`Cluster::crash_node`]'s
+    /// drop-without-sync (tests use it to pin down exactly which prefix
+    /// a recovery must replay).
+    pub fn sync_server_storage(&mut self, slot: usize) {
+        match self.sim.process_mut(slot) {
+            StoreProc::Server(s) => s.sync_storage(),
+            StoreProc::Client(_) => panic!("node {slot} is a client"),
+        }
     }
 
     /// Adds the spare server slot `slot` to the ring **live** and

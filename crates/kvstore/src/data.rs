@@ -23,21 +23,30 @@
 //! rebuilds everything from scratch and compares (modulo the pending
 //! dirty refreshes, whose invariant it checks too), and is exercised by
 //! the incremental-vs-rebuild proptest oracle.
+//!
+//! The states themselves live *below* this index, behind the
+//! [`StorageEngine`] seam: the mutation doors forward state changes to
+//! the engine and keep only `(point, leaf)` metadata here, so the whole
+//! Merkle/arc-summary layer is backend-agnostic — an in-memory
+//! [`MemEngine`](storage::MemEngine) by default, or a durable
+//! [`LogEngine`](storage::LogEngine) whose replay-on-open rebuilds the
+//! store after a crash (see [`DataStore::with_engine`]).
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::hash::Hash;
 
 use ring::{arc_index, hash_key};
+use storage::{MemEngine, StorageEngine};
 
 use crate::merkle::{fingerprint, MerkleSummary};
 use crate::value::Key;
 
-/// One stored key: its state plus the cached derivatives every hot path
-/// would otherwise recompute (the ring hash point for ownership lookups,
-/// the state fingerprint for AAE leaves and transfer/handoff guards).
-#[derive(Clone, Debug)]
-struct Slot<S> {
-    state: S,
+/// The cached derivatives of one stored key that every hot path would
+/// otherwise recompute: the ring hash point for ownership lookups, and
+/// the state fingerprint for AAE leaves and transfer/handoff guards.
+/// The state itself lives in the storage engine.
+#[derive(Clone, Copy, Debug)]
+struct KeyMeta {
     /// `hash_key(key)` — stamped once when the key is first stored.
     point: u64,
     /// `fingerprint(state)` as of the last [`DataStore::flush`]; stale
@@ -54,16 +63,19 @@ fn arc_of(bounds: &[u64], point: u64) -> usize {
 
 /// A replica's per-key states plus the incrementally maintained per-arc
 /// Merkle summaries (see the module docs).
-#[derive(Clone, Debug)]
-pub struct DataStore<S> {
-    entries: BTreeMap<Key, Slot<S>>,
+#[derive(Debug)]
+pub struct DataStore<S: 'static> {
+    /// Where the states live; all state mutation goes through here.
+    engine: Box<dyn StorageEngine<S>>,
+    /// Per-key `(point, leaf)` metadata, parallel to the engine's keys.
+    index: BTreeMap<Key, KeyMeta>,
     /// The arc partition the summaries are keyed by — a copy of the
     /// current ring's [`ring::HashRing::arc_bounds`] (empty ⇒ one
     /// catch-all arc).
     bounds: Vec<u64>,
     /// One summary per arc, parallel to `bounds` (at least one).
     summaries: Vec<MerkleSummary>,
-    /// Keys written since the last [`DataStore::flush`]: their slot
+    /// Keys written since the last [`DataStore::flush`]: their cached
     /// `leaf` and summary entry are pending refresh. Keeping the write
     /// path to a set insert (instead of a state hash + summary update
     /// per write) is what lets the AAE index ride the client hot path
@@ -71,67 +83,122 @@ pub struct DataStore<S> {
     dirty: BTreeSet<Key>,
 }
 
-impl<S> Default for DataStore<S> {
-    fn default() -> Self {
+/// Cloning snapshots the engine ([`StorageEngine::snapshot`]): the copy
+/// is a detached in-memory image of the states — audits clone a store
+/// to flush it hypothetically — and shares no durability with the
+/// original.
+impl<S> Clone for DataStore<S> {
+    fn clone(&self) -> Self {
         DataStore {
-            entries: BTreeMap::new(),
-            bounds: Vec::new(),
-            summaries: vec![MerkleSummary::new()],
-            dirty: BTreeSet::new(),
+            engine: self.engine.snapshot(),
+            index: self.index.clone(),
+            bounds: self.bounds.clone(),
+            summaries: self.summaries.clone(),
+            dirty: self.dirty.clone(),
         }
     }
 }
 
-impl<S: Clone + Hash> DataStore<S> {
-    /// Creates an empty store with a single catch-all arc.
+impl<S: Clone + Send + 'static> Default for DataStore<S> {
+    fn default() -> Self {
+        Self::with_engine(Box::new(MemEngine::new()))
+    }
+}
+
+impl<S: Clone + Hash + Send + 'static> DataStore<S> {
+    /// Creates an empty in-memory store with a single catch-all arc.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
+}
 
+impl<S: Clone + Send + 'static> DataStore<S> {
+    /// Builds a store on top of `engine`, adopting whatever it already
+    /// holds (a durable engine arrives pre-populated from replay): all
+    /// adopted keys are stamped with their ring point and marked dirty,
+    /// so the first [`DataStore::flush`] — which re-partition runs —
+    /// fingerprints them into the summaries.
+    #[must_use]
+    pub fn with_engine(engine: Box<dyn StorageEngine<S>>) -> Self {
+        let mut index = BTreeMap::new();
+        let mut dirty = BTreeSet::new();
+        for (key, _) in engine.iter() {
+            index.insert(
+                key.clone(),
+                KeyMeta {
+                    point: hash_key(key),
+                    leaf: 0,
+                },
+            );
+            dirty.insert(key.clone());
+        }
+        DataStore {
+            engine,
+            index,
+            bounds: Vec::new(),
+            summaries: vec![MerkleSummary::new()],
+            dirty,
+        }
+    }
+
+    /// The backing engine's short name ("mem", "log").
+    #[must_use]
+    pub fn engine_kind(&self) -> &'static str {
+        self.engine.kind()
+    }
+
+    /// Forces buffered engine writes to durable storage (no-op for the
+    /// in-memory engine). Harness hook for graceful-shutdown scenarios.
+    pub fn sync_storage(&mut self) {
+        self.engine.sync();
+    }
+}
+
+impl<S: Clone + Hash + Send + 'static> DataStore<S> {
     /// The state stored for `key`, if any.
     #[must_use]
     pub fn get(&self, key: &[u8]) -> Option<&S> {
-        self.entries.get(key).map(|s| &s.state)
+        self.engine.get(key)
     }
 
     /// Whether `key` is stored.
     #[must_use]
     pub fn contains_key(&self, key: &[u8]) -> bool {
-        self.entries.contains_key(key)
+        self.index.contains_key(key)
     }
 
     /// Number of stored keys.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// Whether no keys are stored.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
     /// The stored keys, in order.
     pub fn keys(&self) -> impl Iterator<Item = &Key> {
-        self.entries.keys()
+        self.index.keys()
     }
 
     /// The stored states, in key order.
     pub fn values(&self) -> impl Iterator<Item = &S> {
-        self.entries.values().map(|s| &s.state)
+        self.engine.iter().map(|(_, s)| s)
     }
 
     /// `(key, state)` pairs in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&Key, &S)> {
-        self.entries.iter().map(|(k, s)| (k, &s.state))
+        self.engine.iter()
     }
 
     /// The cached ring hash point of `key`, if stored.
     #[must_use]
     pub fn point_of(&self, key: &[u8]) -> Option<u64> {
-        self.entries.get(key).map(|s| s.point)
+        self.index.get(key).map(|m| m.point)
     }
 
     /// The state fingerprint of `key`, if stored: the cached leaf, or a
@@ -139,11 +206,11 @@ impl<S: Clone + Hash> DataStore<S> {
     /// either way equal to `fingerprint(self.get(key))`.
     #[must_use]
     pub fn leaf_of(&self, key: &[u8]) -> Option<u64> {
-        self.entries.get(key).map(|s| {
+        self.index.get(key).map(|m| {
             if self.dirty.contains(key) {
-                fingerprint(&s.state)
+                fingerprint(self.engine.get(key).expect("indexed key is stored"))
             } else {
-                s.leaf
+                m.leaf
             }
         })
     }
@@ -156,23 +223,28 @@ impl<S: Clone + Hash> DataStore<S> {
     where
         S: Default,
     {
-        let slot = self.entries.entry(key.to_vec()).or_insert_with(|| Slot {
-            state: S::default(),
+        self.index.entry(key.to_vec()).or_insert_with(|| KeyMeta {
             point: hash_key(key),
             leaf: 0,
         });
-        f(&mut slot.state);
         if !self.dirty.contains(key) {
             self.dirty.insert(key.to_vec());
         }
-        &slot.state
+        let mut f = Some(f);
+        self.engine.apply(key, &mut S::default, &mut |state| {
+            if let Some(f) = f.take() {
+                f(state);
+            }
+        })
     }
 
     /// `(key, cached point, state)` triples in key order — lets range
     /// planning read every key's ring position without per-key lookups
     /// or rehashing.
     pub fn iter_points(&self) -> impl Iterator<Item = (&Key, u64, &S)> {
-        self.entries.iter().map(|(k, s)| (k, s.point, &s.state))
+        self.engine
+            .iter()
+            .map(move |(k, s)| (k, self.index[k].point, s))
     }
 
     /// Applies every pending dirty refresh: re-fingerprints each dirty
@@ -185,10 +257,16 @@ impl<S: Clone + Hash> DataStore<S> {
             return;
         }
         for key in std::mem::take(&mut self.dirty) {
-            if let Some(slot) = self.entries.get_mut(&key) {
-                slot.leaf = fingerprint(&slot.state);
-                self.summaries[arc_of(&self.bounds, slot.point)].set(key, slot.leaf);
-            }
+            let Some(state) = self.engine.get(&key) else {
+                continue;
+            };
+            let leaf = fingerprint(state);
+            let Some(meta) = self.index.get_mut(&key) else {
+                continue;
+            };
+            meta.leaf = leaf;
+            let point = meta.point;
+            self.summaries[arc_of(&self.bounds, point)].set(key, leaf);
         }
     }
 
@@ -201,10 +279,11 @@ impl<S: Clone + Hash> DataStore<S> {
     /// Removes `key` (and its summary leaf). Returns whether it was
     /// stored.
     pub fn remove(&mut self, key: &[u8]) -> bool {
-        match self.entries.remove(key) {
-            Some(slot) => {
+        match self.index.remove(key) {
+            Some(meta) => {
+                self.engine.remove(key);
                 self.dirty.remove(key);
-                self.summaries[arc_of(&self.bounds, slot.point)].remove(key);
+                self.summaries[arc_of(&self.bounds, meta.point)].remove(key);
                 true
             }
             None => false,
@@ -214,7 +293,8 @@ impl<S: Clone + Hash> DataStore<S> {
     /// Drops every key and empties all summaries (the arc partition is
     /// kept).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.engine.clear();
+        self.index.clear();
         self.dirty.clear();
         for s in &mut self.summaries {
             *s = MerkleSummary::new();
@@ -230,8 +310,8 @@ impl<S: Clone + Hash> DataStore<S> {
         self.flush();
         self.bounds = bounds;
         self.summaries = vec![MerkleSummary::new(); self.bounds.len().max(1)];
-        for (k, slot) in &self.entries {
-            self.summaries[arc_of(&self.bounds, slot.point)].set(k.clone(), slot.leaf);
+        for (k, meta) in &self.index {
+            self.summaries[arc_of(&self.bounds, meta.point)].set(k.clone(), meta.leaf);
         }
     }
 
@@ -260,32 +340,43 @@ impl<S: Clone + Hash> DataStore<S> {
     /// the pending dirty refreshes, whose own invariants are checked
     /// too). This is the safety net for the whole incremental-AAE
     /// refactor: any mutation path that forgets to mark its key dirty,
-    /// or any flush that misses one, shows up here.
+    /// or any flush that misses one, shows up here. It also audits the
+    /// engine seam: the index and the engine must hold the same keys.
     ///
     /// # Errors
     ///
     /// Returns a description of the first inconsistency found.
     pub fn audit_index(&self) -> Result<(), String> {
+        if self.engine.len() != self.index.len() {
+            return Err(format!(
+                "engine holds {} keys but index holds {}",
+                self.engine.len(),
+                self.index.len()
+            ));
+        }
         // what flush() would produce, computed without mutating self
         let mut maintained_after_flush = self.summaries.clone();
         for key in &self.dirty {
-            let Some(slot) = self.entries.get(key) else {
+            let (Some(meta), Some(state)) = (self.index.get(key), self.engine.get(key)) else {
                 return Err(format!("dirty key {key:?} is not stored"));
             };
-            maintained_after_flush[arc_of(&self.bounds, slot.point)]
-                .set_ref(key, fingerprint(&slot.state));
+            maintained_after_flush[arc_of(&self.bounds, meta.point)]
+                .set_ref(key, fingerprint(state));
         }
         let mut fresh = vec![MerkleSummary::new(); self.summaries.len()];
-        for (k, slot) in &self.entries {
+        for (k, state) in self.engine.iter() {
+            let Some(meta) = self.index.get(k) else {
+                return Err(format!("stored key {k:?} is not indexed"));
+            };
             let point = hash_key(k);
-            if slot.point != point {
-                return Err(format!("key {k:?}: cached point {} != {point}", slot.point));
+            if meta.point != point {
+                return Err(format!("key {k:?}: cached point {} != {point}", meta.point));
             }
-            let leaf = fingerprint(&slot.state);
-            if !self.dirty.contains(k) && slot.leaf != leaf {
+            let leaf = fingerprint(state);
+            if !self.dirty.contains(k) && meta.leaf != leaf {
                 return Err(format!(
                     "clean key {k:?}: cached leaf {} != {leaf}",
-                    slot.leaf
+                    meta.leaf
                 ));
             }
             fresh[arc_of(&self.bounds, point)].set(k.clone(), leaf);
@@ -310,7 +401,7 @@ impl<S: Clone + Hash> DataStore<S> {
     }
 }
 
-impl<'a, S: Clone + Hash> IntoIterator for &'a DataStore<S> {
+impl<'a, S: Clone + Hash + Send + 'static> IntoIterator for &'a DataStore<S> {
     type Item = (&'a Key, &'a S);
     type IntoIter = Box<dyn Iterator<Item = (&'a Key, &'a S)> + 'a>;
 
@@ -322,6 +413,7 @@ impl<'a, S: Clone + Hash> IntoIterator for &'a DataStore<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use storage::{scratch_dir, LogConfig, LogEngine};
 
     fn bounds4() -> Vec<u64> {
         vec![u64::MAX / 4, u64::MAX / 2, u64::MAX / 4 * 3, u64::MAX - 7]
@@ -423,5 +515,49 @@ mod tests {
         assert_eq!(d.arc_summary(0).unwrap().len(), 1);
         assert_eq!(d.arc_root(7), 0, "out-of-range arcs read as empty");
         assert!(d.arc_summary(7).is_none());
+    }
+
+    #[test]
+    fn clone_is_a_detached_snapshot() {
+        let mut d: DataStore<u64> = DataStore::new();
+        d.mutate(b"k", |s| *s = 1);
+        let mut snap = d.clone();
+        d.mutate(b"k", |s| *s = 2);
+        assert_eq!(snap.get(b"k"), Some(&1));
+        snap.flush();
+        snap.audit_index().expect("snapshot flushes independently");
+        assert!(d.has_pending_refresh(), "original dirtiness untouched");
+    }
+
+    #[test]
+    fn with_engine_adopts_replayed_contents_and_index_holds() {
+        let dir = scratch_dir("adopt");
+        let path = dir.join("replica.log");
+        {
+            let mut log: LogEngine<u64> =
+                LogEngine::open(&path, LogConfig::write_through()).unwrap();
+            for i in 0..20u8 {
+                log.apply(&[i], &mut || 0, &mut |s| *s = u64::from(i) * 3);
+            }
+        }
+        let engine: LogEngine<u64> = LogEngine::open(&path, LogConfig::default()).unwrap();
+        let mut d = DataStore::with_engine(Box::new(engine));
+        assert_eq!(d.engine_kind(), "log");
+        assert_eq!(d.len(), 20);
+        assert!(d.has_pending_refresh(), "adopted keys await fingerprinting");
+        d.repartition(bounds4());
+        d.audit_index().expect("consistent after adoption flush");
+        assert_eq!(d.get(&[7u8]), Some(&21));
+        // an equivalent store built by replaying the same writes in
+        // memory has identical leaves, roots and contents
+        let mut mem: DataStore<u64> = DataStore::new();
+        for i in 0..20u8 {
+            mem.mutate(&[i], |s| *s = u64::from(i) * 3);
+        }
+        mem.repartition(bounds4());
+        for idx in 0..4 {
+            assert_eq!(d.arc_root(idx), mem.arc_root(idx), "arc {idx} root");
+        }
+        std::fs::remove_dir_all(dir).ok();
     }
 }

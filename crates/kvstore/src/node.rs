@@ -231,6 +231,29 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         }
     }
 
+    /// Creates the replica server for `replica` on top of an existing
+    /// storage engine — the crash-recovery constructor. The engine
+    /// arrives pre-populated (a durable log replays itself on open);
+    /// re-partitioning fingerprints the adopted keys into the AAE
+    /// index, so the node is immediately AAE-capable over its recovered
+    /// contents. The node boots with the genesis `view` it was
+    /// originally configured with: everything newer reaches it in band,
+    /// through the [`Msg::Rejoin`] the control plane posts (which also
+    /// arms its periodic timers — a mid-run node gets no `on_start`).
+    pub fn with_engine(
+        replica: ReplicaId,
+        mech: M,
+        config: StoreConfig,
+        view: RingView<ReplicaId>,
+        engine: Box<dyn storage::StorageEngine<M::State>>,
+    ) -> Self {
+        let mut node = Self::new(replica, mech, config, view);
+        let mut data = DataStore::with_engine(engine);
+        data.repartition(node.ring.token_points().collect());
+        node.data = data;
+        node
+    }
+
     /// Creates a dormant spare server: hosted by the simulation but not a
     /// ring member. It ignores all traffic until a join announcement
     /// (delivered by the control plane) activates it.
@@ -241,6 +264,21 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         view: RingView<ReplicaId>,
     ) -> Self {
         let mut node = Self::new(replica, mech, config, view);
+        node.active = false;
+        node
+    }
+
+    /// A dormant spare on an existing storage engine — so a spare that
+    /// later joins (and everything transferred to it) persists, and a
+    /// crashed ex-spare recovers like any other member.
+    pub fn dormant_with_engine(
+        replica: ReplicaId,
+        mech: M,
+        config: StoreConfig,
+        view: RingView<ReplicaId>,
+        engine: Box<dyn storage::StorageEngine<M::State>>,
+    ) -> Self {
+        let mut node = Self::with_engine(replica, mech, config, view, engine);
         node.active = false;
         node
     }
@@ -275,6 +313,14 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     /// The per-key states this replica currently holds.
     pub fn data(&self) -> &DataStore<M::State> {
         &self.data
+    }
+
+    /// Forces the storage engine to make buffered writes durable —
+    /// harness hook for graceful-shutdown scenarios (a crash, by
+    /// contrast, is modelled by dropping the node *without* syncing,
+    /// losing whatever the durability interval had not yet flushed).
+    pub fn sync_storage(&mut self) {
+        self.data.sync_storage();
     }
 
     /// Whether this node is currently a serving cluster member.
@@ -1490,6 +1536,21 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         }
     }
 
+    /// Arms the periodic timers only if none are running — the rejoin
+    /// path of a crash-recovered node, which was built mid-run and got
+    /// no `on_start`.
+    fn ensure_periodic_timers(&mut self, ctx: &mut impl NodeCtx<M>) {
+        let armed = self.timers.values().any(|k| {
+            matches!(
+                k,
+                TimerKind::AntiEntropy | TimerKind::Handoff | TimerKind::Gossip
+            )
+        });
+        if !armed {
+            self.arm_periodic_timers(ctx);
+        }
+    }
+
     fn ensure_transfer_timer(&mut self, ctx: &mut impl NodeCtx<M>) {
         if self.timers.values().any(|k| *k == TimerKind::Transfer) {
             return;
@@ -2008,6 +2069,12 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 // here — no harness view synchronisation.
                 self.membership.mark_up(&self.replica);
                 self.merge_view(ctx, &view);
+                // A node that (re)booted mid-run — crash recovery —
+                // never saw `on_start`: arm its periodic timers here so
+                // the recovered replica gossips, anti-entropies and
+                // hands off again. Idempotent: a live node re-admitted
+                // after a timed-out drain already has them.
+                self.ensure_periodic_timers(ctx);
             }
             Msg::RingSummary { entries } => {
                 self.handle_ring_summary(ctx, from, &entries);

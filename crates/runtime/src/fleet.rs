@@ -20,7 +20,7 @@
 //! or wedge chosen servers to exercise the stall watchdog.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -29,24 +29,76 @@ use std::time::{Duration as StdDuration, Instant};
 use dvv::mechanisms::Mechanism;
 use dvv::{ClientId, ReplicaId};
 use kvstore::client::ClientNode;
-use kvstore::cluster::{LatencyReport, StoreProc};
+use kvstore::cluster::{EngineFactory, LatencyReport, StoreProc};
+use kvstore::config::StoreConfig;
 use kvstore::messages::{Msg, WireStats};
 use kvstore::node::{NodeStats, StoreNode};
 use kvstore::oracle::{AnomalyReport, Oracle};
 use kvstore::value::{Key, StampedValue, WriteId};
-use ring::RingView;
+use ring::{MemberStatus, RingView};
 use simnet::{NodeId, SimRng, SimTime, TimerId};
+use storage::{MemEngine, StorageEngine};
 
 use crate::rtctx::RtCtx;
 use crate::watchdog::{self, Progress, StallReport};
 use crate::wheel::TimerWheel;
-use crate::{FaultPlan, RuntimeConfig};
+use crate::{CrashEvent, FaultPlan, RuntimeConfig};
 
 /// Clean AAE rounds every server must initiate, after the last observed
 /// repair activity, before the quiesce phase may end early (with 3+
 /// servers and random peer choice this gives each pair several chances
 /// to detect leftover divergence).
 const SETTLE_CLEAN_ROUNDS: u64 = 8;
+
+/// Crash-plane phases: the handshake between the main loop (which
+/// drives the crash schedule) and a crashed server's worker thread
+/// (which performs the kill and the rebuild in-thread, so the node is
+/// never touched from two threads).
+const PHASE_RUNNING: u8 = 0;
+/// Main loop ordered a kill; the worker has not executed it yet.
+const PHASE_KILL: u8 = 1;
+/// Worker dropped the node; an inert husk holds the slot.
+const PHASE_DOWN: u8 = 2;
+/// Main loop ordered a respawn; the worker has not rebuilt yet.
+const PHASE_RESPAWN: u8 = 3;
+
+/// One atomic phase per server, shared between the main loop and the
+/// server workers (see the `PHASE_*` constants).
+#[derive(Debug)]
+struct CrashPlane {
+    phases: Vec<AtomicU8>,
+}
+
+/// Everything a server worker needs to rebuild its node from scratch
+/// after a scheduled kill: the same constructor inputs the fleet used
+/// at build time, plus the engine factory when the fleet is durable (a
+/// log-backed engine replays its durable prefix on open; without a
+/// factory the respawn comes back empty, the diskless baseline).
+struct RespawnKit<M: Mechanism<StampedValue>> {
+    replica: ReplicaId,
+    mech: M,
+    store: StoreConfig,
+    genesis_view: RingView<ReplicaId>,
+    factory: Option<EngineFactory<M>>,
+}
+
+/// A server worker's handle on the crash schedule: its slot's phase
+/// cell plus the rebuild kit.
+struct WorkerCrash<M: Mechanism<StampedValue>> {
+    server: usize,
+    plane: Arc<CrashPlane>,
+    kit: RespawnKit<M>,
+}
+
+/// Where one scheduled [`CrashEvent`] currently stands in the main
+/// loop's state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CrashStage {
+    Pending,
+    Killed,
+    Respawning,
+    Done,
+}
 
 /// An addressed message in flight between nodes.
 #[derive(Debug)]
@@ -216,6 +268,8 @@ pub struct RuntimeFleet<M: Mechanism<StampedValue>> {
     config: RuntimeConfig,
     mech: M,
     view: RingView<ReplicaId>,
+    genesis_view: RingView<ReplicaId>,
+    factory: Option<EngineFactory<M>>,
     nodes: Vec<Hosted<M>>,
     snapshots: Arc<Vec<Mutex<NodeSnapshot>>>,
     progress: Arc<Progress>,
@@ -232,6 +286,25 @@ where
     /// through the same `fork_indexed("node", i)` scheme the simulator
     /// uses, so a node's RNG stream depends only on `(seed, i)`.
     pub fn new(seed: u64, mech: M, config: RuntimeConfig) -> Self {
+        Self::build(seed, mech, config, None)
+    }
+
+    /// Builds a fleet whose servers persist through `factory`-built
+    /// storage engines — the threaded counterpart of
+    /// [`Cluster::new_durable`](kvstore::cluster::Cluster::new_durable).
+    /// Opening an engine replays whatever a previous incarnation (or a
+    /// previous fleet over the same directory) durably synced, and a
+    /// scheduled [`CrashEvent`] respawn rebuilds from the same factory.
+    pub fn new_durable(
+        seed: u64,
+        mech: M,
+        config: RuntimeConfig,
+        factory: EngineFactory<M>,
+    ) -> Self {
+        Self::build(seed, mech, config, Some(factory))
+    }
+
+    fn build(seed: u64, mech: M, config: RuntimeConfig, factory: Option<EngineFactory<M>>) -> Self {
         assert!(config.servers > 0, "need at least one server");
         assert!(config.client_workers > 0, "need at least one client worker");
         config.store.validate();
@@ -239,6 +312,23 @@ where
             config.store.n <= config.servers,
             "replication factor exceeds server count"
         );
+        let mut crash_targets = std::collections::BTreeSet::new();
+        for c in &config.crashes {
+            assert!(
+                c.server < config.servers,
+                "crash of non-server {}",
+                c.server
+            );
+            assert!(
+                c.respawn_after > c.kill_after,
+                "respawn must come after the kill"
+            );
+            assert!(
+                crash_targets.insert(c.server),
+                "server {} crashed twice in one schedule",
+                c.server
+            );
+        }
         let root = SimRng::new(seed);
         let replicas: Vec<ReplicaId> = (0..config.servers as u32).map(ReplicaId).collect();
         let view = RingView::from_members(replicas.iter().copied());
@@ -246,14 +336,19 @@ where
 
         let mut nodes = Vec::with_capacity(total);
         for r in &replicas {
-            nodes.push(Hosted {
-                id: NodeId(r.0),
-                proc_: StoreProc::Server(StoreNode::new(
+            let node = match &factory {
+                Some(f) => StoreNode::with_engine(
                     *r,
                     mech.clone(),
                     config.store,
                     view.clone(),
-                )),
+                    f.build(r.0 as usize),
+                ),
+                None => StoreNode::new(*r, mech.clone(), config.store, view.clone()),
+            };
+            nodes.push(Hosted {
+                id: NodeId(r.0),
+                proc_: StoreProc::Server(node),
                 rng: root.fork_indexed("node", r.0 as u64),
                 wheel: TimerWheel::new(),
                 next_timer: 0,
@@ -287,7 +382,9 @@ where
         RuntimeFleet {
             config,
             mech,
-            view,
+            view: view.clone(),
+            genesis_view: view,
+            factory,
             nodes,
             snapshots: Arc::new(
                 (0..total)
@@ -370,6 +467,14 @@ where
             (None, None)
         };
 
+        // Crash schedule plumbing: one phase cell per server, a rebuild
+        // kit for each worker whose server is scheduled to crash.
+        let plane = Arc::new(CrashPlane {
+            phases: (0..cfg.servers)
+                .map(|_| AtomicU8::new(PHASE_RUNNING))
+                .collect(),
+        });
+
         // Worker threads.
         let mut handles: Vec<JoinHandle<Vec<Hosted<M>>>> = Vec::new();
         for (w, group) in groups.into_iter().enumerate() {
@@ -385,8 +490,23 @@ where
             let hang = group
                 .iter()
                 .any(|h| cfg.faults.hang_servers.contains(&(h.id.0 as usize)));
+            let crash = group
+                .first()
+                .map(|h| h.id.0 as usize)
+                .filter(|s| *s < cfg.servers && cfg.crashes.iter().any(|c| c.server == *s))
+                .map(|s| WorkerCrash {
+                    server: s,
+                    plane: Arc::clone(&plane),
+                    kit: RespawnKit {
+                        replica: ReplicaId(s as u32),
+                        mech: self.mech.clone(),
+                        store: cfg.store,
+                        genesis_view: self.genesis_view.clone(),
+                        factory: self.factory.clone(),
+                    },
+                });
             handles.push(thread::spawn(move || {
-                worker_loop(group, rx, router, snapshots, hang)
+                worker_loop(group, rx, router, snapshots, hang, crash)
             }));
         }
 
@@ -405,10 +525,21 @@ where
             })
         };
 
-        // Wait for completion, a stall, or the run budget.
+        // Wait for completion, a stall, or the run budget, driving the
+        // crash schedule as its deadlines come due.
         let started = Instant::now();
+        let mut stages = vec![CrashStage::Pending; cfg.crashes.len()];
         let mut elapsed = None;
         loop {
+            drive_crash_schedule(
+                &cfg.crashes,
+                &mut stages,
+                started,
+                &plane,
+                &self.progress,
+                &slots,
+                &mut self.view,
+            );
             if self.progress.stalled.load(Ordering::Relaxed) {
                 break;
             }
@@ -433,14 +564,39 @@ where
             let settle_started = Instant::now();
             let (mut last_sig, mut rounds_floor) = self.settle_probe();
             let mut still_since = Instant::now();
-            while settle_started.elapsed() < cfg.quiesce {
+            // A crash schedule still in flight (a respawn landing after
+            // the last client finished) keeps the quiesce open past its
+            // nominal budget — the respawned node must rejoin and be
+            // repaired before the fleet is inspected.
+            let mut schedule_done = drive_crash_schedule(
+                &cfg.crashes,
+                &mut stages,
+                started,
+                &plane,
+                &self.progress,
+                &slots,
+                &mut self.view,
+            );
+            while (settle_started.elapsed() < cfg.quiesce || !schedule_done)
+                && started.elapsed() <= cfg.run_budget
+            {
                 thread::sleep(StdDuration::from_millis(50));
+                schedule_done = drive_crash_schedule(
+                    &cfg.crashes,
+                    &mut stages,
+                    started,
+                    &plane,
+                    &self.progress,
+                    &slots,
+                    &mut self.view,
+                );
                 let (sig, rounds) = self.settle_probe();
                 if sig != last_sig {
                     last_sig = sig;
                     rounds_floor = rounds;
                     still_since = Instant::now();
-                } else if still_since.elapsed() >= cfg.settle_window
+                } else if schedule_done
+                    && still_since.elapsed() >= cfg.settle_window
                     && rounds >= rounds_floor + SETTLE_CLEAN_ROUNDS
                 {
                     // Quiet for the window *and* every server has since
@@ -673,6 +829,7 @@ fn worker_loop<M: Mechanism<StampedValue>>(
     mut router: Router<M>,
     snapshots: Arc<Vec<Mutex<NodeSnapshot>>>,
     hang: bool,
+    crash: Option<WorkerCrash<M>>,
 ) -> Vec<Hosted<M>> {
     if hang {
         // A wedged worker: never starts its nodes, never drains its
@@ -690,6 +847,47 @@ fn worker_loop<M: Mechanism<StampedValue>>(
     loop {
         if router.shared.shutdown.load(Ordering::Relaxed) {
             return hosted;
+        }
+
+        // Execute any pending crash-schedule order for this worker's
+        // server (server groups host exactly one node). The kill drops
+        // the node — in-memory state and the engine's unsynced buffer
+        // are gone, like a power cut — and parks an inert husk in the
+        // slot; the respawn rebuilds from the kit in this same thread.
+        let mut down = false;
+        if let Some(c) = &crash {
+            match c.plane.phases[c.server].load(Ordering::Acquire) {
+                PHASE_KILL => {
+                    let h = &mut hosted[0];
+                    h.proc_ = StoreProc::Server(StoreNode::dormant(
+                        c.kit.replica,
+                        c.kit.mech.clone(),
+                        c.kit.store,
+                        c.kit.genesis_view.clone(),
+                    ));
+                    h.wheel = TimerWheel::new();
+                    c.plane.phases[c.server].store(PHASE_DOWN, Ordering::Release);
+                    down = true;
+                }
+                PHASE_DOWN => down = true,
+                PHASE_RESPAWN => {
+                    let engine: Box<dyn StorageEngine<M::State>> = match &c.kit.factory {
+                        Some(f) => f.build(c.server),
+                        None => Box::new(MemEngine::new()),
+                    };
+                    let h = &mut hosted[0];
+                    h.proc_ = StoreProc::Server(StoreNode::with_engine(
+                        c.kit.replica,
+                        c.kit.mech.clone(),
+                        c.kit.store,
+                        c.kit.genesis_view.clone(),
+                        engine,
+                    ));
+                    h.wheel = TimerWheel::new();
+                    c.plane.phases[c.server].store(PHASE_RUNNING, Ordering::Release);
+                }
+                _ => {}
+            }
         }
 
         // Fire everything due, repeatedly: a timer handler may arm
@@ -731,13 +929,91 @@ fn worker_loop<M: Mechanism<StampedValue>>(
             }
         };
         if let Some(first) = first {
-            dispatch_packet(&mut hosted, first, &mut router, &snapshots);
-            // Drain whatever else arrived while we worked.
-            while let Ok(p) = rx.try_recv() {
-                dispatch_packet(&mut hosted, p, &mut router, &snapshots);
+            if down {
+                // A dead server's inbox drains onto the floor: the
+                // depth accounting stays honest, the packets are lost
+                // (a crashed box answers nothing).
+                discard_packet(&router, &first);
+                while let Ok(p) = rx.try_recv() {
+                    discard_packet(&router, &p);
+                }
+            } else {
+                dispatch_packet(&mut hosted, first, &mut router, &snapshots);
+                // Drain whatever else arrived while we worked.
+                while let Ok(p) = rx.try_recv() {
+                    dispatch_packet(&mut hosted, p, &mut router, &snapshots);
+                }
             }
         }
     }
+}
+
+/// Drops a packet addressed to a crashed server, keeping the inbox
+/// depth counter honest.
+fn discard_packet<M: Mechanism<StampedValue>>(router: &Router<M>, pkt: &Packet<M>) {
+    router.progress.inbox_depth[pkt.to.0 as usize].fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Advances every scheduled crash through its
+/// Pending → Killed → Respawning → Done stages as deadlines come due.
+/// Kills and rebuilds happen on the owning worker thread (via the
+/// phase cells); what happens *here* is the control-plane half: the
+/// expected-down flag for the watchdog, and — once the worker reports
+/// the rebuilt node running — the fresh `Up` incarnation and the
+/// in-band [`Msg::Rejoin`] that re-arms its timers and lets gossip
+/// spread the re-admission. No harness view synchronisation.
+/// Returns whether every event has completed.
+#[allow(clippy::too_many_arguments)]
+fn drive_crash_schedule<M: Mechanism<StampedValue>>(
+    crashes: &[CrashEvent],
+    stages: &mut [CrashStage],
+    started: Instant,
+    plane: &CrashPlane,
+    progress: &Progress,
+    slots: &[SyncSender<Packet<M>>],
+    view: &mut RingView<ReplicaId>,
+) -> bool {
+    let elapsed = started.elapsed();
+    for (c, stage) in crashes.iter().zip(stages.iter_mut()) {
+        match *stage {
+            CrashStage::Pending if elapsed >= c.kill_after => {
+                progress.set_expected_down(c.server, true);
+                plane.phases[c.server].store(PHASE_KILL, Ordering::Release);
+                *stage = CrashStage::Killed;
+            }
+            // Only order the respawn once the worker has actually
+            // performed the kill (DOWN), so the two orders cannot
+            // collapse into none.
+            CrashStage::Killed
+                if elapsed >= c.respawn_after
+                    && plane.phases[c.server]
+                        .compare_exchange(
+                            PHASE_DOWN,
+                            PHASE_RESPAWN,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok() =>
+            {
+                *stage = CrashStage::Respawning;
+            }
+            CrashStage::Respawning
+                if plane.phases[c.server].load(Ordering::Acquire) == PHASE_RUNNING =>
+            {
+                view.bump(&ReplicaId(c.server as u32), MemberStatus::Up);
+                let rejoin = Packet {
+                    from: NodeId(c.server as u32),
+                    to: NodeId(c.server as u32),
+                    msg: Msg::Rejoin { view: view.clone() },
+                };
+                deliver(progress, slots, rejoin);
+                progress.set_expected_down(c.server, false);
+                *stage = CrashStage::Done;
+            }
+            _ => {}
+        }
+    }
+    stages.iter().all(|s| *s == CrashStage::Done)
 }
 
 fn dispatch_packet<M: Mechanism<StampedValue>>(

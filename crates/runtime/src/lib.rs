@@ -39,6 +39,7 @@ pub mod watchdog;
 pub mod wheel;
 
 pub use fleet::{FleetStats, NodeSnapshot, RunReport, RuntimeFleet};
+pub use kvstore::cluster::EngineFactory;
 pub use rtctx::RtCtx;
 pub use watchdog::{NodeDiag, Progress, StallReport};
 pub use wheel::TimerWheel;
@@ -68,6 +69,24 @@ impl FaultPlan {
     pub fn is_noop(&self) -> bool {
         self.drop_probability <= 0.0 && self.delay_micros.is_none() && self.hang_servers.is_empty()
     }
+}
+
+/// One scheduled crash/respawn of a server during a [`RuntimeFleet`]
+/// run: at `kill_after` (wall clock from run start) the server's node is
+/// dropped on its worker thread — in-memory state and any storage-engine
+/// buffer past the last group sync are gone, like a power cut — and at
+/// `respawn_after` it is rebuilt from its engine factory (replaying its
+/// durable log when the fleet is durable) and re-admitted **in band**
+/// via a fresh-incarnation `Rejoin`.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashEvent {
+    /// Server index to crash.
+    pub server: usize,
+    /// Wall clock from run start to the kill.
+    pub kill_after: StdDuration,
+    /// Wall clock from run start to the respawn (must exceed
+    /// `kill_after`).
+    pub respawn_after: StdDuration,
 }
 
 /// Complete configuration of a [`RuntimeFleet`] run.
@@ -106,6 +125,8 @@ pub struct RuntimeConfig {
     /// repairs, handoffs, transfers) must sit still before the quiesce
     /// is considered settled.
     pub settle_window: StdDuration,
+    /// Scheduled server crash/respawn events (see [`CrashEvent`]).
+    pub crashes: Vec<CrashEvent>,
 }
 
 impl Default for RuntimeConfig {
@@ -124,6 +145,7 @@ impl Default for RuntimeConfig {
             run_budget: StdDuration::from_secs(120),
             quiesce: StdDuration::from_millis(500),
             settle_window: StdDuration::from_millis(400),
+            crashes: Vec::new(),
         }
     }
 }

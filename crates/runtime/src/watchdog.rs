@@ -32,6 +32,10 @@ pub struct Progress {
     pub inbox_depth: Vec<AtomicI64>,
     /// Set by the watchdog when it declares a stall.
     pub stalled: AtomicBool,
+    /// Nodes the harness has *deliberately* taken down (crash schedule):
+    /// their silence is expected, and the watchdog's diagnostics must
+    /// not present them as wedged.
+    pub expected_down: Vec<AtomicBool>,
 }
 
 impl Progress {
@@ -44,7 +48,14 @@ impl Progress {
             last_event_micros: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
             inbox_depth: (0..nodes).map(|_| AtomicI64::new(0)).collect(),
             stalled: AtomicBool::new(false),
+            expected_down: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
         }
+    }
+
+    /// Marks node `i` as deliberately down (or back up): crash-schedule
+    /// bookkeeping the watchdog folds into its diagnostics.
+    pub fn set_expected_down(&self, i: usize, down: bool) {
+        self.expected_down[i].store(down, Ordering::Relaxed);
     }
 }
 
@@ -59,6 +70,9 @@ pub struct NodeDiag {
     pub events: u64,
     /// µs since the node last dispatched anything (u64::MAX = never).
     pub last_event_age_micros: u64,
+    /// The harness deliberately took this node down (crash schedule):
+    /// its silence is expected, not a wedge.
+    pub expected_down: bool,
 }
 
 /// Why and where a run stalled: returned as the `Err` of
@@ -75,6 +89,34 @@ pub struct StallReport {
     pub nodes: Vec<NodeDiag>,
 }
 
+impl StallReport {
+    /// Nodes the crash schedule had deliberately down when the stall
+    /// was declared.
+    #[must_use]
+    pub fn expected_down(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .filter(|d| d.expected_down)
+            .map(|d| d.node)
+            .collect()
+    }
+
+    /// The nodes that actually look wedged: a silent node (never
+    /// dispatched, or quiet for at least as long as the stall wait)
+    /// that the harness did *not* take down on purpose. A
+    /// deliberately-killed server never appears here — that is the
+    /// regression the expected-down set exists to prevent.
+    #[must_use]
+    pub fn wedged_nodes(&self) -> Vec<usize> {
+        let stale = self.waited.as_micros() as u64;
+        self.nodes
+            .iter()
+            .filter(|d| !d.expected_down && d.last_event_age_micros >= stale)
+            .map(|d| d.node)
+            .collect()
+    }
+}
+
 impl fmt::Display for StallReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -89,10 +131,10 @@ impl fmt::Display for StallReport {
                 d.node,
                 d.inbox_depth,
                 d.events,
-                if d.last_event_age_micros == u64::MAX {
-                    "never".to_string()
-                } else {
-                    format!("{}µs ago", d.last_event_age_micros)
+                match (d.expected_down, d.last_event_age_micros) {
+                    (true, _) => "down (expected)".to_string(),
+                    (false, u64::MAX) => "never".to_string(),
+                    (false, age) => format!("{age}µs ago"),
                 }
             )?;
         }
@@ -161,6 +203,7 @@ pub fn diagnose(progress: &Progress, origin: Instant, waited: StdDuration) -> St
                 } else {
                     now_us.saturating_sub(last)
                 },
+                expected_down: progress.expected_down[i].load(Ordering::Relaxed),
             }
         })
         .collect();

@@ -1,0 +1,157 @@
+//! Crash/recovery on the *threaded* driver: a scheduled [`CrashEvent`]
+//! kills a server's node on its own worker thread mid-run (dropping
+//! in-memory state and any unsynced engine buffer, like a power cut),
+//! then respawns it from its storage engine and re-admits it in band
+//! via `Msg::Rejoin` — no harness view synchronisation. The recovered
+//! fleet must pass the same audit stack as a healthy conformance run:
+//! one ring view, pairwise AAE equivalence, zero residual copies, and
+//! an oracle-clean converge (no lost acked writes, no false
+//! concurrency).
+
+use std::time::Duration as StdDuration;
+
+use dvv::mechanisms::DvvSetMechanism;
+use dvv::ReplicaId;
+use kvstore::config::ClientConfig;
+use kvstore::StoreConfig;
+use runtime::{CrashEvent, EngineFactory, FaultPlan, RuntimeConfig, RuntimeFleet};
+use simnet::Duration;
+use storage::LogConfig;
+
+const SERVERS: usize = 3;
+const VICTIM: usize = 1;
+
+fn recovery_config() -> RuntimeConfig {
+    RuntimeConfig {
+        servers: SERVERS,
+        clients: 8,
+        client_workers: 2,
+        cycles_per_client: 30,
+        store: StoreConfig {
+            anti_entropy_interval: Duration::from_millis(25),
+            gossip_interval: Duration::from_millis(25),
+            handoff_interval: Duration::from_millis(30),
+            ..StoreConfig::default()
+        },
+        client: ClientConfig {
+            key_count: 12,
+            think_time: Duration::from_millis(2),
+            request_timeout: Duration::from_millis(40),
+            ..ClientConfig::default()
+        },
+        faults: FaultPlan::default(),
+        crashes: vec![CrashEvent {
+            server: VICTIM,
+            kill_after: StdDuration::from_millis(150),
+            respawn_after: StdDuration::from_millis(600),
+        }],
+        stall_budget: StdDuration::from_secs(15),
+        run_budget: StdDuration::from_secs(90),
+        quiesce: StdDuration::from_secs(20),
+        settle_window: StdDuration::from_millis(600),
+        ..RuntimeConfig::default()
+    }
+}
+
+/// The full post-run audit stack, shared by the durable and diskless
+/// recovery scenarios.
+fn audit(fleet: &mut RuntimeFleet<DvvSetMechanism>, label: &str) {
+    // One ring view everywhere — the rejoin spread by gossip alone.
+    let digest0 = fleet.server(0).view_digest();
+    for i in 1..SERVERS {
+        assert_eq!(
+            fleet.server(i).view_digest(),
+            digest0,
+            "{label}: server {i} view digest diverged after recovery"
+        );
+    }
+    // The recovered node is a full member again in its peers' eyes.
+    assert!(
+        fleet
+            .server(0)
+            .view()
+            .members()
+            .contains(&ReplicaId(VICTIM as u32)),
+        "{label}: recovered server missing from the membership"
+    );
+
+    // Pairwise AAE equivalence, recovered node included.
+    for i in 0..SERVERS {
+        for j in (i + 1)..SERVERS {
+            let a = fleet.server(i).rebuild_shared_summary(ReplicaId(j as u32));
+            let b = fleet.server(j).rebuild_shared_summary(ReplicaId(i as u32));
+            assert_eq!(
+                a.leaves(),
+                b.leaves(),
+                "{label}: servers {i}/{j} not AAE-equivalent after recovery"
+            );
+        }
+    }
+
+    // No data outside ownership (audited *before* the harness converge,
+    // which fabricates residuals by design).
+    let residuals = fleet.residual_copies();
+    assert!(
+        residuals.is_empty(),
+        "{label}: residual copies after recovery: {residuals:?}"
+    );
+
+    // Oracle-clean: every acked write survives the crash somewhere.
+    fleet.converge();
+    let anomalies = fleet.anomaly_report();
+    assert_eq!(
+        anomalies.lost_updates, 0,
+        "{label}: lost updates across crash/recovery: {anomalies:?}"
+    );
+    assert_eq!(
+        anomalies.false_concurrency, 0,
+        "{label}: false concurrency across crash/recovery: {anomalies:?}"
+    );
+    assert!(anomalies.acked_writes > 0, "{label}: no writes acked");
+}
+
+/// Durable fleet, write-through log engines: the victim is killed
+/// mid-run and respawned *from its disk* — the rebuilt engine replays
+/// every record it acked — and the fleet audits clean.
+#[test]
+fn scheduled_crash_respawns_from_disk_and_audits_clean() {
+    let dir = storage::scratch_dir("rt-recovery-durable");
+    let mut fleet = RuntimeFleet::new_durable(
+        0xD15C,
+        DvvSetMechanism,
+        recovery_config(),
+        EngineFactory::log_in(&dir, LogConfig::write_through()),
+    );
+    let report = match fleet.run() {
+        Ok(r) => r,
+        Err(stall) => panic!("durable recovery run stalled:\n{stall}"),
+    };
+    assert!(report.all_done, "clients left unfinished");
+    assert_eq!(
+        fleet.server(VICTIM).data().engine_kind(),
+        "log",
+        "victim must be running on its rebuilt log engine"
+    );
+    audit(&mut fleet, "durable");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Diskless baseline: no engine factory, so the victim respawns
+/// *empty* and anti-entropy refills it from its peers. Every acked
+/// write had a quorum, so at least one live copy survives the crash
+/// and the oracle still audits clean.
+#[test]
+fn diskless_crash_respawn_refills_from_peers() {
+    let mut fleet = RuntimeFleet::new(0xD15C + 1, DvvSetMechanism, recovery_config());
+    let report = match fleet.run() {
+        Ok(r) => r,
+        Err(stall) => panic!("diskless recovery run stalled:\n{stall}"),
+    };
+    assert!(report.all_done, "clients left unfinished");
+    assert_eq!(
+        fleet.server(VICTIM).data().engine_kind(),
+        "mem",
+        "diskless victim respawns on a fresh in-memory engine"
+    );
+    audit(&mut fleet, "diskless");
+}

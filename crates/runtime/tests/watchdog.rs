@@ -5,7 +5,7 @@ use std::time::Duration as StdDuration;
 
 use dvv::mechanisms::DvvMechanism;
 use kvstore::config::{ClientConfig, StoreConfig};
-use runtime::{FaultPlan, RuntimeConfig, RuntimeFleet};
+use runtime::{CrashEvent, FaultPlan, RuntimeConfig, RuntimeFleet};
 use simnet::Duration;
 
 /// A single-server fleet whose only server is deliberately wedged
@@ -66,6 +66,81 @@ fn watchdog_fires_on_wedged_server() {
     assert!(
         rendered.contains("runtime stalled"),
         "report renders: {rendered}"
+    );
+}
+
+/// Regression: a server the *crash schedule* deliberately killed must
+/// not be presented as wedged. Server 0 is genuinely wedged (hung
+/// worker) so the stall fires; server 1 is down on purpose (scheduled
+/// kill, respawn far in the future). The report must mark server 1
+/// expected-down, keep it out of `wedged_nodes()`, and still finger
+/// server 0.
+#[test]
+fn watchdog_distinguishes_scheduled_kill_from_wedge() {
+    let mut fleet = RuntimeFleet::new(
+        19,
+        DvvMechanism,
+        RuntimeConfig {
+            servers: 2,
+            clients: 4,
+            client_workers: 1,
+            cycles_per_client: 100,
+            store: StoreConfig {
+                n: 2,
+                r: 2,
+                w: 2,
+                ..StoreConfig::default()
+            },
+            client: ClientConfig {
+                think_time: Duration::from_micros(100),
+                request_timeout: Duration::from_millis(20),
+                ..ClientConfig::default()
+            },
+            faults: FaultPlan {
+                hang_servers: vec![0],
+                ..FaultPlan::default()
+            },
+            crashes: vec![CrashEvent {
+                server: 1,
+                kill_after: StdDuration::from_millis(50),
+                respawn_after: StdDuration::from_secs(60),
+            }],
+            stall_budget: StdDuration::from_millis(400),
+            watchdog_poll: StdDuration::from_millis(25),
+            run_budget: StdDuration::from_secs(30),
+            quiesce: StdDuration::ZERO,
+            ..RuntimeConfig::default()
+        },
+    );
+    let stall = fleet
+        .run()
+        .expect_err("fleet with a wedged server must stall");
+    assert!(
+        stall.nodes[1].expected_down,
+        "the scheduled kill was in force when the stall fired: {stall}"
+    );
+    assert!(
+        !stall.nodes[0].expected_down,
+        "the wedge was not scheduled: {stall}"
+    );
+    assert_eq!(
+        stall.expected_down(),
+        vec![1],
+        "exactly the killed server is expected down"
+    );
+    let wedged = stall.wedged_nodes();
+    assert!(
+        wedged.contains(&0),
+        "the genuinely wedged server is still fingered: {stall}"
+    );
+    assert!(
+        !wedged.contains(&1),
+        "a deliberately-killed server must not read as wedged: {stall}"
+    );
+    let rendered = stall.to_string();
+    assert!(
+        rendered.contains("down (expected)"),
+        "report marks the scheduled kill: {rendered}"
     );
 }
 

@@ -3,13 +3,13 @@
 # waiting on (or having access to) the hosted runners.
 #
 #   scripts/ci_local.sh              # the PR gate: build-test, elastic,
-#                                    #   examples, runtime, bench lanes
+#                                    #   examples, runtime, storage, bench lanes
 #   scripts/ci_local.sh --soak       # additionally the nightly soak lane
 #                                    #   (PROPTEST_CASES=1024 + extra
 #                                    #   churn seeds)
 #   scripts/ci_local.sh --lane elastic   # just one lane
 #
-# Lanes: build-test, elastic, examples, runtime, bench, soak.
+# Lanes: build-test, elastic, examples, runtime, storage, bench, soak.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -77,6 +77,13 @@ if runs_lane runtime; then
     cargo test -p runtime --test conformance -- --nocapture
 fi
 
+if runs_lane storage; then
+    banner "storage"
+    cargo test -p storage -- --nocapture
+    cargo test -p kvstore --test recovery -- --nocapture
+    cargo test -p runtime --test recovery -- --nocapture
+fi
+
 if runs_lane bench; then
     banner "bench-baseline"
     CRITERION_JSON_OUT="$PWD/BENCH_membership.json" \
@@ -89,8 +96,10 @@ if runs_lane bench; then
         cargo bench --bench wire -- --quick
     CRITERION_JSON_OUT="$PWD/BENCH_runtime.json" \
         cargo bench --bench runtime -- --quick
+    CRITERION_JSON_OUT="$PWD/BENCH_storage.json" \
+        cargo bench --bench storage -- --quick
     echo "baselines written to BENCH_membership.json / BENCH_store.json /" \
-         "BENCH_aae.json / BENCH_wire.json / BENCH_runtime.json"
+         "BENCH_aae.json / BENCH_wire.json / BENCH_runtime.json / BENCH_storage.json"
     ./scripts/bench_compare.sh
 fi
 
@@ -107,6 +116,8 @@ if runs_lane soak; then
         cargo test -p kvstore --test overlap -- --nocapture
         cargo test -p kvstore --test aae_oracle -- --nocapture
         cargo test -p kvstore --test wire -- --nocapture
+        cargo test -p kvstore --test recovery -- --nocapture
+        cargo test -p storage -- --nocapture
     '
     # the same churn suites again with the delta protocols forced on:
     # the equivalence oracle must stay green when every reconciliation
