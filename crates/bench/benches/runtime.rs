@@ -16,6 +16,7 @@ use std::time::Duration as StdDuration;
 
 use dvv::mechanisms::DvvMechanism;
 use kvstore::config::{ClientConfig, StoreConfig};
+use kvstore::harness::FleetHarness;
 use runtime::{RuntimeConfig, RuntimeFleet};
 use simnet::Duration;
 use workloads::Histogram;

@@ -1,0 +1,133 @@
+//! Closed-loop throughput and tail latency over the real TCP socket
+//! driver, side by side with the in-process threaded runtime on the
+//! identical fleet shape — what framing, serialisation and loopback
+//! TCP cost relative to passing `Msg` values through channels.
+//!
+//! 32 closed-loop clients (zero think time) hammer a 4-server fleet.
+//! Latencies come from the clients' own round-trip histograms (µs);
+//! throughput is completed ops over the run's wall clock.
+//!
+//! Timing numbers, therefore machine-dependent — `bench_compare.sh`
+//! treats deviations as warnings, not failures. Committed baseline:
+//! `bench-baselines/BENCH_socket.json`.
+
+use std::time::Duration as StdDuration;
+
+use dvv::mechanisms::DvvMechanism;
+use kvstore::config::{ClientConfig, StoreConfig};
+use kvstore::harness::FleetHarness;
+use runtime::{RuntimeConfig, RuntimeFleet};
+use simnet::Duration;
+use transport::{SocketConfig, SocketFleet};
+use workloads::Histogram;
+
+const SEED: u64 = 97;
+const SERVERS: usize = 4;
+const CLIENTS: usize = 32;
+const CYCLES: u32 = 40;
+
+fn store_config() -> StoreConfig {
+    StoreConfig {
+        request_timeout: Duration::from_millis(250),
+        anti_entropy_interval: Duration::from_millis(50),
+        gossip_interval: Duration::from_millis(100),
+        ..StoreConfig::default()
+    }
+}
+
+fn client_config() -> ClientConfig {
+    ClientConfig {
+        think_time: Duration::ZERO,
+        key_count: 64,
+        request_timeout: Duration::from_millis(500),
+        ..ClientConfig::default()
+    }
+}
+
+fn record(out: &mut Vec<String>, id: &str, v: u64) {
+    out.push(format!(
+        "  {{\"id\": \"{id}\", \"mean_ns\": {v}.00, \"min_ns\": {v}.00, \
+         \"max_ns\": {v}.00, \"samples\": 1, \"iters_per_sample\": 1}}"
+    ));
+    println!("socket: {id} = {v}");
+}
+
+fn emit(out: &mut Vec<String>, driver: &str, elapsed: StdDuration, ops: u64, rtt: &Histogram) {
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let ops_per_sec = (ops as f64 / secs).round() as u64;
+    let base = format!("socket/closed_loop/s{SERVERS}_c{CLIENTS}/{driver}");
+    record(out, &format!("{base}/ops_per_sec"), ops_per_sec);
+    record(out, &format!("{base}/p50_us"), rtt.percentile(0.50));
+    record(out, &format!("{base}/p99_us"), rtt.percentile(0.99));
+    record(out, &format!("{base}/p999_us"), rtt.percentile(0.999));
+}
+
+fn main() {
+    // tolerate harness-style flags (--bench, --quick): one closed-loop
+    // run per driver is already the measurement
+    let mut out: Vec<String> = Vec::new();
+
+    // Real TCP sockets: framed wire codec, loopback connections.
+    {
+        let mut fleet = SocketFleet::new(
+            SEED,
+            DvvMechanism,
+            SocketConfig {
+                servers: SERVERS,
+                clients: CLIENTS,
+                cycles_per_client: CYCLES,
+                store: store_config(),
+                client: client_config(),
+                stall_budget: StdDuration::from_secs(20),
+                run_budget: StdDuration::from_secs(120),
+                // Throughput lane: measure to the last op, skip settling.
+                quiesce: StdDuration::ZERO,
+                ..SocketConfig::default()
+            },
+        );
+        let report = fleet
+            .run()
+            .unwrap_or_else(|stall| panic!("socket bench stalled:\n{stall}"));
+        let lat = fleet.latency_report();
+        let mut rtt = Histogram::new();
+        rtt.merge(&lat.get);
+        rtt.merge(&lat.put);
+        assert!(report.all_done && rtt.count() > 0, "bench run incomplete");
+        emit(&mut out, "tcp", report.elapsed, report.ops_ok, &rtt);
+    }
+
+    // The in-process threaded runtime on the identical shape — the
+    // serialisation-free comparison point.
+    {
+        let mut fleet = RuntimeFleet::new(
+            SEED,
+            DvvMechanism,
+            RuntimeConfig {
+                servers: SERVERS,
+                clients: CLIENTS,
+                client_workers: 4,
+                cycles_per_client: CYCLES,
+                store: store_config(),
+                client: client_config(),
+                stall_budget: StdDuration::from_secs(20),
+                run_budget: StdDuration::from_secs(120),
+                quiesce: StdDuration::ZERO,
+                ..RuntimeConfig::default()
+            },
+        );
+        let report = fleet
+            .run()
+            .unwrap_or_else(|stall| panic!("threaded comparison stalled:\n{stall}"));
+        let lat = fleet.latency_report();
+        let mut rtt = Histogram::new();
+        rtt.merge(&lat.get);
+        rtt.merge(&lat.put);
+        assert!(report.all_done && rtt.count() > 0, "bench run incomplete");
+        emit(&mut out, "threaded", report.elapsed, report.ops_ok, &rtt);
+    }
+
+    let json = format!("[\n{}\n]\n", out.join(",\n"));
+    let path = std::env::var("CRITERION_JSON_OUT").unwrap_or_else(|_| "BENCH_socket.json".into());
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("socket: baseline written to {path}");
+}

@@ -1,12 +1,14 @@
 //! [`DvvMechanism`]: the paper's design — one dotted version vector per
 //! sibling, dots assigned at replica servers.
 
-use crate::encode::Encode;
+use crate::dotted::Dvv;
+use crate::encode::{Decoder, Encode};
+use crate::error::DecodeError;
 use crate::ids::ReplicaId;
 use crate::server::{self, Tagged};
 use crate::version_vector::VersionVector;
 
-use super::{Mechanism, WriteOrigin};
+use super::{Mechanism, WireMechanism, WriteOrigin};
 
 /// The paper's causality mechanism: each sibling carries a
 /// [`Dvv`](crate::dotted::Dvv) whose dot is assigned by the coordinating
@@ -67,6 +69,50 @@ impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash + Send + 'static> Mecha
 
     fn sibling_count(&self, state: &Self::State) -> usize {
         state.len()
+    }
+}
+
+impl<V> WireMechanism<V> for DvvMechanism
+where
+    V: Clone + core::fmt::Debug + Eq + core::hash::Hash + Send + 'static + Encode,
+{
+    fn encode_state(&self, state: &Self::State, buf: &mut Vec<u8>) {
+        // Per sibling: clock then value, in canonical dot order. Both are
+        // self-delimiting, so the list needs no count — which is exactly
+        // why the output length equals metadata_size + Σ value lengths.
+        for t in state {
+            t.clock.encode(buf);
+            t.value.encode(buf);
+        }
+    }
+
+    fn decode_state(&self, d: &mut Decoder<'_>) -> Result<Self::State, DecodeError> {
+        let mut out: Self::State = Vec::new();
+        while d.remaining() > 0 {
+            let clock = Dvv::<ReplicaId>::decode(d)?;
+            let value = V::decode(d)?;
+            if out
+                .iter()
+                .any(|t: &Tagged<ReplicaId, V>| t.clock.dot() == clock.dot())
+            {
+                return Err(DecodeError::InvalidValue {
+                    reason: "duplicate sibling dot in dvv state",
+                });
+            }
+            out.push(Tagged { clock, value });
+        }
+        // Canonical dot order is a protocol invariant (AAE fingerprints
+        // hash the state); restore it rather than trusting the sender.
+        server::canonicalize(&mut out);
+        Ok(out)
+    }
+
+    fn encode_context(&self, ctx: &Self::Context, buf: &mut Vec<u8>) {
+        ctx.encode(buf);
+    }
+
+    fn decode_context(&self, d: &mut Decoder<'_>) -> Result<Self::Context, DecodeError> {
+        VersionVector::<ReplicaId>::decode(d)
     }
 }
 
@@ -144,5 +190,85 @@ mod tests {
         let m = DvvMechanism;
         let st: State = Vec::new();
         assert!(Mechanism::<&str>::is_empty(&m, &st));
+    }
+
+    type WireState = Vec<Tagged<ReplicaId, String>>;
+
+    fn wire_sample() -> WireState {
+        let m = DvvMechanism;
+        let mut st: WireState = Vec::new();
+        let (_, ctx) = m.read(&st);
+        m.write(&mut st, origin(0, 1), &ctx, "v1".into());
+        let (_, ctx) = m.read(&st);
+        // two concurrent writers through two servers → siblings with
+        // distinct dots and non-trivial pasts
+        m.write(&mut st, origin(0, 1), &ctx, "a".into());
+        m.write(&mut st, origin(1, 2), &ctx, "longer-value-b".into());
+        st
+    }
+
+    #[test]
+    fn wire_state_roundtrips_at_exactly_the_modeled_size() {
+        let m = DvvMechanism;
+        let st = wire_sample();
+        let mut buf = Vec::new();
+        m.encode_state(&st, &mut buf);
+        let modeled = Mechanism::<String>::metadata_size(&m, &st)
+            + st.iter().map(|t| t.value.encoded_len()).sum::<usize>();
+        assert_eq!(buf.len(), modeled, "real bytes must equal the model");
+        let mut d = Decoder::new(&buf);
+        let back = m.decode_state(&mut d).unwrap();
+        assert_eq!(d.remaining(), 0);
+        assert_eq!(back, st);
+    }
+
+    #[test]
+    fn wire_context_roundtrips_at_exactly_the_modeled_size() {
+        let m = DvvMechanism;
+        let st = wire_sample();
+        let (_, ctx) = Mechanism::<String>::read(&m, &st);
+        let mut buf = Vec::new();
+        WireMechanism::<String>::encode_context(&m, &ctx, &mut buf);
+        assert_eq!(buf.len(), Mechanism::<String>::context_size(&m, &ctx));
+        let mut d = Decoder::new(&buf);
+        let back = WireMechanism::<String>::decode_context(&m, &mut d).unwrap();
+        assert_eq!(back, ctx);
+    }
+
+    #[test]
+    fn wire_decode_restores_canonical_order_and_rejects_duplicates() {
+        let m = DvvMechanism;
+        let mut st = wire_sample();
+        // encode in reversed order: decode must restore canonical order
+        st.reverse();
+        let mut buf = Vec::new();
+        m.encode_state(&st, &mut buf);
+        let mut d = Decoder::new(&buf);
+        let back = m.decode_state(&mut d).unwrap();
+        crate::server::canonicalize(&mut st);
+        assert_eq!(back, st);
+
+        // a repeated sibling dot is malformed, not a panic
+        let mut twice = Vec::new();
+        m.encode_state(&st, &mut twice);
+        m.encode_state(&st, &mut twice);
+        let mut d = Decoder::new(&twice);
+        assert!(WireMechanism::<String>::decode_state(&m, &mut d).is_err());
+    }
+
+    #[test]
+    fn wire_decode_never_panics_on_torn_input() {
+        let m = DvvMechanism;
+        let st = wire_sample();
+        let mut buf = Vec::new();
+        m.encode_state(&st, &mut buf);
+        for cut in 1..buf.len() {
+            let mut d = Decoder::new(&buf[..cut]);
+            // either a clean error or (never) a short parse; a torn tail
+            // must not round-trip to the full state
+            if let Ok(short) = m.decode_state(&mut d) {
+                assert_ne!(short, st, "torn input parsed as the full state");
+            }
+        }
     }
 }

@@ -38,6 +38,8 @@ pub use vve_mech::{VveClock, VveMechanism};
 
 use core::fmt::Debug;
 
+use crate::encode::{Decoder, Encode};
+use crate::error::DecodeError;
 use crate::ids::{ClientId, ReplicaId};
 
 /// Identity of a write request as seen by a mechanism: which replica
@@ -122,6 +124,53 @@ pub trait Mechanism<V: Clone>: Clone + Debug {
     fn is_empty(&self, state: &Self::State) -> bool {
         self.sibling_count(state) == 0
     }
+}
+
+/// A mechanism whose states and contexts have a *real* byte codec whose
+/// output length equals the modeled accounting exactly.
+///
+/// [`Mechanism::metadata_size`] and [`Mechanism::context_size`] model what
+/// causal metadata *would* cost on the wire; the simulator ships opaque
+/// placeholder blobs of exactly that size. A real network driver must ship
+/// parseable bytes instead — and for the byte ledger to remain ground
+/// truth across drivers, the real encoding must cost **exactly** what the
+/// model charges:
+///
+/// * `encode_state` output length `== metadata_size(state)` plus the sum
+///   of the values' [`Encode::encoded_len`]s;
+/// * `encode_context` output length `== context_size(ctx)`.
+///
+/// Implement this only where the equality is exact. [`DvvMechanism`]
+/// qualifies (its metadata model *is* the sum of per-sibling clock
+/// encodings). [`DvvSetMechanism`] does not: its model treats live dots as
+/// positional (context + one varint), but a parseable codec needs the
+/// per-actor value partition, which costs bytes the model excludes — a
+/// real driver for it would need a model revision first.
+///
+/// `decode_state` consumes the decoder's entire remaining input: states
+/// travel length-prefixed, so the caller scopes the decoder to the state's
+/// bytes. Decoders must never panic on malformed input — a driver maps
+/// any [`DecodeError`] to a dropped connection.
+pub trait WireMechanism<V: Clone + Encode>: Mechanism<V> {
+    /// Appends the real wire form of `state` (clocks and values).
+    fn encode_state(&self, state: &Self::State, buf: &mut Vec<u8>);
+
+    /// Parses a state back, consuming all remaining decoder input.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] on malformed input.
+    fn decode_state(&self, d: &mut Decoder<'_>) -> Result<Self::State, DecodeError>;
+
+    /// Appends the real wire form of a read context.
+    fn encode_context(&self, ctx: &Self::Context, buf: &mut Vec<u8>);
+
+    /// Parses a context back.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] on malformed input.
+    fn decode_context(&self, d: &mut Decoder<'_>) -> Result<Self::Context, DecodeError>;
 }
 
 /// Generic sibling-set merge for mechanisms whose state is a flat list of

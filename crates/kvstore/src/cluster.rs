@@ -17,6 +17,7 @@ use workloads::Histogram;
 use crate::client::ClientNode;
 use crate::config::{ClientConfig, StoreConfig};
 use crate::ctx::SimCtx;
+use crate::harness::FleetHarness;
 use crate::messages::{Msg, WireStats};
 use crate::node::StoreNode;
 use crate::oracle::{AnomalyReport, Oracle};
@@ -255,7 +256,6 @@ pub struct Cluster<M: Mechanism<StampedValue>> {
     pending_joins: BTreeSet<usize>,
     /// Leaves announced but not yet drained/retired.
     pending_leaves: BTreeSet<usize>,
-    vnodes: u32,
     store_n: usize,
     store_config: StoreConfig,
     deadline: SimTime,
@@ -366,7 +366,6 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
             view,
             pending_joins: BTreeSet::new(),
             pending_leaves: BTreeSet::new(),
-            vnodes,
             store_n: config.store.n,
             store_config: config.store,
             deadline: SimTime::ZERO + config.deadline,
@@ -871,57 +870,22 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
     /// Deterministically merges every key across all servers until a
     /// fixpoint — the "infinite anti-entropy" end state the audits are
     /// defined against. Bypasses the network (test-harness operation).
+    /// (Generic implementation: [`FleetHarness::converge`].)
     pub fn converge(&mut self) {
-        let members = self.member_slots();
-        loop {
-            let mut changed = false;
-            // gather the global merge of every key
-            let mut global: std::collections::BTreeMap<crate::value::Key, M::State> =
-                std::collections::BTreeMap::new();
-            for &i in &members {
-                let StoreProc::Server(s) = self.sim.process(i) else {
-                    continue;
-                };
-                for (k, st) in s.data() {
-                    let entry = global.entry(k.clone()).or_default();
-                    self.mech.merge(entry, st);
-                }
-            }
-            for &i in &members {
-                let StoreProc::Server(s) = self.sim.process_mut(i) else {
-                    continue;
-                };
-                for (k, st) in &global {
-                    let before = s.data().get(k).cloned();
-                    s.merge_state_direct(k, st);
-                    if s.data().get(k) != before.as_ref() {
-                        changed = true;
-                    }
-                }
-            }
-            if !changed {
-                return;
-            }
-        }
+        FleetHarness::converge(self);
     }
 
     /// Builds the ground-truth oracle from all client logs.
+    /// (Generic implementation: [`FleetHarness::oracle`].)
     pub fn oracle(&self) -> Oracle {
-        let logs = (0..self.clients).flat_map(|j| self.client(j).write_log().iter());
-        Oracle::from_logs(logs)
+        FleetHarness::oracle(self)
     }
 
     /// The surviving write ids for `key` at server `i` (tombstones
     /// included — they are writes).
+    /// (Generic implementation: [`FleetHarness::surviving_at`].)
     pub fn surviving_at(&self, i: usize, key: &[u8]) -> BTreeSet<WriteId> {
-        let s = self.server(i);
-        match s.data().get(key) {
-            None => BTreeSet::new(),
-            Some(st) => {
-                let (values, _) = self.mech.read(st);
-                values.into_iter().map(|v| v.id).collect()
-            }
-        }
+        FleetHarness::surviving_at(self, i, key)
     }
 
     /// The application-visible (non-tombstone) values for `key` at
@@ -952,27 +916,9 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
 
     /// Audits the converged store against the oracle. Call after
     /// [`Cluster::run`] + [`Cluster::converge`].
+    /// (Generic implementation: [`FleetHarness::anomaly_report`].)
     pub fn anomaly_report(&self) -> AnomalyReport {
-        let oracle = self.oracle();
-        let mut report = AnomalyReport::default();
-        for j in 0..self.clients {
-            for e in self.client(j).write_log() {
-                report.total_writes += 1;
-                if e.acked {
-                    report.acked_writes += 1;
-                }
-            }
-        }
-        let audit_slot = *self.members.iter().next().expect("at least one member");
-        for key in oracle.keys() {
-            report.keys += 1;
-            let surviving = self.surviving_at(audit_slot, &key);
-            report.surviving_values += surviving.len() as u64;
-            let (lost, fc) = oracle.audit_key(&key, &surviving);
-            report.lost_updates += lost;
-            report.false_concurrency += fc;
-        }
-        report
+        FleetHarness::anomaly_report(self)
     }
 
     /// The union of surviving write ids for `key` across every current
@@ -995,46 +941,24 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
     /// off, no client traffic in flight) this must be empty — residual
     /// copies are either retired on transfer/handoff ack or carry a hint
     /// obligation that will retire them.
+    /// (Generic implementation: [`FleetHarness::residual_copies`].)
     pub fn residual_copies(&self) -> Vec<(usize, Key)> {
-        let ring = self.view.to_ring(self.vnodes);
-        let mut out = Vec::new();
-        for i in self.member_slots() {
-            let me = ReplicaId(i as u32);
-            for key in self.server_node(i).data().keys() {
-                if !ring.preference_list(key, self.store_n).contains(&me) {
-                    out.push((i, key.clone()));
-                }
-            }
-        }
-        out
+        FleetHarness::residual_copies(self)
     }
 
     /// Aggregates all clients' latency statistics.
+    /// (Generic implementation: [`FleetHarness::latency_report`].)
     pub fn latency_report(&self) -> LatencyReport {
-        let mut out = LatencyReport::default();
-        for j in 0..self.clients {
-            let s = self.client(j).stats();
-            out.get.merge(&s.get_latency);
-            out.put.merge(&s.put_latency);
-            out.failed_cycles += s.failed_cycles;
-            out.retries += s.retries;
-        }
-        out
+        FleetHarness::latency_report(self)
     }
 
     /// Sums every node's per-class wire counters — servers (dormant
     /// spares included, since a retired leaver keeps gossiping) and
     /// clients. The cluster-wide bytes-on-the-wire ledger the wire
     /// bench reports from.
+    /// (Generic implementation: [`FleetHarness::wire_report`].)
     pub fn wire_report(&self) -> WireStats {
-        let mut out = WireStats::default();
-        for i in 0..self.server_slots {
-            out.absorb(&self.server(i).wire_stats());
-        }
-        for j in 0..self.clients {
-            out.absorb(&self.client(j).wire_stats());
-        }
-        out
+        FleetHarness::wire_report(self)
     }
 
     /// Measures causal metadata across the (ideally converged) store.
@@ -1058,6 +982,45 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
             out.mean_siblings /= key_instances as f64;
         }
         out
+    }
+}
+
+impl<M: Mechanism<StampedValue>> FleetHarness<M> for Cluster<M> {
+    fn mechanism(&self) -> &M {
+        &self.mech
+    }
+
+    fn member_servers(&self) -> Vec<usize> {
+        self.member_slots()
+    }
+
+    /// All server slots, dormant spares included — a retired leaver
+    /// keeps gossiping, so its ledger still counts.
+    fn ledger_servers(&self) -> Vec<usize> {
+        (0..self.server_slots).collect()
+    }
+
+    fn client_count(&self) -> usize {
+        self.clients
+    }
+
+    fn server_ref(&self, i: usize) -> &StoreNode<M> {
+        self.server(i)
+    }
+
+    fn server_mut_ref(&mut self, i: usize) -> &mut StoreNode<M> {
+        match self.sim.process_mut(i) {
+            StoreProc::Server(s) => s,
+            StoreProc::Client(_) => panic!("node {i} is a client"),
+        }
+    }
+
+    fn client_ref(&self, j: usize) -> &ClientNode<M> {
+        self.client(j)
+    }
+
+    fn audit_view(&self) -> &RingView<ReplicaId> {
+        &self.view
     }
 }
 

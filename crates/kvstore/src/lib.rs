@@ -62,6 +62,7 @@ pub mod cluster;
 pub mod config;
 pub mod ctx;
 pub mod data;
+pub mod harness;
 pub mod merkle;
 pub mod messages;
 pub mod node;
@@ -72,5 +73,6 @@ pub mod wire;
 pub use cluster::{Cluster, ClusterConfig};
 pub use config::{DeltaPolicy, StoreConfig};
 pub use ctx::{NodeCtx, SimCtx};
+pub use harness::FleetHarness;
 pub use oracle::{AnomalyReport, Oracle};
 pub use value::{Key, StampedValue, WriteId};

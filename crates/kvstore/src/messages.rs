@@ -1,8 +1,8 @@
 //! The store's wire protocol, generic over the causality mechanism.
 
-use dvv::encode::{put_varint, varint_len, Encode};
-use dvv::mechanisms::Mechanism;
-use dvv::ReplicaId;
+use dvv::encode::{put_varint, varint_len, Decoder, Encode};
+use dvv::mechanisms::{Mechanism, WireMechanism};
+use dvv::{DecodeError, ReplicaId};
 use ring::{MemberEntry, RingView};
 
 use crate::value::{Key, StampedValue};
@@ -726,6 +726,437 @@ impl<M: Mechanism<StampedValue>> Msg<M> {
     }
 }
 
+/// Appends a state as a *parseable* blob: the same length prefix as the
+/// modeled [`wire::put_blob`], but real bytes behind it. The
+/// [`WireMechanism`] contract makes both forms byte-length-identical, so
+/// [`Msg::wire_size`] stays the accounting ground truth for real frames.
+fn put_state<M: WireMechanism<StampedValue>>(buf: &mut Vec<u8>, mech: &M, state: &M::State) {
+    let size = state_wire_size(mech, state);
+    put_varint(buf, size as u64);
+    let start = buf.len();
+    mech.encode_state(state, buf);
+    debug_assert_eq!(
+        buf.len() - start,
+        size,
+        "WireMechanism encoding drifted from the modeled state size"
+    );
+}
+
+fn get_state<M: WireMechanism<StampedValue>>(
+    mech: &M,
+    d: &mut Decoder<'_>,
+) -> Result<M::State, DecodeError> {
+    let len = d.varint()? as usize;
+    let mut sub = Decoder::new(d.bytes(len)?);
+    let state = mech.decode_state(&mut sub)?;
+    if sub.remaining() != 0 {
+        return Err(DecodeError::TrailingBytes {
+            remaining: sub.remaining(),
+        });
+    }
+    Ok(state)
+}
+
+fn put_ctx<M: WireMechanism<StampedValue>>(buf: &mut Vec<u8>, mech: &M, ctx: &M::Context) {
+    let size = mech.context_size(ctx);
+    put_varint(buf, size as u64);
+    let start = buf.len();
+    mech.encode_context(ctx, buf);
+    debug_assert_eq!(
+        buf.len() - start,
+        size,
+        "WireMechanism encoding drifted from the modeled context size"
+    );
+}
+
+fn get_ctx<M: WireMechanism<StampedValue>>(
+    mech: &M,
+    d: &mut Decoder<'_>,
+) -> Result<M::Context, DecodeError> {
+    let len = d.varint()? as usize;
+    let mut sub = Decoder::new(d.bytes(len)?);
+    let ctx = mech.decode_context(&mut sub)?;
+    if sub.remaining() != 0 {
+        return Err(DecodeError::TrailingBytes {
+            remaining: sub.remaining(),
+        });
+    }
+    Ok(ctx)
+}
+
+/// The parseable counterpart of [`wire::put_keyed_blobs`]: prefix-delta
+/// keys, each followed by a [`put_state`] blob.
+fn put_keyed_states<M: WireMechanism<StampedValue>>(
+    buf: &mut Vec<u8>,
+    mech: &M,
+    entries: &[(Key, M::State)],
+) {
+    put_varint(buf, entries.len() as u64);
+    let mut prev: &[u8] = &[];
+    for (k, s) in entries {
+        let lcp = wire::common_prefix(prev, k);
+        put_varint(buf, lcp as u64);
+        put_varint(buf, (k.len() - lcp) as u64);
+        buf.extend_from_slice(&k[lcp..]);
+        put_state(buf, mech, s);
+        prev = k;
+    }
+}
+
+fn get_keyed_states<M: WireMechanism<StampedValue>>(
+    mech: &M,
+    d: &mut Decoder<'_>,
+) -> Result<Vec<(Key, M::State)>, DecodeError> {
+    let n = d.varint()? as usize;
+    let mut out: Vec<(Key, M::State)> = Vec::with_capacity(n.min(d.remaining() / 2 + 1));
+    let mut prev: Vec<u8> = Vec::new();
+    for _ in 0..n {
+        let lcp = d.varint()? as usize;
+        if lcp > prev.len() {
+            return Err(DecodeError::InvalidValue {
+                reason: "key prefix longer than previous key",
+            });
+        }
+        let suffix_len = d.varint()? as usize;
+        let suffix = d.bytes(suffix_len)?;
+        let mut k = prev[..lcp].to_vec();
+        k.extend_from_slice(suffix);
+        prev.clone_from(&k);
+        out.push((k, get_state(mech, d)?));
+    }
+    Ok(out)
+}
+
+fn get_values(d: &mut Decoder<'_>) -> Result<Vec<StampedValue>, DecodeError> {
+    let n = d.varint()? as usize;
+    let mut values = Vec::with_capacity(n.min(d.remaining() / 2 + 1));
+    for _ in 0..n {
+        values.push(StampedValue::decode(d)?);
+    }
+    Ok(values)
+}
+
+impl<M: WireMechanism<StampedValue>> Msg<M> {
+    /// Encodes the message for a *real* transport: identical to
+    /// [`Msg::encode`] except that mechanism states and contexts travel as
+    /// genuine parseable bytes instead of modeled placeholder blobs. The
+    /// [`WireMechanism`] length contract keeps
+    /// `encode_transport().len() == wire_size()`, so byte ledgers charged
+    /// from [`Msg::wire_size`] remain exact for socket frames.
+    #[must_use]
+    pub fn encode_transport(&self, mech: &M) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.wire_size(mech));
+        buf.push(self.tag());
+        match self {
+            Msg::ClientGet { req, key, digest } => {
+                wire::put_u64(&mut buf, *req);
+                wire::put_key(&mut buf, key);
+                wire::put_u64(&mut buf, *digest);
+            }
+            Msg::ClientGetResp {
+                req,
+                ok,
+                values,
+                ctx,
+            }
+            | Msg::ClientPutResp {
+                req,
+                ok,
+                values,
+                ctx,
+            } => {
+                wire::put_u64(&mut buf, *req);
+                buf.push(u8::from(*ok));
+                put_varint(&mut buf, values.len() as u64);
+                for v in values {
+                    v.encode(&mut buf);
+                }
+                put_ctx(&mut buf, mech, ctx);
+            }
+            Msg::ClientPut {
+                req,
+                key,
+                value,
+                ctx,
+                digest,
+            } => {
+                wire::put_u64(&mut buf, *req);
+                wire::put_key(&mut buf, key);
+                value.encode(&mut buf);
+                put_ctx(&mut buf, mech, ctx);
+                wire::put_u64(&mut buf, *digest);
+            }
+            Msg::RepGet { req, key } => {
+                wire::put_u64(&mut buf, *req);
+                wire::put_key(&mut buf, key);
+            }
+            Msg::RepGetResp { req, key, state } | Msg::RepWriteResp { req, key, state } => {
+                wire::put_u64(&mut buf, *req);
+                wire::put_key(&mut buf, key);
+                put_state(&mut buf, mech, state);
+            }
+            Msg::RepPut {
+                req,
+                key,
+                state,
+                hint,
+            } => {
+                wire::put_u64(&mut buf, *req);
+                wire::put_key(&mut buf, key);
+                put_state(&mut buf, mech, state);
+                wire::put_hint(&mut buf, *hint);
+            }
+            Msg::RepPutAck { req } => wire::put_u64(&mut buf, *req),
+            Msg::ReadRepair { key, state, hint } => {
+                wire::put_key(&mut buf, key);
+                put_state(&mut buf, mech, state);
+                wire::put_hint(&mut buf, *hint);
+            }
+            Msg::AaeRoot { root, digest } => {
+                wire::put_u64(&mut buf, *root);
+                wire::put_u64(&mut buf, *digest);
+            }
+            Msg::AaeArcRoots { arcs, digest } => {
+                wire::put_u64(&mut buf, *digest);
+                wire::put_arc_roots(&mut buf, arcs);
+            }
+            Msg::AaeLeaves {
+                leaves,
+                arcs,
+                digest,
+            } => {
+                wire::put_u64(&mut buf, *digest);
+                match arcs {
+                    None => buf.push(0),
+                    Some(list) => {
+                        buf.push(1);
+                        wire::put_arc_list(&mut buf, list);
+                    }
+                }
+                dvv::encode::put_leaf_set(&mut buf, leaves);
+            }
+            Msg::AaeStates { states, want } => {
+                put_keyed_states(&mut buf, mech, states);
+                wire::put_key_list(&mut buf, want);
+            }
+            Msg::AaeStatesResp { states } => {
+                put_keyed_states(&mut buf, mech, states);
+            }
+            Msg::RepWrite {
+                req,
+                key,
+                value,
+                ctx,
+                hint,
+            } => {
+                wire::put_u64(&mut buf, *req);
+                wire::put_key(&mut buf, key);
+                value.encode(&mut buf);
+                put_ctx(&mut buf, mech, ctx);
+                wire::put_hint(&mut buf, *hint);
+            }
+            Msg::JoinAnnounce { view, who, joining } => {
+                wire::put_view(&mut buf, view);
+                put_varint(&mut buf, u64::from(who.0));
+                buf.push(u8::from(*joining));
+            }
+            Msg::Rejoin { view } | Msg::RingEpoch { view } => {
+                wire::put_view(&mut buf, view);
+            }
+            Msg::RangeTransfer { id, entries } => {
+                wire::put_u64(&mut buf, *id);
+                put_keyed_states(&mut buf, mech, entries);
+            }
+            Msg::TransferAck { id } => wire::put_u64(&mut buf, *id),
+            Msg::RingSummary { entries } => wire::put_summary(&mut buf, entries),
+            Msg::RingDelta { entries, want } => {
+                wire::put_member_entries(&mut buf, entries);
+                wire::put_replica_ids(&mut buf, want);
+            }
+            Msg::GossipDigest { digest } => wire::put_u64(&mut buf, *digest),
+            Msg::Handoff { entries } => {
+                put_keyed_states(&mut buf, mech, entries);
+            }
+            Msg::HandoffAck { keys } => wire::put_key_list(&mut buf, keys),
+        }
+        debug_assert_eq!(
+            buf.len(),
+            self.wire_size(mech),
+            "transport encoding drifted from wire_size"
+        );
+        buf
+    }
+
+    /// Parses a message produced by [`Msg::encode_transport`]. Strict:
+    /// every byte must be consumed, every invariant the codecs check must
+    /// hold. A transport maps any error to a dropped connection.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] on malformed input, including an unknown
+    /// variant tag or trailing bytes.
+    pub fn decode_transport(mech: &M, bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut d = Decoder::new(bytes);
+        let tag = d.byte()?;
+        let msg = match tag {
+            0 => Msg::ClientGet {
+                req: wire::get_u64(&mut d)?,
+                key: wire::get_key(&mut d)?,
+                digest: wire::get_u64(&mut d)?,
+            },
+            1 | 3 => {
+                let req = wire::get_u64(&mut d)?;
+                let ok = wire::get_bool(&mut d)?;
+                let values = get_values(&mut d)?;
+                let ctx = get_ctx(mech, &mut d)?;
+                if tag == 1 {
+                    Msg::ClientGetResp {
+                        req,
+                        ok,
+                        values,
+                        ctx,
+                    }
+                } else {
+                    Msg::ClientPutResp {
+                        req,
+                        ok,
+                        values,
+                        ctx,
+                    }
+                }
+            }
+            2 => Msg::ClientPut {
+                req: wire::get_u64(&mut d)?,
+                key: wire::get_key(&mut d)?,
+                value: StampedValue::decode(&mut d)?,
+                ctx: get_ctx(mech, &mut d)?,
+                digest: wire::get_u64(&mut d)?,
+            },
+            4 => Msg::RepGet {
+                req: wire::get_u64(&mut d)?,
+                key: wire::get_key(&mut d)?,
+            },
+            5 | 15 => {
+                let req = wire::get_u64(&mut d)?;
+                let key = wire::get_key(&mut d)?;
+                let state = get_state(mech, &mut d)?;
+                if tag == 5 {
+                    Msg::RepGetResp { req, key, state }
+                } else {
+                    Msg::RepWriteResp { req, key, state }
+                }
+            }
+            6 => Msg::RepPut {
+                req: wire::get_u64(&mut d)?,
+                key: wire::get_key(&mut d)?,
+                state: get_state(mech, &mut d)?,
+                hint: wire::get_hint(&mut d)?,
+            },
+            7 => Msg::RepPutAck {
+                req: wire::get_u64(&mut d)?,
+            },
+            8 => Msg::ReadRepair {
+                key: wire::get_key(&mut d)?,
+                state: get_state(mech, &mut d)?,
+                hint: wire::get_hint(&mut d)?,
+            },
+            9 => Msg::AaeRoot {
+                root: wire::get_u64(&mut d)?,
+                digest: wire::get_u64(&mut d)?,
+            },
+            10 => {
+                let digest = wire::get_u64(&mut d)?;
+                let arcs = wire::get_arc_roots(&mut d)?;
+                Msg::AaeArcRoots { arcs, digest }
+            }
+            11 => {
+                let digest = wire::get_u64(&mut d)?;
+                let arcs = match d.byte()? {
+                    0 => None,
+                    1 => Some(wire::get_arc_list(&mut d)?),
+                    _ => {
+                        return Err(DecodeError::InvalidValue {
+                            reason: "arc-scope presence byte must be 0 or 1",
+                        })
+                    }
+                };
+                let leaves = dvv::encode::get_leaf_set(&mut d)?;
+                Msg::AaeLeaves {
+                    leaves,
+                    arcs,
+                    digest,
+                }
+            }
+            12 => Msg::AaeStates {
+                states: get_keyed_states(mech, &mut d)?,
+                want: wire::get_key_list(&mut d)?,
+            },
+            13 => Msg::AaeStatesResp {
+                states: get_keyed_states(mech, &mut d)?,
+            },
+            14 => Msg::RepWrite {
+                req: wire::get_u64(&mut d)?,
+                key: wire::get_key(&mut d)?,
+                value: StampedValue::decode(&mut d)?,
+                ctx: get_ctx(mech, &mut d)?,
+                hint: wire::get_hint(&mut d)?,
+            },
+            16 => {
+                let view = wire::get_view(&mut d)?;
+                let who = d.varint()?;
+                let who =
+                    u32::try_from(who)
+                        .map(ReplicaId)
+                        .map_err(|_| DecodeError::InvalidValue {
+                            reason: "replica id out of range",
+                        })?;
+                let joining = wire::get_bool(&mut d)?;
+                Msg::JoinAnnounce { view, who, joining }
+            }
+            17 => Msg::Rejoin {
+                view: wire::get_view(&mut d)?,
+            },
+            18 => Msg::RangeTransfer {
+                id: wire::get_u64(&mut d)?,
+                entries: get_keyed_states(mech, &mut d)?,
+            },
+            19 => Msg::TransferAck {
+                id: wire::get_u64(&mut d)?,
+            },
+            20 => Msg::RingEpoch {
+                view: wire::get_view(&mut d)?,
+            },
+            21 => Msg::RingSummary {
+                entries: wire::get_summary(&mut d)?,
+            },
+            22 => Msg::RingDelta {
+                entries: wire::get_member_entries(&mut d)?,
+                want: wire::get_replica_ids(&mut d)?,
+            },
+            23 => Msg::GossipDigest {
+                digest: wire::get_u64(&mut d)?,
+            },
+            24 => Msg::Handoff {
+                entries: get_keyed_states(mech, &mut d)?,
+            },
+            25 => Msg::HandoffAck {
+                keys: wire::get_key_list(&mut d)?,
+            },
+            _ => {
+                return Err(DecodeError::InvalidValue {
+                    reason: "unknown message tag",
+                })
+            }
+        };
+        if d.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes {
+                remaining: d.remaining(),
+            });
+        }
+        Ok(msg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -968,6 +1399,58 @@ mod tests {
         assert_eq!(b.reconciliation_bytes(), 100 + 9);
         assert_eq!(b.msgs(MsgClass::Membership), 1);
         assert_eq!(MsgClass::ALL.len(), 6);
+    }
+
+    #[test]
+    fn transport_codec_roundtrips_state_bearing_messages() {
+        let mech = DvvMechanism;
+        let st = sample_state();
+        let msg: Msg<M> = Msg::RepPut {
+            req: 42,
+            key: b"alpha".to_vec(),
+            state: st.clone(),
+            hint: Some(ReplicaId(3)),
+        };
+        let bytes = msg.encode_transport(&mech);
+        assert_eq!(bytes.len(), msg.wire_size(&mech));
+        let back = Msg::<M>::decode_transport(&mech, &bytes).unwrap();
+        match back {
+            Msg::RepPut {
+                req, key, state, ..
+            } => {
+                assert_eq!(req, 42);
+                assert_eq!(key, b"alpha".to_vec());
+                assert_eq!(state, st);
+            }
+            other => panic!("decoded wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transport_decode_rejects_malformed_input() {
+        let mech = DvvMechanism;
+        // unknown tag
+        assert!(Msg::<M>::decode_transport(&mech, &[200]).is_err());
+        // empty input
+        assert!(Msg::<M>::decode_transport(&mech, &[]).is_err());
+        let msg: Msg<M> = Msg::GossipDigest { digest: 7 };
+        let mut bytes = msg.encode_transport(&mech);
+        // trailing garbage
+        bytes.push(0);
+        assert!(Msg::<M>::decode_transport(&mech, &bytes).is_err());
+        // truncation anywhere must error, never panic
+        let msg: Msg<M> = Msg::RepGetResp {
+            req: 1,
+            key: b"k".to_vec(),
+            state: sample_state(),
+        };
+        let bytes = msg.encode_transport(&mech);
+        for cut in 0..bytes.len() {
+            assert!(
+                Msg::<M>::decode_transport(&mech, &bytes[..cut]).is_err(),
+                "torn message parsed at cut {cut}"
+            );
+        }
     }
 
     #[test]

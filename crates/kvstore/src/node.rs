@@ -300,6 +300,12 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         self.config.header_bytes
     }
 
+    /// The node's store configuration (quorum sizes, intervals, ring
+    /// geometry) — harness audits read `n`/`vnodes` from here.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
     /// Counters.
     pub fn stats(&self) -> NodeStats {
         self.stats

@@ -102,6 +102,44 @@ pub fn hint_len(hint: Option<ReplicaId>) -> usize {
     1 + hint.map_or(0, |r| varint_len(u64::from(r.0)))
 }
 
+/// Reads back a [`put_hint`] target.
+///
+/// # Errors
+///
+/// Any [`DecodeError`] on malformed input, including an out-of-range
+/// presence byte.
+pub fn get_hint(d: &mut Decoder<'_>) -> Result<Option<ReplicaId>, DecodeError> {
+    match d.byte()? {
+        0 => Ok(None),
+        1 => {
+            let id = d.varint()?;
+            u32::try_from(id)
+                .map(|r| Some(ReplicaId(r)))
+                .map_err(|_| DecodeError::InvalidValue {
+                    reason: "hint replica id out of range",
+                })
+        }
+        _ => Err(DecodeError::InvalidValue {
+            reason: "hint presence byte must be 0 or 1",
+        }),
+    }
+}
+
+/// Reads back a flag byte written as `u8::from(bool)`.
+///
+/// # Errors
+///
+/// [`DecodeError::InvalidValue`] on anything but 0 or 1.
+pub fn get_bool(d: &mut Decoder<'_>) -> Result<bool, DecodeError> {
+    match d.byte()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(DecodeError::InvalidValue {
+            reason: "flag byte must be 0 or 1",
+        }),
+    }
+}
+
 /// Appends a sorted replica-id list as gap deltas.
 pub fn put_replica_ids(buf: &mut Vec<u8>, ids: &[ReplicaId]) {
     let raw: Vec<u64> = ids.iter().map(|r| u64::from(r.0)).collect();
@@ -400,7 +438,7 @@ pub fn keyed_blobs_len(items: &[(&Key, usize)]) -> usize {
     n
 }
 
-fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+pub(crate) fn common_prefix(a: &[u8], b: &[u8]) -> usize {
     a.iter().zip(b).take_while(|(x, y)| x == y).count()
 }
 

@@ -4,6 +4,11 @@
 //! The spot checks in `messages.rs` pin a handful of shapes; this suite
 //! walks all of them with arbitrary keys, payloads, states, contexts
 //! and ring views.
+//!
+//! The same walk also pins the *transport* codec: `encode_transport`
+//! (real parseable state/context bytes, as shipped on sockets) must cost
+//! exactly the same bytes as the modeled encoding, and
+//! `decode_transport` must be its inverse.
 
 use dvv::mechanisms::{DvvMechanism, Mechanism, WriteOrigin};
 use dvv::{ClientId, ReplicaId, VersionVector};
@@ -92,6 +97,29 @@ fn check(mech: &M, msg: &Msg<M>) -> Result<(), TestCaseError> {
         msg.wire_size(mech),
         encoded.len(),
         "wire_size disagrees with encode() for {:?}",
+        msg
+    );
+    // The real-bytes transport form costs exactly what the model charges…
+    let real = msg.encode_transport(mech);
+    prop_assert_eq!(
+        real.len(),
+        encoded.len(),
+        "encode_transport costs different bytes than the model for {:?}",
+        msg
+    );
+    // …and parses back to the same message (compared by re-encoding,
+    // since Msg doesn't implement PartialEq).
+    let back = Msg::<M>::decode_transport(mech, &real);
+    prop_assert!(
+        back.is_ok(),
+        "decode_transport failed for {:?}: {:?}",
+        msg,
+        back.err()
+    );
+    prop_assert_eq!(
+        back.unwrap().encode_transport(mech),
+        real,
+        "transport roundtrip is not the identity for {:?}",
         msg
     );
     Ok(())

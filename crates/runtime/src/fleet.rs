@@ -29,12 +29,12 @@ use std::time::{Duration as StdDuration, Instant};
 use dvv::mechanisms::Mechanism;
 use dvv::{ClientId, ReplicaId};
 use kvstore::client::ClientNode;
-use kvstore::cluster::{EngineFactory, LatencyReport, StoreProc};
+use kvstore::cluster::{EngineFactory, StoreProc};
 use kvstore::config::StoreConfig;
+use kvstore::harness::FleetHarness;
 use kvstore::messages::{Msg, WireStats};
 use kvstore::node::{NodeStats, StoreNode};
-use kvstore::oracle::{AnomalyReport, Oracle};
-use kvstore::value::{Key, StampedValue, WriteId};
+use kvstore::value::StampedValue;
 use ring::{MemberStatus, RingView};
 use simnet::{NodeId, SimRng, SimTime, TimerId};
 use storage::{MemEngine, StorageEngine};
@@ -707,119 +707,59 @@ where
         self.config.clients
     }
 
-    /// Builds the ground-truth oracle from all client logs.
-    pub fn oracle(&self) -> Oracle {
-        let logs = (0..self.config.clients).flat_map(|j| self.client(j).write_log().iter());
-        Oracle::from_logs(logs)
-    }
-
-    /// Deterministically merges every key across all servers to a
-    /// fixpoint — same test-harness operation as
-    /// [`Cluster::converge`](kvstore::cluster::Cluster::converge).
-    pub fn converge(&mut self) {
-        loop {
-            let mut global: BTreeMap<Key, M::State> = BTreeMap::new();
-            for i in 0..self.config.servers {
-                for (k, st) in self.server(i).data() {
-                    let entry = global.entry(k.clone()).or_default();
-                    self.mech.merge(entry, st);
-                }
-            }
-            let mut changed = false;
-            for i in 0..self.config.servers {
-                let StoreProc::Server(s) = &mut self.nodes[i].proc_ else {
-                    continue;
-                };
-                for (k, st) in &global {
-                    let before = s.data().get(k).cloned();
-                    s.merge_state_direct(k, st);
-                    if s.data().get(k) != before.as_ref() {
-                        changed = true;
-                    }
-                }
-            }
-            if !changed {
-                return;
-            }
+    /// Mutable access to server `i`'s store node (harness convergence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a server index.
+    pub fn server_mut(&mut self, i: usize) -> &mut StoreNode<M> {
+        assert!(i < self.config.servers, "node {i} is not a server");
+        match &mut self.nodes[i].proc_ {
+            StoreProc::Server(s) => s,
+            StoreProc::Client(_) => unreachable!("layout: servers first"),
         }
     }
+}
 
-    /// The surviving write ids for `key` at server `i`.
-    pub fn surviving_at(&self, i: usize, key: &[u8]) -> std::collections::BTreeSet<WriteId> {
-        match self.server(i).data().get(key) {
-            None => Default::default(),
-            Some(st) => {
-                let (values, _) = self.mech.read(st);
-                values.into_iter().map(|v| v.id).collect()
-            }
-        }
+/// The post-run measurement surface — `oracle` / `converge` /
+/// `anomaly_report` / `residual_copies` / `latency_report` /
+/// `wire_report` — comes from [`FleetHarness`]'s provided methods, the
+/// same implementation the simulator's `Cluster` and the socket driver
+/// run. ([`FleetStats::wire_report`] remains the *live* snapshot fold;
+/// the trait's is the post-run authoritative one from the node
+/// ledgers.)
+impl<M> FleetHarness<M> for RuntimeFleet<M>
+where
+    M: Mechanism<StampedValue> + Send + 'static,
+    M::State: Send,
+    M::Context: Send,
+{
+    fn mechanism(&self) -> &M {
+        &self.mech
     }
 
-    /// Audits the (converged) store against the oracle — same audit as
-    /// [`Cluster::anomaly_report`](kvstore::cluster::Cluster::anomaly_report).
-    pub fn anomaly_report(&self) -> AnomalyReport {
-        let oracle = self.oracle();
-        let mut report = AnomalyReport::default();
-        for j in 0..self.config.clients {
-            for e in self.client(j).write_log() {
-                report.total_writes += 1;
-                if e.acked {
-                    report.acked_writes += 1;
-                }
-            }
-        }
-        for key in oracle.keys() {
-            report.keys += 1;
-            let surviving = self.surviving_at(0, &key);
-            report.surviving_values += surviving.len() as u64;
-            let (lost, fc) = oracle.audit_key(&key, &surviving);
-            report.lost_updates += lost;
-            report.false_concurrency += fc;
-        }
-        report
+    fn member_servers(&self) -> Vec<usize> {
+        (0..self.config.servers).collect()
     }
 
-    /// Every `(server, key)` pair held outside the key's preference
-    /// list — must be empty after a quiescent period.
-    pub fn residual_copies(&self) -> Vec<(usize, Key)> {
-        let ring = self.view.to_ring(self.config.store.vnodes);
-        let mut out = Vec::new();
-        for i in 0..self.config.servers {
-            let me = ReplicaId(i as u32);
-            for key in self.server(i).data().keys() {
-                if !ring.preference_list(key, self.config.store.n).contains(&me) {
-                    out.push((i, key.clone()));
-                }
-            }
-        }
-        out
+    fn client_count(&self) -> usize {
+        self.config.clients
     }
 
-    /// Aggregates all clients' latency statistics.
-    pub fn latency_report(&self) -> LatencyReport {
-        let mut out = LatencyReport::default();
-        for j in 0..self.config.clients {
-            let s = self.client(j).stats();
-            out.get.merge(&s.get_latency);
-            out.put.merge(&s.put_latency);
-            out.failed_cycles += s.failed_cycles;
-            out.retries += s.retries;
-        }
-        out
+    fn server_ref(&self, i: usize) -> &StoreNode<M> {
+        self.server(i)
     }
 
-    /// Sums every node's per-class wire counters from the node ledgers
-    /// themselves (post-run authoritative fold; see [`FleetStats`] for
-    /// the live one).
-    pub fn wire_report(&self) -> WireStats {
-        let mut out = WireStats::default();
-        for i in 0..self.config.servers {
-            out.absorb(&self.server(i).wire_stats());
-        }
-        for j in 0..self.config.clients {
-            out.absorb(&self.client(j).wire_stats());
-        }
-        out
+    fn server_mut_ref(&mut self, i: usize) -> &mut StoreNode<M> {
+        self.server_mut(i)
+    }
+
+    fn client_ref(&self, j: usize) -> &ClientNode<M> {
+        self.client(j)
+    }
+
+    fn audit_view(&self) -> &RingView<ReplicaId> {
+        &self.view
     }
 }
 

@@ -4,24 +4,20 @@
 //!
 //! "Equivalent" here is *protocol-level*, not bit-level — the threaded
 //! driver has real wall-clock interleavings — so the assertions are the
-//! store's own convergence and safety audits:
-//!
-//! * every client finished its cycles;
-//! * all servers gossiped to one ring view;
-//! * each server pair's shared Merkle summaries agree leaf-for-leaf
-//!   (the anti-entropy definition of "replicas converged");
-//! * no server holds a key outside its preference list;
-//! * after the harness converge, the oracle audit finds zero lost
-//!   updates and zero false concurrency — on both drivers.
+//! store's own convergence and safety audits, applied through the one
+//! driver-agnostic surface both fleets implement
+//! ([`kvstore::harness::FleetHarness`]): [`audit_fleet`] checks one
+//! ring view, pairwise AAE leaf equivalence, zero residual copies, and
+//! an oracle-clean converge — the same function, both drivers.
 //!
 //! `RUNTIME_CONFORMANCE_SEEDS` widens the seed sweep for soak lanes.
 
 use std::time::Duration as StdDuration;
 
 use dvv::mechanisms::DvvMechanism;
-use dvv::ReplicaId;
 use kvstore::cluster::{Cluster, ClusterConfig};
 use kvstore::config::{ClientConfig, StoreConfig};
+use kvstore::harness::{audit_fleet, FleetHarness};
 use runtime::{FaultPlan, RuntimeConfig, RuntimeFleet};
 use simnet::Duration;
 
@@ -94,91 +90,19 @@ fn audit_runtime(seed: u64) {
         "seed {seed}: live op counter diverged from client histograms"
     );
 
-    // One ring view everywhere.
-    let digest0 = fleet.server(0).view_digest();
-    for i in 1..SERVERS {
-        assert_eq!(
-            fleet.server(i).view_digest(),
-            digest0,
-            "seed {seed}: server {i} view digest diverged"
-        );
-    }
-
-    // AAE equivalence: each pair's shared summaries agree leaf-for-leaf.
-    for i in 0..SERVERS {
-        for j in (i + 1)..SERVERS {
-            let a = fleet.server(i).rebuild_shared_summary(ReplicaId(j as u32));
-            let b = fleet.server(j).rebuild_shared_summary(ReplicaId(i as u32));
-            if a.leaves() != b.leaves() {
-                let al: std::collections::BTreeMap<_, _> = a.leaves().into_iter().collect();
-                let bl: std::collections::BTreeMap<_, _> = b.leaves().into_iter().collect();
-                let mut detail = String::new();
-                for (k, h) in &al {
-                    if bl.get(k) != Some(h) {
-                        detail.push_str(&format!(
-                            "\n  key {:?}: {i}={:?} vs {j}={:?}",
-                            String::from_utf8_lossy(k),
-                            fleet.server(i).data().get(k),
-                            fleet.server(j).data().get(k),
-                        ));
-                    }
-                }
-                for k in bl.keys() {
-                    if !al.contains_key(k) {
-                        detail.push_str(&format!(
-                            "\n  key {:?}: missing on {i}",
-                            String::from_utf8_lossy(k)
-                        ));
-                    }
-                }
-                let diag: Vec<String> = (0..SERVERS)
-                    .map(|s| {
-                        let st = fleet.server(s).stats();
-                        format!(
-                            "server {s}: rounds={} divergent={}",
-                            st.aae_rounds, st.aae_divergent
-                        )
-                    })
-                    .collect();
-                panic!(
-                    "seed {seed}: servers {i}/{j} not AAE-equivalent after quiesce\n{}\ndiffering keys:{detail}",
-                    diag.join("\n")
-                );
-            }
-        }
-    }
-
-    // No data outside ownership.
-    let residuals = fleet.residual_copies();
-    assert!(
-        residuals.is_empty(),
-        "seed {seed}: residual copies after quiesce: {residuals:?}"
-    );
-
-    // Oracle-clean after harness converge, like the simulated suites.
-    fleet.converge();
-    let anomalies = fleet.anomaly_report();
-    assert_eq!(
-        anomalies.lost_updates, 0,
-        "seed {seed}: runtime lost updates: {anomalies:?}"
-    );
-    assert_eq!(
-        anomalies.false_concurrency, 0,
-        "seed {seed}: runtime false concurrency: {anomalies:?}"
-    );
-    assert!(anomalies.acked_writes > 0, "seed {seed}: no writes acked");
+    audit_fleet(&mut fleet, &format!("seed {seed} (runtime)"));
 
     // The wire ledger folded from live snapshots matches the
     // authoritative post-run fold.
     assert_eq!(
         fleet.stats().wire_report(),
-        fleet.wire_report(),
+        FleetHarness::wire_report(&fleet),
         "seed {seed}: live wire fold diverged from node ledgers"
     );
 }
 
 /// Runs the same seeded workload shape on the simulator and applies the
-/// same oracle audit — the baseline the runtime must match.
+/// same audit stack — the baseline the runtime must match.
 fn audit_sim(seed: u64) {
     let mut cluster = Cluster::new(
         seed,
@@ -194,17 +118,7 @@ fn audit_sim(seed: u64) {
     );
     cluster.run();
     cluster.run_for(Duration::from_millis(1500));
-    cluster.converge();
-    let anomalies = cluster.anomaly_report();
-    assert_eq!(
-        anomalies.lost_updates, 0,
-        "seed {seed}: simulator lost updates: {anomalies:?}"
-    );
-    assert_eq!(
-        anomalies.false_concurrency, 0,
-        "seed {seed}: simulator false concurrency: {anomalies:?}"
-    );
-    assert!(anomalies.acked_writes > 0, "seed {seed}: no writes acked");
+    audit_fleet(&mut cluster, &format!("seed {seed} (simulator)"));
 }
 
 #[test]

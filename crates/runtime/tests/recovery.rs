@@ -13,6 +13,7 @@ use std::time::Duration as StdDuration;
 use dvv::mechanisms::DvvSetMechanism;
 use dvv::ReplicaId;
 use kvstore::config::ClientConfig;
+use kvstore::harness::audit_fleet;
 use kvstore::StoreConfig;
 use runtime::{CrashEvent, EngineFactory, FaultPlan, RuntimeConfig, RuntimeFleet};
 use simnet::Duration;
@@ -54,18 +55,11 @@ fn recovery_config() -> RuntimeConfig {
 }
 
 /// The full post-run audit stack, shared by the durable and diskless
-/// recovery scenarios.
+/// recovery scenarios: the generic [`audit_fleet`] stack (one ring
+/// view, pairwise AAE equivalence — recovered node included — zero
+/// residual copies, oracle-clean converge), plus the recovery-specific
+/// check that the victim is a full member again in its peers' eyes.
 fn audit(fleet: &mut RuntimeFleet<DvvSetMechanism>, label: &str) {
-    // One ring view everywhere — the rejoin spread by gossip alone.
-    let digest0 = fleet.server(0).view_digest();
-    for i in 1..SERVERS {
-        assert_eq!(
-            fleet.server(i).view_digest(),
-            digest0,
-            "{label}: server {i} view digest diverged after recovery"
-        );
-    }
-    // The recovered node is a full member again in its peers' eyes.
     assert!(
         fleet
             .server(0)
@@ -74,40 +68,7 @@ fn audit(fleet: &mut RuntimeFleet<DvvSetMechanism>, label: &str) {
             .contains(&ReplicaId(VICTIM as u32)),
         "{label}: recovered server missing from the membership"
     );
-
-    // Pairwise AAE equivalence, recovered node included.
-    for i in 0..SERVERS {
-        for j in (i + 1)..SERVERS {
-            let a = fleet.server(i).rebuild_shared_summary(ReplicaId(j as u32));
-            let b = fleet.server(j).rebuild_shared_summary(ReplicaId(i as u32));
-            assert_eq!(
-                a.leaves(),
-                b.leaves(),
-                "{label}: servers {i}/{j} not AAE-equivalent after recovery"
-            );
-        }
-    }
-
-    // No data outside ownership (audited *before* the harness converge,
-    // which fabricates residuals by design).
-    let residuals = fleet.residual_copies();
-    assert!(
-        residuals.is_empty(),
-        "{label}: residual copies after recovery: {residuals:?}"
-    );
-
-    // Oracle-clean: every acked write survives the crash somewhere.
-    fleet.converge();
-    let anomalies = fleet.anomaly_report();
-    assert_eq!(
-        anomalies.lost_updates, 0,
-        "{label}: lost updates across crash/recovery: {anomalies:?}"
-    );
-    assert_eq!(
-        anomalies.false_concurrency, 0,
-        "{label}: false concurrency across crash/recovery: {anomalies:?}"
-    );
-    assert!(anomalies.acked_writes > 0, "{label}: no writes acked");
+    audit_fleet(fleet, label);
 }
 
 /// Durable fleet, write-through log engines: the victim is killed

@@ -1,0 +1,552 @@
+//! The socket fabric: listeners, reconnecting per-peer links, and the
+//! fleet-wide byte ledger.
+//!
+//! Every node owns a loopback TCP listener; messages between distinct
+//! nodes travel as [`frame`](crate::frame)-encoded
+//! `Msg::encode_transport` bodies over per-`(sender, receiver)`
+//! connections dialed lazily on first send. Each link has:
+//!
+//! * a bounded outbound queue — a full queue drops the frame, exactly
+//!   the threaded runtime's full-inbox wire-loss semantics, so a slow
+//!   or dead peer can never deadlock a sender;
+//! * a writer thread that dials, introduces itself with a hello frame
+//!   carrying its node id, and reconnects with jittered exponential
+//!   backoff whenever the connection breaks (the frames lost in between
+//!   are wire loss the protocol's retries and anti-entropy absorb).
+//!
+//! Inbound, an accept thread per listener spawns a reader per
+//! connection; a malformed frame (torn, oversized, bad checksum) or an
+//! undecodable body kills that connection — a stream decoder cannot
+//! resync after corruption — and the dialer's backoff takes it from
+//! there. A full node inbox drops the message, matching the runtime.
+//!
+//! The fabric keeps an atomic ledger of every byte it handles, split by
+//! fate (written / queued / dropped / self-delivered / hello), so the
+//! conformance suite can assert *charge parity*: the bytes the nodes'
+//! wire ledgers charged equal the bytes the fabric accepted, to the
+//! byte — the accounting the simulator models is the accounting the
+//! socket driver measures.
+
+use std::collections::HashMap;
+use std::io::BufWriter;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration as StdDuration;
+
+use dvv::mechanisms::WireMechanism;
+use kvstore::messages::Msg;
+use kvstore::value::StampedValue;
+use runtime::Progress;
+use simnet::{NodeId, SimRng};
+
+use crate::frame::{self, HEADER_BYTES};
+
+/// Initial reconnect backoff.
+const BACKOFF_BASE_MS: u64 = 1;
+/// Backoff cap (before jitter).
+const BACKOFF_CAP_MS: u64 = 128;
+/// Writer queue poll interval while idle (bounds shutdown latency).
+const WRITER_POLL: StdDuration = StdDuration::from_millis(25);
+
+/// A message delivered into a node's inbox: the sending node plus the
+/// decoded message.
+pub type InPacket<M> = (NodeId, Msg<M>);
+
+/// Snapshot of the fabric's byte/frame ledger.
+///
+/// Invariant (asserted by the conformance suite): every byte a node's
+/// `ctx.send` charged is accounted exactly once as `enqueued`,
+/// `dropped` or `self_delivered`, so
+/// `enqueued_bytes + dropped_bytes + self_bytes` equals the fleet's
+/// summed wire ledgers. `written` trails `enqueued` only by frames
+/// still queued (or lost to a broken connection) at snapshot time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Frames accepted into an outbound queue.
+    pub enqueued_frames: u64,
+    /// Bytes (header included) accepted into an outbound queue.
+    pub enqueued_bytes: u64,
+    /// Frames actually written to a socket.
+    pub written_frames: u64,
+    /// Bytes (header included) actually written to a socket.
+    pub written_bytes: u64,
+    /// Frames dropped at enqueue: queue full or link torn down.
+    pub dropped_frames: u64,
+    /// Bytes dropped at enqueue.
+    pub dropped_bytes: u64,
+    /// Frames lost after dequeue to a failed socket write.
+    pub io_lost_frames: u64,
+    /// Self-sends delivered locally, bypassing the sockets.
+    pub self_frames: u64,
+    /// Bytes (header included) self-delivered locally.
+    pub self_bytes: u64,
+    /// Bytes spent on hello frames (connection setup, not message
+    /// traffic — kept out of the data ledger on purpose).
+    pub hello_bytes: u64,
+    /// Successful outbound connection establishments.
+    pub connects: u64,
+    /// Connects beyond each link's first — i.e. recoveries after a
+    /// broken connection.
+    pub reconnects: u64,
+    /// Frames received and decoded.
+    pub recv_frames: u64,
+    /// Bytes (header included) received in decoded frames.
+    pub recv_bytes: u64,
+    /// Connections dropped on a frame-layer error (torn / oversized /
+    /// bad checksum).
+    pub frame_errors: u64,
+    /// Connections dropped on an undecodable message body.
+    pub decode_errors: u64,
+    /// Decoded messages dropped because the destination inbox was full.
+    pub inbox_drops: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    enqueued_frames: AtomicU64,
+    enqueued_bytes: AtomicU64,
+    written_frames: AtomicU64,
+    written_bytes: AtomicU64,
+    dropped_frames: AtomicU64,
+    dropped_bytes: AtomicU64,
+    io_lost_frames: AtomicU64,
+    self_frames: AtomicU64,
+    self_bytes: AtomicU64,
+    hello_bytes: AtomicU64,
+    connects: AtomicU64,
+    reconnects: AtomicU64,
+    recv_frames: AtomicU64,
+    recv_bytes: AtomicU64,
+    frame_errors: AtomicU64,
+    decode_errors: AtomicU64,
+    inbox_drops: AtomicU64,
+}
+
+/// Outbound link registry: `(from, to)` → that link's frame queue.
+type Links = HashMap<(usize, usize), SyncSender<Vec<u8>>>;
+
+/// Live socket registry entry: enough to sever the connection from
+/// outside (fault injection, shutdown).
+struct Conn {
+    /// Either endpoint's node index (dialer side knows both; accept
+    /// side knows the peer only after the hello).
+    nodes: (usize, usize),
+    stream: TcpStream,
+}
+
+/// The shared socket layer of a [`SocketFleet`](crate::fleet::SocketFleet).
+pub struct Fabric<M: WireMechanism<StampedValue>> {
+    mech: M,
+    addrs: Vec<SocketAddr>,
+    inboxes: Vec<SyncSender<InPacket<M>>>,
+    progress: Arc<Progress>,
+    shutdown: Arc<AtomicBool>,
+    counters: Counters,
+    links: Mutex<Links>,
+    conns: Mutex<HashMap<u64, Conn>>,
+    next_conn: AtomicU64,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    rng_root: SimRng,
+    queue_capacity: usize,
+    max_frame: usize,
+}
+
+impl<M> std::fmt::Debug for Fabric<M>
+where
+    M: WireMechanism<StampedValue>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("nodes", &self.addrs.len())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: WireMechanism<StampedValue>> Fabric<M> {
+    /// The listen address of node `i` (loopback, ephemeral port).
+    pub fn addr(&self, i: usize) -> SocketAddr {
+        self.addrs[i]
+    }
+
+    /// Snapshot of the byte/frame ledger.
+    pub fn stats(&self) -> FabricStats {
+        let c = &self.counters;
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        FabricStats {
+            enqueued_frames: ld(&c.enqueued_frames),
+            enqueued_bytes: ld(&c.enqueued_bytes),
+            written_frames: ld(&c.written_frames),
+            written_bytes: ld(&c.written_bytes),
+            dropped_frames: ld(&c.dropped_frames),
+            dropped_bytes: ld(&c.dropped_bytes),
+            io_lost_frames: ld(&c.io_lost_frames),
+            self_frames: ld(&c.self_frames),
+            self_bytes: ld(&c.self_bytes),
+            hello_bytes: ld(&c.hello_bytes),
+            connects: ld(&c.connects),
+            reconnects: ld(&c.reconnects),
+            recv_frames: ld(&c.recv_frames),
+            recv_bytes: ld(&c.recv_bytes),
+            frame_errors: ld(&c.frame_errors),
+            decode_errors: ld(&c.decode_errors),
+            inbox_drops: ld(&c.inbox_drops),
+        }
+    }
+}
+
+impl<M> Fabric<M>
+where
+    M: WireMechanism<StampedValue> + Send + Sync + 'static,
+    M::State: Send,
+    M::Context: Send,
+{
+    /// Binds one loopback listener per node, spawns the accept threads,
+    /// and returns the shared fabric. `inboxes[i]` receives decoded
+    /// messages addressed to node `i`; `rng_root` seeds the per-link
+    /// backoff jitter streams.
+    #[allow(clippy::too_many_arguments)] // the fleet's one construction site
+    pub fn start(
+        mech: M,
+        nodes: usize,
+        inboxes: Vec<SyncSender<InPacket<M>>>,
+        progress: Arc<Progress>,
+        shutdown: Arc<AtomicBool>,
+        rng_root: SimRng,
+        queue_capacity: usize,
+        max_frame: usize,
+    ) -> std::io::Result<Arc<Self>> {
+        assert_eq!(inboxes.len(), nodes, "one inbox per node");
+        let mut listeners = Vec::with_capacity(nodes);
+        let mut addrs = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(l.local_addr()?);
+            listeners.push(l);
+        }
+        let fabric = Arc::new(Fabric {
+            mech,
+            addrs,
+            inboxes,
+            progress,
+            shutdown,
+            counters: Counters::default(),
+            links: Mutex::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            threads: Mutex::new(Vec::new()),
+            rng_root,
+            queue_capacity,
+            max_frame,
+        });
+        for (node, listener) in listeners.into_iter().enumerate() {
+            let f = Arc::clone(&fabric);
+            let h = thread::spawn(move || f.accept_loop(node, listener));
+            fabric.threads.lock().expect("threads lock").push(h);
+        }
+        Ok(fabric)
+    }
+
+    /// Queues an encoded message body for transmission `from → to`,
+    /// dialing the link on first use. A full (or torn-down) queue drops
+    /// the frame — wire loss, charged to the ledger as `dropped`.
+    pub fn send_bytes(self: &Arc<Self>, from: usize, to: usize, body: Vec<u8>) {
+        let bytes = (body.len() + HEADER_BYTES) as u64;
+        let tx = {
+            let mut links = self.links.lock().expect("links lock");
+            if self.shutdown.load(Ordering::Relaxed) {
+                self.counters.dropped_frames.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .dropped_bytes
+                    .fetch_add(bytes, Ordering::Relaxed);
+                return;
+            }
+            links
+                .entry((from, to))
+                .or_insert_with(|| self.spawn_writer(from, to))
+                .clone()
+        };
+        match tx.try_send(body) {
+            Ok(()) => {
+                self.counters
+                    .enqueued_frames
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .enqueued_bytes
+                    .fetch_add(bytes, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.counters.dropped_frames.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .dropped_bytes
+                    .fetch_add(bytes, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records a self-send delivered locally (self-traffic never
+    /// touches a socket, but its charged bytes must still balance the
+    /// ledger identity).
+    pub fn note_self(&self, wire_bytes: usize) {
+        self.counters.self_frames.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .self_bytes
+            .fetch_add(wire_bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Severs every live connection touching `node` (both directions).
+    /// Readers see a torn stream and exit; dialers reconnect with
+    /// backoff. Returns how many connections were killed.
+    pub fn kill_node_connections(&self, node: usize) -> usize {
+        let conns = self.conns.lock().expect("conns lock");
+        let mut killed = 0;
+        for c in conns.values() {
+            if c.nodes.0 == node || c.nodes.1 == node {
+                let _ = c.stream.shutdown(Shutdown::Both);
+                killed += 1;
+            }
+        }
+        killed
+    }
+
+    /// Tears the fabric down: requires the shared shutdown flag to be
+    /// set, severs every connection, unblocks the accept loops, drops
+    /// the outbound queues and joins every fabric thread.
+    pub fn stop(&self) {
+        assert!(
+            self.shutdown.load(Ordering::Relaxed),
+            "set the shared shutdown flag before Fabric::stop"
+        );
+        // Sever live connections so blocked readers/writers error out.
+        {
+            let conns = self.conns.lock().expect("conns lock");
+            for c in conns.values() {
+                let _ = c.stream.shutdown(Shutdown::Both);
+            }
+        }
+        // Unblock each accept loop with a throwaway connection.
+        for addr in &self.addrs {
+            let _ = TcpStream::connect(*addr);
+        }
+        // Drop the queue senders so writer threads see Disconnected.
+        self.links.lock().expect("links lock").clear();
+        // Threads may still be spawning readers while we join; drain
+        // until the registry stays empty.
+        loop {
+            let handles: Vec<JoinHandle<()>> =
+                std::mem::take(&mut *self.threads.lock().expect("threads lock"));
+            if handles.is_empty() {
+                return;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+    }
+
+    fn register_conn(&self, nodes: (usize, usize), stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let token = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        self.conns.lock().expect("conns lock").insert(
+            token,
+            Conn {
+                nodes,
+                stream: clone,
+            },
+        );
+        Some(token)
+    }
+
+    fn unregister_conn(&self, token: Option<u64>) {
+        if let Some(t) = token {
+            self.conns.lock().expect("conns lock").remove(&t);
+        }
+    }
+
+    /// Spawns the writer thread for link `from → to` and returns its
+    /// queue sender.
+    fn spawn_writer(self: &Arc<Self>, from: usize, to: usize) -> SyncSender<Vec<u8>> {
+        let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(self.queue_capacity);
+        let f = Arc::clone(self);
+        let n = self.addrs.len() as u64;
+        let rng = self
+            .rng_root
+            .fork_indexed("link", from as u64 * n + to as u64);
+        let h = thread::spawn(move || f.writer_loop(from, to, rx, rng));
+        self.threads.lock().expect("threads lock").push(h);
+        tx
+    }
+
+    /// Dial → hello → drain queue → (on error) reconnect with jittered
+    /// exponential backoff. Frames dequeued onto a dying connection are
+    /// lost (`io_lost`); frames that cannot even be enqueued were
+    /// already dropped at the sender.
+    fn writer_loop(&self, from: usize, to: usize, rx: Receiver<Vec<u8>>, mut rng: SimRng) {
+        let addr = self.addrs[to];
+        let mut backoff_ms = BACKOFF_BASE_MS;
+        let mut connected_before = false;
+        'dial: loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            let stream = match TcpStream::connect(addr) {
+                Ok(s) => s,
+                Err(_) => {
+                    let jitter = rng.range_u64(0, backoff_ms + 1);
+                    thread::sleep(StdDuration::from_millis(backoff_ms + jitter));
+                    backoff_ms = (backoff_ms * 2).min(BACKOFF_CAP_MS);
+                    continue 'dial;
+                }
+            };
+            let _ = stream.set_nodelay(true);
+            let token = self.register_conn((from, to), &stream);
+            let mut w = BufWriter::new(stream);
+            // Hello: introduce ourselves so the reader can attribute
+            // every subsequent frame on this connection.
+            let hello = (from as u32).to_le_bytes();
+            if frame::write_frame(&mut w, &hello).is_err() || std::io::Write::flush(&mut w).is_err()
+            {
+                self.unregister_conn(token);
+                continue 'dial;
+            }
+            self.counters
+                .hello_bytes
+                .fetch_add((HEADER_BYTES + hello.len()) as u64, Ordering::Relaxed);
+            self.counters.connects.fetch_add(1, Ordering::Relaxed);
+            if connected_before {
+                self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            connected_before = true;
+            backoff_ms = BACKOFF_BASE_MS;
+
+            loop {
+                let body = match rx.recv_timeout(WRITER_POLL) {
+                    Ok(b) => b,
+                    Err(RecvTimeoutError::Timeout) => {
+                        if self.shutdown.load(Ordering::Relaxed) {
+                            self.unregister_conn(token);
+                            return;
+                        }
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        self.unregister_conn(token);
+                        return;
+                    }
+                };
+                if self.write_one(&mut w, body).is_err() {
+                    self.unregister_conn(token);
+                    continue 'dial;
+                }
+                // Batch whatever else is queued, then flush once.
+                let mut ok = true;
+                while let Ok(b) = rx.try_recv() {
+                    if self.write_one(&mut w, b).is_err() {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok || std::io::Write::flush(&mut w).is_err() {
+                    self.unregister_conn(token);
+                    continue 'dial;
+                }
+            }
+        }
+    }
+
+    fn write_one(&self, w: &mut BufWriter<TcpStream>, body: Vec<u8>) -> std::io::Result<()> {
+        match frame::write_frame(w, &body) {
+            Ok(()) => {
+                self.counters.written_frames.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .written_bytes
+                    .fetch_add((body.len() + HEADER_BYTES) as u64, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.counters.io_lost_frames.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Accepts connections for node `to` until shutdown, spawning one
+    /// reader thread per connection.
+    fn accept_loop(self: Arc<Self>, to: usize, listener: TcpListener) {
+        loop {
+            let Ok((stream, _)) = listener.accept() else {
+                if self.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            };
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            let f = Arc::clone(&self);
+            let h = thread::spawn(move || f.reader_loop(to, stream));
+            self.threads.lock().expect("threads lock").push(h);
+        }
+    }
+
+    /// Reads frames off one accepted connection: a hello first, then
+    /// message bodies. Any frame or decode error is terminal for the
+    /// connection.
+    fn reader_loop(&self, to: usize, mut stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        // The hello attributes the connection to its dialer.
+        let from = match frame::read_frame(&mut stream, self.max_frame) {
+            Ok(Some(body)) if body.len() == 4 => {
+                let id = u32::from_le_bytes(body.try_into().expect("4 bytes")) as usize;
+                if id >= self.addrs.len() {
+                    return;
+                }
+                id
+            }
+            _ => return,
+        };
+        let token = self.register_conn((from, to), &stream);
+        loop {
+            match frame::read_frame(&mut stream, self.max_frame) {
+                Ok(Some(body)) => {
+                    self.counters.recv_frames.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .recv_bytes
+                        .fetch_add((body.len() + HEADER_BYTES) as u64, Ordering::Relaxed);
+                    match Msg::<M>::decode_transport(&self.mech, &body) {
+                        Ok(msg) => {
+                            match self.inboxes[to].try_send((NodeId(from as u32), msg)) {
+                                Ok(()) => {
+                                    self.progress.inbox_depth[to].fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(TrySendError::Full(_)) => {
+                                    // Wire loss at the inbox, same as the
+                                    // threaded runtime's bounded inboxes.
+                                    self.counters.inbox_drops.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(TrySendError::Disconnected(_)) => break,
+                            }
+                        }
+                        Err(_) => {
+                            // Undecodable body: the stream can no longer
+                            // be trusted. Drop the connection.
+                            self.counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                            let _ = stream.shutdown(Shutdown::Both);
+                            break;
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    self.counters.frame_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.shutdown(Shutdown::Both);
+                    break;
+                }
+            }
+        }
+        self.unregister_conn(token);
+    }
+}

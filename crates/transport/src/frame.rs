@@ -1,0 +1,170 @@
+//! Length-prefixed, checksummed frames over a byte stream.
+//!
+//! Every message on a socket connection travels as one frame:
+//!
+//! ```text
+//! [0..4)    body length L        (u32, little-endian)
+//! [4..8)    checksum             (low 32 bits of FNV-1a-64 of the body)
+//! [8..8+L)  body                 (Msg::encode_transport bytes, or a hello)
+//! ```
+//!
+//! The 8-byte header is the *entire* per-message transport overhead, so
+//! the socket driver runs with `StoreConfig::header_bytes ==`
+//! [`HEADER_BYTES`] and the nodes' wire ledgers charge exactly the
+//! bytes written to the socket (`Msg::wire_size == encode_transport
+//! len`, plus this header) — honest accounting, not a modeled constant.
+//!
+//! A stream decoder cannot resynchronise after corruption (there is no
+//! frame delimiter to hunt for), so every decode failure — truncated
+//! header or body, oversized length, checksum mismatch — is terminal
+//! for the connection: the caller drops it and lets the dialer
+//! reconnect. That maps corruption onto the protocol's existing
+//! wire-loss semantics instead of risking a desynchronised parse.
+
+use std::fmt;
+use std::io::{self, ErrorKind, Read, Write};
+
+use storage::fnv1a64;
+
+/// Bytes of framing overhead per message: 4-byte length + 4-byte
+/// checksum.
+pub const HEADER_BYTES: usize = 8;
+
+/// Default cap on a frame body. Protocol messages are far smaller; a
+/// length field beyond this is treated as stream corruption rather than
+/// an allocation request.
+pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed mid-frame (including EOF after a
+    /// partial header or body — a torn frame).
+    Io(io::Error),
+    /// The header announced a body larger than the configured cap.
+    TooLarge {
+        /// The announced body length.
+        len: usize,
+        /// The configured cap it exceeded.
+        max: usize,
+    },
+    /// The body did not match the header's checksum.
+    BadChecksum,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds cap of {max}")
+            }
+            FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// The checksum field for `body`: FNV-1a-64 truncated to 32 bits (the
+/// same hash the storage log's records use for torn-write detection).
+fn checksum(body: &[u8]) -> u32 {
+    fnv1a64(body) as u32
+}
+
+/// Writes one frame (header + body) to `w`. A single buffered
+/// `write_all`, so a frame is either queued to the OS in full or the
+/// write fails — there is no partial-frame success path.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(HEADER_BYTES + body.len());
+    buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&checksum(body).to_le_bytes());
+    buf.extend_from_slice(body);
+    w.write_all(&buf)
+}
+
+/// Reads one frame body from `r`.
+///
+/// Returns `Ok(None)` on a clean EOF *at a frame boundary* (the peer
+/// closed between frames). EOF inside a header or body is a torn frame
+/// and surfaces as [`FrameError::Io`]. Handles short reads (partial TCP
+/// segments) transparently via `read_exact`.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; HEADER_BYTES];
+    // First byte decides clean-close vs torn frame.
+    match r.read(&mut header[..1]) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if e.kind() == ErrorKind::Interrupted => return read_frame(r, max_frame),
+        Err(e) => return Err(e.into()),
+    }
+    r.read_exact(&mut header[1..])?;
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    let want = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > max_frame {
+        return Err(FrameError::TooLarge {
+            len,
+            max: max_frame,
+        });
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    if checksum(&body) != want {
+        return Err(FrameError::BadChecksum);
+    }
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrips_and_reports_clean_close() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xAB; 300]).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), vec![0xAB; 300]);
+        assert!(read_frame(&mut r, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(buf), 1024).unwrap_err();
+        assert!(matches!(err, FrameError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn torn_header_and_torn_body_are_io_errors() {
+        let mut full = Vec::new();
+        write_frame(&mut full, b"payload").unwrap();
+        for cut in 1..full.len() {
+            let err = read_frame(&mut Cursor::new(&full[..cut]), 1024).unwrap_err();
+            assert!(matches!(err, FrameError::Io(_)), "cut at {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn corrupt_body_fails_the_checksum() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let err = read_frame(&mut Cursor::new(buf), 1024).unwrap_err();
+        assert!(matches!(err, FrameError::BadChecksum));
+    }
+}

@@ -1,0 +1,71 @@
+//! Connection-lifecycle faults: sever every TCP connection touching a
+//! server mid-burst. Frames in flight become wire loss (a failure class
+//! the protocol already absorbs), dialers reconnect with jittered
+//! backoff, and anti-entropy repairs the damage — the run must finish
+//! and audit exactly as clean as an unfaulted one, with no operator
+//! intervention.
+
+use std::time::Duration as StdDuration;
+
+use dvv::mechanisms::DvvMechanism;
+use kvstore::config::{ClientConfig, StoreConfig};
+use kvstore::harness::audit_fleet;
+use simnet::Duration;
+use transport::{ConnKill, SocketConfig, SocketFleet};
+
+#[test]
+fn severed_connections_reconnect_and_converge() {
+    let config = SocketConfig {
+        servers: 4,
+        clients: 12,
+        cycles_per_client: 8,
+        store: StoreConfig {
+            anti_entropy_interval: Duration::from_millis(25),
+            gossip_interval: Duration::from_millis(25),
+            handoff_interval: Duration::from_millis(30),
+            ..StoreConfig::default()
+        },
+        client: ClientConfig {
+            key_count: 16,
+            think_time: Duration::from_millis(1),
+            ..ClientConfig::default()
+        },
+        stall_budget: StdDuration::from_secs(10),
+        run_budget: StdDuration::from_secs(60),
+        quiesce: StdDuration::from_secs(12),
+        settle_window: StdDuration::from_millis(600),
+        // Cut server 1's links twice while clients are mid-burst, and
+        // server 2's once for good measure.
+        conn_kills: vec![
+            ConnKill {
+                after: StdDuration::from_millis(30),
+                node: 1,
+            },
+            ConnKill {
+                after: StdDuration::from_millis(60),
+                node: 2,
+            },
+            ConnKill {
+                after: StdDuration::from_millis(90),
+                node: 1,
+            },
+        ],
+        ..SocketConfig::default()
+    };
+    let mut fleet = SocketFleet::new(0x51CC, DvvMechanism, config);
+    let report = match fleet.run() {
+        Ok(r) => r,
+        Err(stall) => panic!("socket fleet stalled under connection kills:\n{stall}"),
+    };
+    assert!(report.all_done, "clients left unfinished");
+
+    let fabric = fleet.fabric_report();
+    assert!(
+        fabric.reconnects > 0,
+        "kills never forced a reconnect — fault did not land\n{fabric:#?}"
+    );
+
+    // The full cross-driver audit stack: one view, AAE-equivalent
+    // replicas, no residual copies, oracle-clean converge.
+    audit_fleet(&mut fleet, "socket fleet with connection kills");
+}

@@ -3,13 +3,15 @@
 # waiting on (or having access to) the hosted runners.
 #
 #   scripts/ci_local.sh              # the PR gate: build-test, elastic,
-#                                    #   examples, runtime, storage, bench lanes
+#                                    #   examples, runtime, socket, storage,
+#                                    #   bench lanes
 #   scripts/ci_local.sh --soak       # additionally the nightly soak lane
 #                                    #   (PROPTEST_CASES=1024 + extra
 #                                    #   churn seeds)
 #   scripts/ci_local.sh --lane elastic   # just one lane
 #
-# Lanes: build-test, elastic, examples, runtime, storage, bench, soak.
+# Lanes: build-test, elastic, examples, runtime, socket, storage, bench,
+# soak.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -77,6 +79,14 @@ if runs_lane runtime; then
     cargo test -p runtime --test conformance -- --nocapture
 fi
 
+if runs_lane socket; then
+    banner "socket"
+    cargo test -p transport --test frame_robustness -- --nocapture
+    cargo test -p transport --test charge_parity -- --nocapture
+    cargo test -p transport --test conformance -- --nocapture
+    cargo test -p transport --test lifecycle -- --nocapture
+fi
+
 if runs_lane storage; then
     banner "storage"
     cargo test -p storage -- --nocapture
@@ -96,10 +106,13 @@ if runs_lane bench; then
         cargo bench --bench wire -- --quick
     CRITERION_JSON_OUT="$PWD/BENCH_runtime.json" \
         cargo bench --bench runtime -- --quick
+    CRITERION_JSON_OUT="$PWD/BENCH_socket.json" \
+        cargo bench --bench socket -- --quick
     CRITERION_JSON_OUT="$PWD/BENCH_storage.json" \
         cargo bench --bench storage -- --quick
     echo "baselines written to BENCH_membership.json / BENCH_store.json /" \
-         "BENCH_aae.json / BENCH_wire.json / BENCH_runtime.json / BENCH_storage.json"
+         "BENCH_aae.json / BENCH_wire.json / BENCH_runtime.json /" \
+         "BENCH_socket.json / BENCH_storage.json"
     ./scripts/bench_compare.sh
 fi
 
@@ -136,6 +149,8 @@ if runs_lane soak; then
     # thread interleavings get real coverage
     RUNTIME_CONFORMANCE_SEEDS="${RUNTIME_CONFORMANCE_SEEDS:-8}" \
         cargo test -p runtime --test conformance -- --nocapture
+    SOCKET_CONFORMANCE_SEEDS="${SOCKET_CONFORMANCE_SEEDS:-8}" \
+        cargo test -p transport --test conformance -- --nocapture
 fi
 
 echo
