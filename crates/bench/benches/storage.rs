@@ -7,7 +7,13 @@
 //!   path a crashed node pays before it can rejoin);
 //! * `compact` — overwrite churn against thresholds low enough that
 //!   the size-triggered compactor runs repeatedly inside the measured
-//!   loop (the reclaim path).
+//!   loop (the reclaim path);
+//! * `guard` — the dot-reuse epoch guard's reservation traffic laid
+//!   over the append path: group-sync vs write-through durability,
+//!   each with and without the guard's headroom-amortised
+//!   reservation fsyncs. The guarded group-sync row is the one the
+//!   acceptance bar watches — reservation overhead on the
+//!   steady-state write path must stay within ~10% of unguarded.
 //!
 //! Timing numbers, machine-dependent: `scripts/bench_compare.sh`
 //! treats deviations as warnings. Committed baseline:
@@ -102,6 +108,66 @@ fn bench_replay(c: &mut Criterion) {
     group.finish();
 }
 
+/// Write-through durability with compaction disabled: every record
+/// fsyncs, so reservation syncs can only add meta-record volume.
+fn write_through_config() -> LogConfig {
+    LogConfig {
+        compact_min_bytes: u64::MAX,
+        ..LogConfig::write_through()
+    }
+}
+
+/// The append path with the node's minting discipline laid over it:
+/// one dot per write, and before a mint may pass the durably reserved
+/// ceiling a fresh reservation with `StoreConfig::dot_headroom`-sized
+/// slack (1024, the default) is fsynced. Four rows: each durability
+/// mode, guarded and bare — the guarded/bare ratio *is* the guard's
+/// write-path overhead.
+fn bench_guard(c: &mut Criterion) {
+    // Mirrors `StoreConfig::default().dot_headroom`.
+    const HEADROOM: u64 = 1024;
+    let mut group = c.benchmark_group("storage_log/guard");
+    group.sample_size(10);
+    type Variant = (&'static str, fn() -> LogConfig, bool);
+    let variants: [Variant; 4] = [
+        ("group_sync", append_config, false),
+        ("group_sync_guarded", append_config, true),
+        ("write_through", write_through_config, false),
+        ("write_through_guarded", write_through_config, true),
+    ];
+    for (name, config, guarded) in variants {
+        for n in SIZES {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                let dir = storage::scratch_dir("bench-guard");
+                let mut run = 0u64;
+                b.iter(|| {
+                    run += 1;
+                    let path = dir.join(format!("log-{run}"));
+                    let mut engine = LogEngine::<State>::open(path, config()).expect("open log");
+                    let (mut counter, mut ceiling) = (0u64, 0u64);
+                    for i in 0..n {
+                        put(&mut engine, i, 32);
+                        if guarded {
+                            counter += 1;
+                            if counter > ceiling {
+                                ceiling = counter + HEADROOM;
+                                engine.store_reservation(1, ceiling);
+                            }
+                        }
+                    }
+                    engine.sync();
+                    if guarded {
+                        assert_eq!(engine.load_reservation(), Some((1, ceiling)));
+                    }
+                    black_box(engine.stats().appends)
+                });
+                std::fs::remove_dir_all(&dir).ok();
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_compact(c: &mut Criterion) {
     let mut group = c.benchmark_group("storage_log/compact");
     group.sample_size(10);
@@ -137,5 +203,5 @@ fn quick() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!(name = benches; config = quick(); targets = bench_append, bench_replay, bench_compact);
+criterion_group!(name = benches; config = quick(); targets = bench_append, bench_replay, bench_guard, bench_compact);
 criterion_main!(benches);

@@ -309,7 +309,7 @@ fn latency_cluster<M: Mechanism<StampedValue>>(
         network: NetworkConfig::uniform(LinkConfig {
             latency: LatencyModel::Constant(Duration::from_micros(200)),
             bandwidth: Some(1_000_000), // 1 MB/s: 1µs per byte — metadata counts
-            drop_probability: 0.0,
+            ..LinkConfig::default()
         }),
         deadline: Duration::from_secs(2_000),
         ..ClusterConfig::default()

@@ -30,6 +30,7 @@ use crate::dotted::Dvv;
 use crate::dvvset::DvvSet;
 use crate::error::DecodeError;
 use crate::ids::{ClientId, ReplicaId, WriterId};
+use crate::server::{self, Tagged};
 use crate::version_vector::VersionVector;
 use crate::vve::Vve;
 
@@ -473,6 +474,57 @@ fn rebuild_dvvset<A: Actor, V>(
         });
     }
     Ok(out)
+}
+
+impl<A: Actor + Encode, V: Encode + Clone> Encode for Tagged<A, V> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.clock.encode(buf);
+        self.value.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.clock.encoded_len() + self.value.encoded_len()
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let clock = Dvv::<A>::decode(d)?;
+        let value = V::decode(d)?;
+        Ok(Tagged { clock, value })
+    }
+}
+
+// `DvvMechanism`'s state (one Dvv-tagged sibling per live value), as the
+// storage engines persist it. A count prefix keeps the list
+// self-delimiting inside a larger record.
+impl<A: Actor + Encode, V: Encode + Clone> Encode for Vec<Tagged<A, V>> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.len() as u64);
+        for t in self {
+            t.encode(buf);
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.iter().map(Encode::encoded_len).sum::<usize>()
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let n = d.varint()? as usize;
+        let mut out: Vec<Tagged<A, V>> = Vec::with_capacity(n.min(d.remaining() / 3 + 1));
+        for _ in 0..n {
+            let t = Tagged::<A, V>::decode(d)?;
+            if out.iter().any(|s| s.clock.dot() == t.clock.dot()) {
+                return Err(DecodeError::InvalidValue {
+                    reason: "duplicate sibling dot in dvv state",
+                });
+            }
+            out.push(t);
+        }
+        // Canonical dot order is a protocol invariant (AAE fingerprints
+        // hash the state); restore it rather than trusting the input.
+        server::canonicalize(&mut out);
+        Ok(out)
+    }
 }
 
 impl<A: Actor + Encode> Encode for Vve<A> {

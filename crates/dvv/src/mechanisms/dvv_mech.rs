@@ -51,6 +51,28 @@ impl<V: Clone + core::fmt::Debug + Eq + core::hash::Hash + Send + 'static> Mecha
         server::update(state, ctx, origin.server, value);
     }
 
+    fn write_with_floor(
+        &self,
+        state: &mut Self::State,
+        origin: WriteOrigin,
+        ctx: &Self::Context,
+        value: V,
+        floor: u64,
+    ) -> Option<u64> {
+        let clock = server::update_with_floor(state, ctx, origin.server, value, floor);
+        Some(clock.dot().counter())
+    }
+
+    fn dot_map(&self, state: &Self::State) -> Vec<((ReplicaId, u64), V)> {
+        state
+            .iter()
+            .map(|t| {
+                let d = t.clock.dot();
+                ((*d.actor(), d.counter()), t.value.clone())
+            })
+            .collect()
+    }
+
     fn merge(&self, local: &mut Self::State, remote: &Self::State) {
         server::sync_into(local, remote);
     }

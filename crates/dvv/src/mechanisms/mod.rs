@@ -100,6 +100,40 @@ pub trait Mechanism<V: Clone>: Clone + Debug {
     /// Coordinates a PUT with read context `ctx` at `origin`.
     fn write(&self, state: &mut Self::State, origin: WriteOrigin, ctx: &Self::Context, value: V);
 
+    /// [`write`](Mechanism::write) with a per-server dot-counter *floor*:
+    /// a mechanism that mints `(server, counter)` dots must mint strictly
+    /// above `floor` and return the minted counter. The floor is the
+    /// crash-recovery epoch guard's hook — after a coarse-durability
+    /// restart the store passes its durably reserved counter ceiling so
+    /// the lost tail's dots can never be re-minted for different values.
+    ///
+    /// Mechanisms without server-assigned counters ignore the floor and
+    /// return `None`; the default forwards to [`write`](Mechanism::write).
+    fn write_with_floor(
+        &self,
+        state: &mut Self::State,
+        origin: WriteOrigin,
+        ctx: &Self::Context,
+        value: V,
+        floor: u64,
+    ) -> Option<u64> {
+        let _ = floor;
+        self.write(state, origin, ctx, value);
+        None
+    }
+
+    /// Every live version's identity dot, as `((replica, counter), value)`
+    /// pairs — the raw material of the fleet-wide dot-uniqueness oracle
+    /// (no `(replica, counter)` pair may ever map to two distinct values).
+    ///
+    /// Mechanisms whose versions are not identified by a single
+    /// replica-assigned dot return the empty vector (the oracle then has
+    /// nothing to check for them).
+    fn dot_map(&self, state: &Self::State) -> Vec<((ReplicaId, u64), V)> {
+        let _ = state;
+        Vec::new()
+    }
+
     /// Merges a remote replica's state into the local one (replication
     /// delivery or anti-entropy).
     fn merge(&self, local: &mut Self::State, remote: &Self::State);

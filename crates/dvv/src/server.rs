@@ -113,7 +113,30 @@ pub fn update<A: Actor, V>(
     server: A,
     value: V,
 ) -> Dvv<A> {
-    let counter = max_counter_of(siblings, &server).max(ctx.get(&server)) + 1;
+    update_with_floor(siblings, ctx, server, value, 0)
+}
+
+/// [`update`] with an additional per-server counter *floor*: the minted
+/// counter is strictly greater than `floor` as well as everything known
+/// locally or in `ctx`.
+///
+/// The floor is the hook for crash recovery under coarse durability: a
+/// replica whose log lost its unsynced tail can have replayed counters
+/// *below* dots that already escaped to peers before the crash. Passing
+/// the durably reserved counter ceiling as `floor` makes the lost
+/// tail's dots unreachable — the server can never re-mint one of them
+/// for a different value. A floor of `0` is exactly [`update`].
+pub fn update_with_floor<A: Actor, V>(
+    siblings: &mut Vec<Tagged<A, V>>,
+    ctx: &VersionVector<A>,
+    server: A,
+    value: V,
+    floor: u64,
+) -> Dvv<A> {
+    let counter = max_counter_of(siblings, &server)
+        .max(ctx.get(&server))
+        .max(floor)
+        + 1;
     let dot = Dot::new(server, counter);
     let clock = Dvv::new(dot, ctx.clone());
 
@@ -286,6 +309,22 @@ mod tests {
         let ctx2 = context(&s);
         let c3 = update(&mut s, &ctx2, "A", "v3"); // must be (A,3), not (A,2)
         assert_eq!(c3.dot(), &Dot::new("A", 3));
+    }
+
+    #[test]
+    fn floor_lifts_minted_counter_above_lost_tail() {
+        // Replayed state knows (A,2); peers hold up to (A,9) from a lost
+        // tail. With the reserved ceiling 9 as floor, the fresh dot must
+        // be (A,10) even though nothing local mentions counters 3..=9.
+        let mut s: Sib = Vec::new();
+        let mut ctx = VersionVector::new();
+        ctx.set("A", 2);
+        let c = update_with_floor(&mut s, &ctx, "A", "v", 9);
+        assert_eq!(c.dot(), &Dot::new("A", 10));
+        // a zero floor is exactly `update`
+        let mut s2: Sib = Vec::new();
+        let c2 = update_with_floor(&mut s2, &VersionVector::new(), "A", "v", 0);
+        assert_eq!(c2.dot(), &Dot::new("A", 1));
     }
 
     #[test]

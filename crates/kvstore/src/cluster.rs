@@ -10,7 +10,9 @@ use dvv::encode::Encode;
 use dvv::mechanisms::Mechanism;
 use dvv::{ClientId, ReplicaId};
 use ring::{MemberStatus, RingView};
-use simnet::{Duration, NetworkConfig, NodeId, Process, ProcessCtx, SimTime, Simulation, TimerId};
+use simnet::{
+    Duration, LinkFaults, NetworkConfig, NodeId, Process, ProcessCtx, SimTime, Simulation, TimerId,
+};
 use storage::{LogConfig, LogEngine, MemEngine, StorageEngine};
 use workloads::Histogram;
 
@@ -141,6 +143,20 @@ impl<M: Mechanism<StampedValue>> EngineFactory<M> {
     }
 }
 
+/// One phase of a declarative network-fault schedule: at virtual time
+/// `at` (from run start) every link in the fleet switches to `faults`.
+/// The counterpart of a scheduled crash (`runtime::CrashEvent`) or
+/// connection kill (`transport`'s `ConnKill`) for the adversarial
+/// message faults — a suite declares *when* the network turns hostile
+/// (or clean again) instead of hand-driving the simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPhase {
+    /// Virtual time from run start at which the phase takes effect.
+    pub at: Duration,
+    /// Fault knobs every link runs with from `at` until the next phase.
+    pub faults: LinkFaults,
+}
+
 /// Complete experiment configuration.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
@@ -162,6 +178,11 @@ pub struct ClusterConfig {
     pub client: ClientConfig,
     /// Network characteristics.
     pub network: NetworkConfig,
+    /// Declarative fault schedule, applied in order as virtual time
+    /// passes each phase's `at` (see [`FaultPhase`]). Phases must be
+    /// sorted by `at`; an empty schedule leaves the configured network
+    /// untouched.
+    pub fault_schedule: Vec<FaultPhase>,
     /// Hard stop on virtual time (guards against misconfigured runs).
     pub deadline: Duration,
     /// How long a live membership change is supervised before it is
@@ -186,10 +207,32 @@ impl Default for ClusterConfig {
             store: StoreConfig::default(),
             client: ClientConfig::default(),
             network: NetworkConfig::default(),
+            fault_schedule: Vec::new(),
             deadline: Duration::from_secs(600),
             membership_settle_budget: Duration::from_secs(30),
             force_view_sync: false,
         }
+    }
+}
+
+impl ClusterConfig {
+    /// Returns a copy with every link's adversarial faults set from the
+    /// `NET_FAULTS` environment variable: `hostile` switches on
+    /// [`LinkFaults::hostile`] (duplication, reordering, stale replay)
+    /// on the default link and all overrides; anything else leaves the
+    /// network as configured. The churn suites apply this — like
+    /// [`StoreConfig::with_env_delta`] — so the nightly soak lane can
+    /// re-run them under a hostile network without a code change.
+    #[must_use]
+    pub fn with_env_net_faults(mut self) -> Self {
+        if std::env::var("NET_FAULTS").as_deref() == Ok("hostile") {
+            let faults = LinkFaults::hostile();
+            self.network.default_link.faults = faults;
+            for link in self.network.overrides.values_mut() {
+                link.faults = faults;
+            }
+        }
+        self
     }
 }
 
@@ -267,6 +310,10 @@ pub struct Cluster<M: Mechanism<StampedValue>> {
     /// Per-slot storage engine builder; `None` means in-memory engines
     /// (a crashed node then restarts empty — the diskless baseline).
     engine_factory: Option<EngineFactory<M>>,
+    /// Declarative fault schedule, with the index of the next phase not
+    /// yet applied ([`Cluster::apply_due_fault_phases`]).
+    fault_schedule: Vec<FaultPhase>,
+    fault_phase_next: usize,
     /// Server slots currently crashed: an inert husk holds the slot and
     /// every link to it is severed until [`Cluster::restart_node`].
     crashed: BTreeSet<usize>,
@@ -374,6 +421,8 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
             genesis_view,
             engine_factory,
             crashed: BTreeSet::new(),
+            fault_schedule: config.fault_schedule,
+            fault_phase_next: 0,
         }
     }
 
@@ -844,10 +893,31 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
         self.await_membership() && !self.members.contains(&slot)
     }
 
+    /// Applies every scheduled [`FaultPhase`] whose instant has been
+    /// reached, in order.
+    fn apply_due_fault_phases(&mut self) {
+        while let Some(p) = self.fault_schedule.get(self.fault_phase_next) {
+            if SimTime::ZERO + p.at > self.sim.now() {
+                return;
+            }
+            self.sim.network_mut().set_faults(p.faults);
+            self.fault_phase_next += 1;
+        }
+    }
+
+    /// The instant of the next not-yet-applied fault phase, if any —
+    /// run loops stop there so a phase lands exactly on time.
+    fn next_fault_boundary(&self) -> Option<SimTime> {
+        self.fault_schedule
+            .get(self.fault_phase_next)
+            .map(|p| SimTime::ZERO + p.at)
+    }
+
     /// Runs until every client finishes its session (or the deadline).
     /// Returns whether all clients finished.
     pub fn run(&mut self) -> bool {
         loop {
+            self.apply_due_fault_phases();
             let all_done = (0..self.clients).all(|j| self.client(j).is_done());
             if all_done {
                 return true;
@@ -855,16 +925,31 @@ impl<M: Mechanism<StampedValue>> Cluster<M> {
             if self.sim.now() >= self.deadline {
                 return false;
             }
-            let next = self.sim.now() + Duration::from_millis(100);
+            let mut next = self.sim.now() + Duration::from_millis(100);
+            if let Some(b) = self.next_fault_boundary() {
+                next = next.min(b);
+            }
             self.sim.run_until(next.min(self.deadline));
         }
     }
 
     /// Runs the simulation for `span` of virtual time (e.g. to let AAE
-    /// converge replicas through the protocol itself).
+    /// converge replicas through the protocol itself), honouring the
+    /// fault schedule.
     pub fn run_for(&mut self, span: Duration) {
         let target = self.sim.now() + span;
-        self.sim.run_until(target);
+        loop {
+            self.apply_due_fault_phases();
+            let next = match self.next_fault_boundary() {
+                Some(b) if b < target => b,
+                _ => target,
+            };
+            self.sim.run_until(next);
+            if self.sim.now() >= target {
+                self.apply_due_fault_phases();
+                return;
+            }
+        }
     }
 
     /// Deterministically merges every key across all servers until a

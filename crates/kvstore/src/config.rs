@@ -81,6 +81,17 @@ pub struct StoreConfig {
     pub transfer_batch_keys: usize,
     /// Maximum keys per hinted-handoff batch.
     pub handoff_batch_keys: usize,
+    /// Whether the dot-reuse epoch guard is active: before minting a dot
+    /// counter past its durably reserved ceiling, a node fsyncs a new
+    /// reservation, and after a crash-recovery minting resumes strictly
+    /// above the recovered ceiling. Disabling this (tests only) recreates
+    /// the pre-guard hazard: under group-sync durability a crash can roll
+    /// counters back below dots peers already hold, and a post-recovery
+    /// write re-mints an escaped dot for a different value.
+    pub dot_guard: bool,
+    /// Counter headroom each dot reservation covers: one reservation
+    /// fsync amortises over this many mints.
+    pub dot_headroom: u64,
 }
 
 impl Default for StoreConfig {
@@ -103,6 +114,8 @@ impl Default for StoreConfig {
             delta_aae: DeltaPolicy::default(),
             transfer_batch_keys: 64,
             handoff_batch_keys: 32,
+            dot_guard: true,
+            dot_headroom: 1024,
         }
     }
 }
@@ -131,6 +144,10 @@ impl StoreConfig {
         assert!(
             self.handoff_batch_keys > 0,
             "handoff batches must hold at least one key"
+        );
+        assert!(
+            !self.dot_guard || self.dot_headroom > 0,
+            "the dot guard needs positive counter headroom"
         );
     }
 

@@ -153,6 +153,19 @@ impl<S: Clone + Send + 'static> DataStore<S> {
     pub fn sync_storage(&mut self) {
         self.engine.sync();
     }
+
+    /// The engine's dot-mint reservation `(epoch, ceiling)`, if any —
+    /// [`storage::StorageEngine::load_reservation`].
+    #[must_use]
+    pub fn load_reservation(&self) -> Option<(u64, u64)> {
+        self.engine.load_reservation()
+    }
+
+    /// Durably records the dot-mint reservation before minting into the
+    /// reserved range — [`storage::StorageEngine::store_reservation`].
+    pub fn store_reservation(&mut self, epoch: u64, ceiling: u64) {
+        self.engine.store_reservation(epoch, ceiling);
+    }
 }
 
 impl<S: Clone + Hash + Send + 'static> DataStore<S> {

@@ -175,6 +175,33 @@ pub trait FleetHarness<M: Mechanism<StampedValue>> {
         out
     }
 
+    /// Fleet-wide dot census: every `(key, actor, counter)` triple
+    /// tagging a live value on any member server, mapped to the set of
+    /// distinct write ids it tags. A dot is the *identity* of a write —
+    /// the whole mechanism rests on one dot naming one write — so every
+    /// set must be a singleton. Two ids under one dot is the dot-reuse
+    /// corruption the epoch guard exists to prevent (a post-crash node
+    /// re-minting a counter that already escaped to a peer).
+    ///
+    /// Audit this **before** [`FleetHarness::converge`]: merge dedupes
+    /// *by dot*, so converging first silently collapses exactly the
+    /// collision this census exists to catch.
+    fn dot_census(&self) -> BTreeMap<(Key, ReplicaId, u64), BTreeSet<WriteId>> {
+        let mech = self.mechanism();
+        let mut census: BTreeMap<(Key, ReplicaId, u64), BTreeSet<WriteId>> = BTreeMap::new();
+        for i in self.member_servers() {
+            for (key, st) in self.server_ref(i).data() {
+                for ((actor, counter), v) in mech.dot_map(st) {
+                    census
+                        .entry((key.clone(), actor, counter))
+                        .or_default()
+                        .insert(v.id);
+                }
+            }
+        }
+        census
+    }
+
     /// Aggregates all clients' latency statistics.
     fn latency_report(&self) -> LatencyReport {
         let mut out = LatencyReport::default();
@@ -307,6 +334,121 @@ where
     );
 }
 
+/// Asserts the fleet-wide dot-uniqueness invariant: no
+/// `(key, actor, counter)` triple tags two distinct writes anywhere in
+/// the fleet ([`FleetHarness::dot_census`]). Runs against the raw
+/// pre-converge states — the only place a dot collision is still
+/// observable, since merge dedupes by dot.
+///
+/// # Panics
+///
+/// Panics (with `label`) listing every colliding dot and the write ids
+/// it tags.
+pub fn assert_dot_unique<M, H>(fleet: &H, label: &str)
+where
+    M: Mechanism<StampedValue>,
+    H: FleetHarness<M> + ?Sized,
+{
+    let collisions: Vec<String> = fleet
+        .dot_census()
+        .into_iter()
+        .filter(|(_, ids)| ids.len() > 1)
+        .map(|((key, actor, counter), ids)| {
+            format!(
+                "\n  key {:?} dot ({actor:?}, {counter}) tags {} writes: {ids:?}",
+                String::from_utf8_lossy(&key),
+                ids.len()
+            )
+        })
+        .collect();
+    assert!(
+        collisions.is_empty(),
+        "{label}: dot reused for distinct writes (minting collided across a crash?):{}",
+        collisions.join("")
+    );
+}
+
+/// Fleet-wide dot census over the *durable log histories* under `dir`
+/// (the [`crate::cluster::EngineFactory::log_in`] layout, one
+/// `node-<slot>.log` per server): every `(key, actor, counter)` triple
+/// tagging a value in any put record ever durably applied by any slot,
+/// mapped to the distinct write ids it tagged.
+///
+/// This is the census's strong form. The live-state census
+/// ([`FleetHarness::dot_census`]) only sees a collision while both
+/// bearers are live — a re-minted dot's first bearer is usually
+/// *dominated* (any later write whose context saw the dot discards
+/// both values) before a quiesced fleet can be audited, erasing the
+/// evidence and leaving a silently lost acked write. Append-only logs
+/// don't forget: the first bearer sits in the survivor's history, the
+/// re-mint in the recovered node's, and the union convicts. Sync every
+/// engine first (buffered records aren't in the files).
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading the log files; a missing file is
+/// an empty history (a slot that never synced).
+pub fn dot_census_in_logs<M>(
+    mech: &M,
+    dir: &std::path::Path,
+    slots: impl IntoIterator<Item = usize>,
+) -> std::io::Result<BTreeMap<(Key, ReplicaId, u64), BTreeSet<WriteId>>>
+where
+    M: Mechanism<StampedValue>,
+    M::State: dvv::encode::Encode,
+{
+    let mut census: BTreeMap<(Key, ReplicaId, u64), BTreeSet<WriteId>> = BTreeMap::new();
+    for slot in slots {
+        let path = dir.join(format!("node-{slot}.log"));
+        for (key, st) in storage::scan_history::<M::State>(&path)? {
+            for ((actor, counter), v) in mech.dot_map(&st) {
+                census
+                    .entry((key.clone(), actor, counter))
+                    .or_default()
+                    .insert(v.id);
+            }
+        }
+    }
+    Ok(census)
+}
+
+/// Asserts dot uniqueness over the durable log histories
+/// ([`dot_census_in_logs`]) — no `(key, actor, counter)` triple may
+/// ever have tagged two distinct writes, across everything any slot
+/// durably applied.
+///
+/// # Panics
+///
+/// Panics (with `label`) listing every colliding dot, or on log I/O
+/// errors.
+pub fn assert_dot_unique_in_logs<M>(
+    mech: &M,
+    dir: &std::path::Path,
+    slots: impl IntoIterator<Item = usize>,
+    label: &str,
+) where
+    M: Mechanism<StampedValue>,
+    M::State: dvv::encode::Encode,
+{
+    let census = dot_census_in_logs(mech, dir, slots).expect("scan log histories");
+    let collisions: Vec<String> = census
+        .into_iter()
+        .filter(|(_, ids)| ids.len() > 1)
+        .map(|((key, actor, counter), ids)| {
+            format!(
+                "\n  key {:?} dot ({actor:?}, {counter}) tagged {} writes: {ids:?}",
+                String::from_utf8_lossy(&key),
+                ids.len()
+            )
+        })
+        .collect();
+    assert!(
+        collisions.is_empty(),
+        "{label}: dot re-minted for distinct writes across the log histories:{}",
+        collisions.join("")
+    );
+}
+
 /// Converges the fleet and asserts the oracle audit is clean: zero lost
 /// updates, zero false concurrency, and at least one acked write (an
 /// all-failed workload would pass the other audits vacuously).
@@ -333,9 +475,11 @@ where
 }
 
 /// The full cross-driver conformance audit stack, in dependency order:
-/// one ring view, pairwise AAE equivalence, zero residual copies, then
-/// the destructive harness converge plus oracle audit. Residuals are
-/// audited *before* the converge, which fabricates them by design.
+/// one ring view, pairwise AAE equivalence, zero residual copies,
+/// fleet-wide dot uniqueness, then the destructive harness converge
+/// plus oracle audit. Residuals and dot uniqueness are audited *before*
+/// the converge, which fabricates residuals and collapses dot
+/// collisions by design.
 ///
 /// # Panics
 ///
@@ -348,5 +492,6 @@ where
     assert_one_view(fleet, label);
     assert_aae_equivalent(fleet, label);
     assert_no_residuals(fleet, label);
+    assert_dot_unique(fleet, label);
     assert_oracle_clean(fleet, label);
 }

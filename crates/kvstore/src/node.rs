@@ -3,7 +3,7 @@
 //! and elastic membership (live join/leave with key-range transfer,
 //! disseminated by epidemic ring-view gossip).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use dvv::mechanisms::{Mechanism, WriteOrigin};
 use dvv::{ClientId, ReplicaId};
@@ -22,6 +22,15 @@ use crate::wire;
 /// ids coarser, so an id-count window would shrink the covered key
 /// horizon by the batch factor.
 const TRANSFER_DEDUPE_KEYS: usize = 4096;
+
+/// How many recently coordinated write request ids a node remembers
+/// ([`StoreNode::note_write_seen`]). Minting is not idempotent — a
+/// re-coordinated request would get a *fresh* dot, resurrecting an
+/// already-superseded value as a sibling — so duplicated or
+/// stale-replayed `ClientPut`/`RepWrite` frames must be recognised and
+/// ignored. Client retries always carry a fresh request id, so a repeat
+/// within this window is definitively network-injected.
+const WRITE_DEDUPE_REQS: usize = 256;
 
 /// Counters a server maintains for reporting.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -52,6 +61,10 @@ pub struct NodeStats {
     /// Ring-view gossip rounds initiated (periodic digests and eager
     /// pushes after adopting a new view).
     pub gossip_rounds: u64,
+    /// Duplicated or stale-replayed write coordinations ignored by the
+    /// request-id dedupe window (each would otherwise have minted a
+    /// spurious fresh dot).
+    pub dup_writes_ignored: u64,
 }
 
 /// Coordinator-side bookkeeping for one in-flight request.
@@ -193,6 +206,21 @@ pub struct StoreNode<M: Mechanism<StampedValue>> {
     stats: NodeStats,
     /// Per-class bytes/messages this node has put on the wire.
     wire: WireStats,
+    /// Dot-reuse epoch guard — this incarnation's number (bumped on
+    /// every crash recovery and durably recorded with the reservation).
+    dot_epoch: u64,
+    /// Highest dot counter this node has durably reserved: minting past
+    /// it fsyncs a new reservation (with headroom) first, so no dot that
+    /// escaped to a peer can outlive what the log knows about.
+    dot_ceiling: u64,
+    /// Mint floor: non-zero only after a crash recovery, where it is the
+    /// recovered ceiling — every subsequent mint is strictly above it,
+    /// making the lost unsynced tail's dots unreachable.
+    dot_floor: u64,
+    /// Recently coordinated write request ids, with FIFO eviction order
+    /// (see [`WRITE_DEDUPE_REQS`]).
+    writes_seen: BTreeSet<ReqId>,
+    writes_seen_order: VecDeque<ReqId>,
 }
 
 impl<M: Mechanism<StampedValue>> StoreNode<M> {
@@ -228,6 +256,11 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
             drain_dirty: BTreeSet::new(),
             stats: NodeStats::default(),
             wire: WireStats::default(),
+            dot_epoch: 0,
+            dot_ceiling: 0,
+            dot_floor: 0,
+            writes_seen: BTreeSet::new(),
+            writes_seen_order: VecDeque::new(),
         }
     }
 
@@ -251,6 +284,20 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         let mut data = DataStore::with_engine(engine);
         data.repartition(node.ring.token_points().collect());
         node.data = data;
+        if node.config.dot_guard {
+            if let Some((epoch, ceiling)) = node.data.load_reservation() {
+                // A previous incarnation reserved up to `ceiling`; under
+                // coarse durability the replayed states may sit *below*
+                // dots that escaped to peers before the crash. Resume
+                // minting strictly above the reservation and bump the
+                // incarnation epoch (durably, so a double crash keeps
+                // bumping).
+                node.dot_epoch = epoch + 1;
+                node.dot_ceiling = ceiling;
+                node.dot_floor = ceiling;
+                node.data.store_reservation(node.dot_epoch, ceiling);
+            }
+        }
         node
     }
 
@@ -327,6 +374,68 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
     /// losing whatever the durability interval had not yet flushed).
     pub fn sync_storage(&mut self) {
         self.data.sync_storage();
+    }
+
+    /// The dot-reuse epoch guard's `(incarnation_epoch, counter_ceiling,
+    /// mint_floor)` — audit hook for the crash-recovery suites.
+    pub fn dot_guard_state(&self) -> (u64, u64, u64) {
+        (self.dot_epoch, self.dot_ceiling, self.dot_floor)
+    }
+
+    /// Records `req` as a coordinated write; returns `false` when it
+    /// was already seen within the dedupe window — the frame is a
+    /// network-injected duplicate or stale replay and must be ignored,
+    /// never re-minted (client retries always carry a fresh id).
+    fn note_write_seen(&mut self, req: ReqId) -> bool {
+        if !self.writes_seen.insert(req) {
+            self.stats.dup_writes_ignored += 1;
+            return false;
+        }
+        self.writes_seen_order.push_back(req);
+        if self.writes_seen_order.len() > WRITE_DEDUPE_REQS {
+            if let Some(old) = self.writes_seen_order.pop_front() {
+                self.writes_seen.remove(&old);
+            }
+        }
+        true
+    }
+
+    /// Coordinates the mechanism write that mints a fresh version,
+    /// maintaining the dot-reuse epoch guard: minting is floored at the
+    /// recovered counter ceiling, and before a mint may exceed the
+    /// durably reserved ceiling a new reservation (with headroom) is
+    /// fsynced — strictly before the minted dot escapes in any outgoing
+    /// message, which is why this returns before the caller sends.
+    fn mint_write(
+        &mut self,
+        key: &Key,
+        origin: WriteOrigin,
+        put_ctx: &M::Context,
+        value: StampedValue,
+    ) -> M::State {
+        let mech = &self.mech;
+        let floor = if self.config.dot_guard {
+            self.dot_floor
+        } else {
+            0
+        };
+        let mut minted = None;
+        let state = self
+            .data
+            .mutate(key, |st| {
+                minted = mech.write_with_floor(st, origin, put_ctx, value, floor);
+            })
+            .clone();
+        if self.config.dot_guard {
+            if let Some(counter) = minted {
+                if counter > self.dot_ceiling {
+                    self.dot_ceiling = counter + self.config.dot_headroom;
+                    self.data
+                        .store_reservation(self.dot_epoch, self.dot_ceiling);
+                }
+            }
+        }
+        state
     }
 
     /// Whether this node is currently a serving cluster member.
@@ -1224,6 +1333,9 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         digest: u64,
     ) {
         self.note_peer_digest(ctx, from, digest);
+        if !self.note_write_seen(req) {
+            return;
+        }
         let (active, substitutions) = self.active_replicas(&key);
         if active.is_empty() {
             self.stats.quorum_timeouts += 1;
@@ -1250,11 +1362,7 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
         if owner {
             let client = ClientId(value.id.client.0);
             let origin = WriteOrigin::new(self.replica, client);
-            let mech = &self.mech;
-            let state = self
-                .data
-                .mutate(&key, |st| mech.write(st, origin, &put_ctx, value))
-                .clone();
+            let state = self.mint_write(&key, origin, &put_ctx, value);
             self.note_data_merged(&key);
             // a coordinator standing in for a down owner holds its copy
             // under a hint obligation, like any other fallback
@@ -1796,14 +1904,15 @@ impl<M: Mechanism<StampedValue>> StoreNode<M> {
                 hint,
             } => {
                 // delegated write from a non-owner coordinator: mint the
-                // dot here and hand the post-write state back
+                // dot here and hand the post-write state back — once per
+                // request id (a duplicated or replayed delegation must
+                // not mint again)
+                if !self.note_write_seen(req) {
+                    return;
+                }
                 let client = ClientId(value.id.client.0);
                 let origin = WriteOrigin::new(self.replica, client);
-                let mech = &self.mech;
-                let state = self
-                    .data
-                    .mutate(&key, |st| mech.write(st, origin, &put_ctx, value))
-                    .clone();
+                let state = self.mint_write(&key, origin, &put_ctx, value);
                 self.note_data_merged(&key);
                 self.note_hold_obligation(&key, hint);
                 self.send(ctx, from, Msg::RepWriteResp { req, key, state });

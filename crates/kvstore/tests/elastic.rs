@@ -476,7 +476,9 @@ fn elastic_churn_with_partition_is_oracle_clean_across_seeds() {
                 ..ClientConfig::default()
             },
             ..ClusterConfig::default()
-        };
+        }
+        // the faults lane re-runs this suite with NET_FAULTS=hostile
+        .with_env_net_faults();
         cfg.deadline = Duration::from_secs(2_000);
         let mut c = Cluster::new(seed, DvvMechanism, cfg);
 

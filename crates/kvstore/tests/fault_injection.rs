@@ -123,8 +123,8 @@ fn lossy_network_still_causally_clean() {
     let mut cfg = base_config();
     cfg.network = NetworkConfig::uniform(LinkConfig {
         latency: LatencyModel::Constant(Duration::from_micros(300)),
-        bandwidth: None,
         drop_probability: 0.20,
+        ..LinkConfig::default()
     });
     cfg.cycles_per_client = 8;
     cfg.deadline = Duration::from_secs(1_000);

@@ -710,7 +710,9 @@ fn churn_under_partition_leaves_no_residual_copies_across_seeds() {
                 ..ClientConfig::default()
             },
             ..ClusterConfig::default()
-        };
+        }
+        // the faults lane re-runs this suite with NET_FAULTS=hostile
+        .with_env_net_faults();
         cfg.deadline = Duration::from_secs(2_000);
         let mut c = Cluster::new(seed, DvvMechanism, cfg);
 

@@ -43,7 +43,9 @@ fn overlap_config(seed_keys: usize) -> ClusterConfig {
             ..ClientConfig::default()
         },
         ..ClusterConfig::default()
-    };
+    }
+    // the faults lane re-runs this suite with NET_FAULTS=hostile
+    .with_env_net_faults();
     cfg.deadline = Duration::from_secs(2_000);
     assert!(
         !cfg.force_view_sync,

@@ -59,8 +59,7 @@ fn sessions_never_self_conflict() {
                 lo: Duration::from_micros(100),
                 hi: Duration::from_micros(2_000),
             },
-            bandwidth: None,
-            drop_probability: 0.0,
+            ..LinkConfig::default()
         }),
         ..ClusterConfig::default()
     };

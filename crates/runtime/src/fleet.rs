@@ -125,14 +125,22 @@ impl Shared {
     }
 }
 
+/// Captured frames kept per directed link for stale-replay injection —
+/// same bound as the simulator driver's stash, and for the same reason:
+/// replays resurface recent-ish history without hoarding clones.
+const REPLAY_STASH_CAP: usize = 16;
+
 /// A worker thread's view of the message fabric: per-node inbox senders
 /// plus the fault plan and its RNG stream for loss/latency sampling.
+/// Each worker keeps its own replay stash, so a stale replay resurfaces
+/// traffic this worker's nodes actually sent on that link.
 struct Router<M: Mechanism<StampedValue>> {
     shared: Arc<Shared>,
     progress: Arc<Progress>,
     slots: Vec<SyncSender<Packet<M>>>,
     delayer: Option<Sender<(u64, Packet<M>)>>,
     rng: SimRng,
+    replay_stash: BTreeMap<(NodeId, NodeId), Vec<Msg<M>>>,
 }
 
 impl<M: Mechanism<StampedValue>> Router<M> {
@@ -140,21 +148,58 @@ impl<M: Mechanism<StampedValue>> Router<M> {
         // Self-sends bypass fault injection, matching the simulator's
         // reliable zero-delay local delivery.
         if from != to && self.shared.faults_on.load(Ordering::Relaxed) {
-            let f = &self.shared.faults;
-            if f.drop_probability > 0.0 && self.rng.chance(f.drop_probability) {
+            let (drop_p, dup_p, replay_p) = (
+                self.shared.faults.drop_probability,
+                self.shared.faults.duplicate_probability,
+                self.shared.faults.replay_probability,
+            );
+            if drop_p > 0.0 && self.rng.chance(drop_p) {
                 return;
             }
-            if let Some((lo, hi)) = f.delay_micros {
-                if let Some(tx) = &self.delayer {
-                    let d = if hi > lo {
-                        self.rng.range_u64(lo, hi + 1)
-                    } else {
-                        lo
-                    };
-                    let due = self.shared.now_us() + d;
-                    let _ = tx.send((due, Packet { from, to, msg }));
-                    return;
+            if dup_p > 0.0 && self.rng.chance(dup_p) {
+                self.forward(from, to, msg.clone());
+            }
+            if replay_p > 0.0 {
+                if self.rng.chance(replay_p) {
+                    let stale = self.replay_stash.get(&(from, to)).and_then(|stash| {
+                        if stash.is_empty() {
+                            None
+                        } else {
+                            let pick = self.rng.next_u64() as usize % stash.len();
+                            Some(stash[pick].clone())
+                        }
+                    });
+                    if let Some(stale) = stale {
+                        self.forward(from, to, stale);
+                    }
                 }
+                let stash = self.replay_stash.entry((from, to)).or_default();
+                if stash.len() >= REPLAY_STASH_CAP {
+                    stash.remove(0);
+                }
+                stash.push(msg.clone());
+            }
+            self.forward(from, to, msg);
+            return;
+        }
+        deliver(&self.progress, &self.slots, Packet { from, to, msg });
+    }
+
+    /// Delivers one (possibly injected) inter-node message, routing it
+    /// through the delayer with a freshly sampled delay when the plan
+    /// has a latency window — so duplicates and replays each draw their
+    /// own delay, like the simulator's independently delayed copies.
+    fn forward(&mut self, from: NodeId, to: NodeId, msg: Msg<M>) {
+        if let Some((lo, hi)) = self.shared.faults.delay_micros {
+            if let Some(tx) = &self.delayer {
+                let d = if hi > lo {
+                    self.rng.range_u64(lo, hi + 1)
+                } else {
+                    lo
+                };
+                let due = self.shared.now_us() + d;
+                let _ = tx.send((due, Packet { from, to, msg }));
+                return;
             }
         }
         deliver(&self.progress, &self.slots, Packet { from, to, msg });
@@ -484,6 +529,7 @@ where
                 slots: slots.clone(),
                 delayer: delayer_tx.clone(),
                 rng: self.net_root.fork_indexed("worker", w as u64),
+                replay_stash: BTreeMap::new(),
             };
             let rx = worker_chans[w].1.take().expect("receiver taken once");
             let snapshots = Arc::clone(&self.snapshots);

@@ -58,6 +58,16 @@ pub struct FaultPlan {
     /// When set, each inter-node message is held back for a uniform
     /// random delay in `[lo, hi]` microseconds.
     pub delay_micros: Option<(u64, u64)>,
+    /// Probability a routed inter-node message is delivered *twice*
+    /// (the runtime analogue of `simnet::LinkFaults::duplicate_probability`;
+    /// with a delay window active, the copy samples its own delay and
+    /// usually also arrives out of order).
+    pub duplicate_probability: f64,
+    /// Probability that, on a routed delivery, one previously captured
+    /// frame from the same directed link is re-delivered — a *stale
+    /// replay* of arbitrarily old traffic (the runtime analogue of
+    /// `simnet::LinkFaults::replay_probability`).
+    pub replay_probability: f64,
     /// Server node indices whose worker threads wedge on purpose —
     /// never start, never drain their inbox. For watchdog tests.
     pub hang_servers: Vec<usize>,
@@ -67,7 +77,26 @@ impl FaultPlan {
     /// True when the plan injects nothing (routing can skip the fault
     /// path entirely).
     pub fn is_noop(&self) -> bool {
-        self.drop_probability <= 0.0 && self.delay_micros.is_none() && self.hang_servers.is_empty()
+        self.drop_probability <= 0.0
+            && self.delay_micros.is_none()
+            && self.duplicate_probability <= 0.0
+            && self.replay_probability <= 0.0
+            && self.hang_servers.is_empty()
+    }
+
+    /// The runtime counterpart of `simnet::LinkFaults::hostile()`:
+    /// heavy duplication and stale replay, plus a small delay window so
+    /// copies land out of order. Used by the `NET_FAULTS=hostile`
+    /// suites and the crash-mid-burst oracles.
+    #[must_use]
+    pub fn hostile() -> Self {
+        FaultPlan {
+            drop_probability: 0.0,
+            delay_micros: Some((0, 4_000)),
+            duplicate_probability: 0.15,
+            replay_probability: 0.05,
+            hang_servers: Vec::new(),
+        }
     }
 }
 
@@ -127,6 +156,25 @@ pub struct RuntimeConfig {
     pub settle_window: StdDuration,
     /// Scheduled server crash/respawn events (see [`CrashEvent`]).
     pub crashes: Vec<CrashEvent>,
+}
+
+impl RuntimeConfig {
+    /// Returns a copy whose fault plan is set from the `NET_FAULTS`
+    /// environment variable: `hostile` switches on
+    /// [`FaultPlan::hostile`] (duplication, stale replay, a small delay
+    /// window); anything else leaves the plan as configured. The
+    /// runtime counterpart of `ClusterConfig::with_env_net_faults`.
+    #[must_use]
+    pub fn with_env_net_faults(mut self) -> Self {
+        if std::env::var("NET_FAULTS").as_deref() == Ok("hostile") {
+            let hang = std::mem::take(&mut self.faults.hang_servers);
+            self.faults = FaultPlan {
+                hang_servers: hang,
+                ..FaultPlan::hostile()
+            };
+        }
+        self
+    }
 }
 
 impl Default for RuntimeConfig {

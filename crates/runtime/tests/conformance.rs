@@ -53,7 +53,7 @@ fn runtime_config() -> RuntimeConfig {
         faults: FaultPlan {
             drop_probability: 0.03,
             delay_micros: Some((100, 400)),
-            hang_servers: vec![],
+            ..FaultPlan::default()
         },
         stall_budget: StdDuration::from_secs(10),
         run_budget: StdDuration::from_secs(60),

@@ -56,7 +56,7 @@ pub mod time;
 pub mod trace;
 
 pub use latency::LatencyModel;
-pub use net::{LinkConfig, Network, NetworkConfig, NetworkStats, NodeId};
+pub use net::{FaultVerdict, LinkConfig, LinkFaults, Network, NetworkConfig, NetworkStats, NodeId};
 pub use rng::SimRng;
 pub use sim::{Process, ProcessCtx, Simulation, TimerId};
 pub use time::{Duration, SimTime};

@@ -30,6 +30,68 @@ impl From<u32> for NodeId {
     }
 }
 
+/// Adversarial fault-injection knobs of one link, beyond loss: message
+/// duplication, reordering, and stale replay. All probabilities are
+/// independent per message and drawn from the network's seeded RNG, so
+/// a hostile run is exactly as reproducible as a clean one.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFaults {
+    /// Probability a delivered message is delivered *twice* (the copy
+    /// gets an independently sampled delay, so the duplicate usually
+    /// also arrives out of order).
+    pub duplicate_probability: f64,
+    /// Probability a delivered message is held back by an extra delay
+    /// uniform in `[0, reorder_window]` — enough to slip behind later
+    /// traffic on the same link.
+    pub reorder_probability: f64,
+    /// Upper bound of the extra reordering delay.
+    pub reorder_window: Duration,
+    /// Probability that, on a delivery, one previously captured frame
+    /// from the same link is re-delivered — a *stale replay*: the frame
+    /// may be arbitrarily old, testing that handlers tolerate ancient
+    /// state resurfacing after the conversation has moved on.
+    pub replay_probability: f64,
+    /// How long after the triggering delivery the stale copy lands.
+    pub replay_delay: Duration,
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults {
+            duplicate_probability: 0.0,
+            reorder_probability: 0.0,
+            reorder_window: Duration::ZERO,
+            replay_probability: 0.0,
+            replay_delay: Duration::ZERO,
+        }
+    }
+}
+
+impl LinkFaults {
+    /// Whether every fault class is switched off.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.duplicate_probability <= 0.0
+            && self.reorder_probability <= 0.0
+            && self.replay_probability <= 0.0
+    }
+
+    /// The standard *hostile* profile the `NET_FAULTS=hostile` suites
+    /// run under: heavy duplication, aggressive reordering, and stale
+    /// replay on every link. Protocol handlers must be idempotent and
+    /// commutative to converge under this.
+    #[must_use]
+    pub fn hostile() -> Self {
+        LinkFaults {
+            duplicate_probability: 0.15,
+            reorder_probability: 0.25,
+            reorder_window: Duration::from_millis(4),
+            replay_probability: 0.05,
+            replay_delay: Duration::from_millis(8),
+        }
+    }
+}
+
 /// Per-link transmission characteristics.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinkConfig {
@@ -41,6 +103,9 @@ pub struct LinkConfig {
     pub bandwidth: Option<u64>,
     /// Independent probability that a message is silently lost.
     pub drop_probability: f64,
+    /// Adversarial faults injected on this link (duplication, reorder,
+    /// stale replay) — all off by default.
+    pub faults: LinkFaults,
 }
 
 impl Default for LinkConfig {
@@ -49,6 +114,7 @@ impl Default for LinkConfig {
             latency: LatencyModel::default(),
             bandwidth: None,
             drop_probability: 0.0,
+            faults: LinkFaults::default(),
         }
     }
 }
@@ -108,6 +174,12 @@ pub struct NetworkStats {
     pub bytes_sent: u64,
     /// Total payload bytes delivered.
     pub bytes_delivered: u64,
+    /// Extra copies injected by duplication faults.
+    pub duplicated: u64,
+    /// Messages held back by a reordering delay.
+    pub reordered: u64,
+    /// Stale captured frames re-delivered by replay faults.
+    pub replayed: u64,
 }
 
 /// The simulated network fabric.
@@ -137,6 +209,20 @@ pub enum Transmit {
     Unreachable,
 }
 
+/// Post-delivery fault rolls for one deliverable message
+/// ([`Network::fault_verdict`]). The driver owns the replay stash, so
+/// the network only says *what* to do, never holds the frames.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultVerdict {
+    /// Inject a second copy of this message after this delay.
+    pub duplicate_delay: Option<Duration>,
+    /// Capture this frame into the link's replay stash.
+    pub capture: bool,
+    /// Re-deliver one captured frame: `(raw_pick, delay)` — the driver
+    /// reduces `raw_pick` modulo its stash size to choose which.
+    pub replay: Option<(u64, Duration)>,
+}
+
 impl Network {
     /// Creates a network with the given configuration and RNG stream.
     #[must_use]
@@ -150,6 +236,14 @@ impl Network {
         }
     }
 
+    fn link(&self, from: NodeId, to: NodeId) -> LinkConfig {
+        self.config
+            .overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.config.default_link)
+    }
+
     /// Decides the fate of one message of `bytes` from `from` to `to`.
     pub fn transmit(&mut self, from: NodeId, to: NodeId, bytes: usize) -> Transmit {
         self.stats.sent += 1;
@@ -158,17 +252,59 @@ impl Network {
             self.stats.unreachable += 1;
             return Transmit::Unreachable;
         }
-        let link = self
-            .config
-            .overrides
-            .get(&(from, to))
-            .copied()
-            .unwrap_or(self.config.default_link);
+        let link = self.link(from, to);
         if self.rng.chance(link.drop_probability) {
             self.stats.dropped += 1;
             return Transmit::Dropped;
         }
-        Transmit::Deliver(link.delay(bytes, &mut self.rng))
+        let mut delay = link.delay(bytes, &mut self.rng);
+        if self.rng.chance(link.faults.reorder_probability) {
+            // hold the message back far enough to slip behind later
+            // traffic on the same link
+            let window = link.faults.reorder_window.as_micros();
+            if window > 0 {
+                delay = delay + Duration::from_micros(self.rng.range_u64(0, window + 1));
+                self.stats.reordered += 1;
+            }
+        }
+        Transmit::Deliver(delay)
+    }
+
+    /// Rolls the post-delivery fault dice for one deliverable message:
+    /// whether to inject a duplicate copy (and with what independent
+    /// delay), whether the driver should capture the frame for later
+    /// replay, and whether to re-deliver a previously captured frame
+    /// now. Called by the simulation driver after a
+    /// [`Transmit::Deliver`] verdict — the network itself stores no
+    /// messages, so capture/replay bookkeeping lives with the driver.
+    pub fn fault_verdict(&mut self, from: NodeId, to: NodeId, bytes: usize) -> FaultVerdict {
+        let faults = self.link(from, to).faults;
+        if faults.is_noop() {
+            return FaultVerdict::default();
+        }
+        let duplicate_delay = if self.rng.chance(faults.duplicate_probability) {
+            self.stats.duplicated += 1;
+            Some(self.link(from, to).delay(bytes, &mut self.rng))
+        } else {
+            None
+        };
+        let replay = if self.rng.chance(faults.replay_probability) {
+            // the raw pick is reduced mod the driver's stash size
+            Some((self.rng.next_u64(), faults.replay_delay))
+        } else {
+            None
+        };
+        FaultVerdict {
+            duplicate_delay,
+            capture: faults.replay_probability > 0.0,
+            replay,
+        }
+    }
+
+    /// Records a stale replay the driver actually injected (the verdict
+    /// only *rolls* for one; the driver may have nothing captured yet).
+    pub fn record_replay(&mut self) {
+        self.stats.replayed += 1;
     }
 
     /// Records a completed delivery (called by the simulation driver).
@@ -215,6 +351,17 @@ impl Network {
         self.partition = None;
     }
 
+    /// Switches every link's adversarial-fault knobs at once — the
+    /// default link and all per-pair overrides. This is how a
+    /// declarative fault schedule flips the whole fleet hostile (or
+    /// clean) mid-run without rebuilding the network.
+    pub fn set_faults(&mut self, faults: LinkFaults) {
+        self.config.default_link.faults = faults;
+        for link in self.config.overrides.values_mut() {
+            link.faults = faults;
+        }
+    }
+
     /// Administratively blocks the directed link `from → to`.
     pub fn block_link(&mut self, from: NodeId, to: NodeId) {
         self.blocked.insert((from, to));
@@ -256,7 +403,7 @@ mod tests {
         let link = LinkConfig {
             latency: LatencyModel::Constant(Duration::from_micros(100)),
             bandwidth: Some(1_000_000), // 1 MB/s → 1µs per byte
-            drop_probability: 0.0,
+            ..LinkConfig::default()
         };
         let mut n = net(link);
         let small = match n.transmit(NodeId(0), NodeId(1), 10) {
@@ -333,6 +480,129 @@ mod tests {
             Transmit::Deliver(d) => assert_eq!(d, Duration::from_micros(500)),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn clean_link_fault_verdict_is_inert() {
+        let mut n = net(LinkConfig::default());
+        let v = n.fault_verdict(NodeId(0), NodeId(1), 64);
+        assert_eq!(v, FaultVerdict::default());
+        assert!(!v.capture);
+        let s = n.stats();
+        assert_eq!((s.duplicated, s.reordered, s.replayed), (0, 0, 0));
+    }
+
+    #[test]
+    fn certain_duplication_always_yields_a_copy() {
+        let link = LinkConfig {
+            faults: LinkFaults {
+                duplicate_probability: 1.0,
+                ..LinkFaults::default()
+            },
+            ..LinkConfig::default()
+        };
+        let mut n = net(link);
+        for _ in 0..10 {
+            let v = n.fault_verdict(NodeId(0), NodeId(1), 8);
+            assert!(v.duplicate_delay.is_some());
+            assert!(v.replay.is_none());
+            assert!(!v.capture, "no replay configured, nothing to stash");
+        }
+        assert_eq!(n.stats().duplicated, 10);
+    }
+
+    #[test]
+    fn certain_reorder_stretches_delay_within_window() {
+        let base = LinkConfig {
+            latency: LatencyModel::Constant(Duration::from_micros(100)),
+            ..LinkConfig::default()
+        };
+        let hostile = LinkConfig {
+            faults: LinkFaults {
+                reorder_probability: 1.0,
+                reorder_window: Duration::from_millis(2),
+                ..LinkFaults::default()
+            },
+            ..base
+        };
+        let mut n = net(hostile);
+        let mut stretched = false;
+        for _ in 0..50 {
+            match n.transmit(NodeId(0), NodeId(1), 8) {
+                Transmit::Deliver(d) => {
+                    assert!(d >= Duration::from_micros(100));
+                    assert!(d <= Duration::from_micros(100) + Duration::from_millis(2));
+                    stretched |= d > Duration::from_micros(100);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(stretched, "a 2ms window should stretch at least one of 50");
+        assert_eq!(n.stats().reordered, 50);
+    }
+
+    #[test]
+    fn replay_faults_ask_for_capture_and_roll_picks() {
+        let link = LinkConfig {
+            faults: LinkFaults {
+                replay_probability: 1.0,
+                replay_delay: Duration::from_millis(8),
+                ..LinkFaults::default()
+            },
+            ..LinkConfig::default()
+        };
+        let mut n = net(link);
+        let v = n.fault_verdict(NodeId(0), NodeId(1), 8);
+        assert!(v.capture, "replay-prone links must capture frames");
+        let (_, delay) = v.replay.expect("certain replay");
+        assert_eq!(delay, Duration::from_millis(8));
+        // stats only move when the driver actually injects one
+        assert_eq!(n.stats().replayed, 0);
+        n.record_replay();
+        assert_eq!(n.stats().replayed, 1);
+    }
+
+    #[test]
+    fn hostile_profile_is_not_noop_and_default_is() {
+        assert!(LinkFaults::default().is_noop());
+        assert!(!LinkFaults::hostile().is_noop());
+        let mut seen = (false, false, false);
+        let link = LinkConfig {
+            faults: LinkFaults::hostile(),
+            ..LinkConfig::default()
+        };
+        let mut n = net(link);
+        for _ in 0..400 {
+            n.transmit(NodeId(0), NodeId(1), 8);
+            let v = n.fault_verdict(NodeId(0), NodeId(1), 8);
+            seen.0 |= v.duplicate_delay.is_some();
+            seen.1 |= v.replay.is_some();
+            seen.2 |= v.capture;
+        }
+        assert!(seen.0 && seen.1 && seen.2, "hostile should hit every class");
+        assert!(n.stats().reordered > 0);
+    }
+
+    #[test]
+    fn faulty_links_stay_seed_deterministic() {
+        let link = LinkConfig {
+            faults: LinkFaults::hostile(),
+            ..LinkConfig::default()
+        };
+        let run = |seed| {
+            let mut n = Network::new(NetworkConfig::uniform(link), SimRng::new(seed));
+            let mut trace = Vec::new();
+            for i in 0..100 {
+                trace.push(n.transmit(NodeId(0), NodeId(1), i));
+                trace.push(match n.fault_verdict(NodeId(0), NodeId(1), i) {
+                    v if v.duplicate_delay.is_some() => Transmit::Deliver(Duration::ZERO),
+                    _ => Transmit::Dropped,
+                });
+            }
+            (trace, n.stats())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0);
     }
 
     #[test]

@@ -1,11 +1,19 @@
 //! The [`Simulation`] driver: hosts [`Process`]es, routes their messages
 //! through the [`Network`], and advances virtual time deterministically.
 
+use std::collections::BTreeMap;
+
 use crate::net::{Network, NetworkConfig, NodeId, Transmit};
 use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::time::{Duration, SimTime};
 use crate::trace::{Trace, TraceEvent};
+
+/// Captured frames kept per directed link for stale-replay injection.
+/// Small and bounded: replays should resurface *recent-ish* history, and
+/// an unbounded stash would make hostile runs balloon with cloned
+/// messages.
+const REPLAY_STASH_CAP: usize = 16;
 
 /// Handle to a pending timer, returned by [`ProcessCtx::set_timer`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -143,6 +151,10 @@ pub struct Simulation<P: Process> {
     events_processed: u64,
     max_events: u64,
     started: bool,
+    /// Per-directed-link frames captured for stale replay (bounded by
+    /// [`REPLAY_STASH_CAP`]); only links whose [`crate::LinkFaults`]
+    /// enable replay ever populate this.
+    replay_stash: BTreeMap<(NodeId, NodeId), Vec<P::Msg>>,
 }
 
 impl<P: Process> Simulation<P> {
@@ -169,6 +181,7 @@ impl<P: Process> Simulation<P> {
             events_processed: 0,
             max_events: Self::DEFAULT_MAX_EVENTS,
             started: false,
+            replay_stash: BTreeMap::new(),
         }
     }
 
@@ -265,7 +278,15 @@ impl<P: Process> Simulation<P> {
     pub fn events_processed(&self) -> u64 {
         self.events_processed
     }
+}
 
+/// The run path needs `P::Msg: Clone` so fault injection (duplication and
+/// stale replay) can re-enqueue copies of in-flight messages. Construction
+/// and inspection above stay unconstrained.
+impl<P: Process> Simulation<P>
+where
+    P::Msg: Clone,
+{
     fn ensure_started(&mut self) {
         if self.started {
             return;
@@ -392,6 +413,42 @@ impl<P: Process> Simulation<P> {
             }
             match self.network.transmit(node, to, bytes) {
                 Transmit::Deliver(delay) => {
+                    let verdict = self.network.fault_verdict(node, to, bytes);
+                    if let Some(dup_delay) = verdict.duplicate_delay {
+                        self.queue.push(
+                            self.now + dup_delay,
+                            Event::Deliver {
+                                from: node,
+                                to,
+                                msg: msg.clone(),
+                                bytes,
+                            },
+                        );
+                    }
+                    if let Some((pick, replay_delay)) = verdict.replay {
+                        if let Some(stash) = self.replay_stash.get(&(node, to)) {
+                            if !stash.is_empty() {
+                                let stale = stash[pick as usize % stash.len()].clone();
+                                self.network.record_replay();
+                                self.queue.push(
+                                    self.now + replay_delay,
+                                    Event::Deliver {
+                                        from: node,
+                                        to,
+                                        msg: stale,
+                                        bytes,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    if verdict.capture {
+                        let stash = self.replay_stash.entry((node, to)).or_default();
+                        if stash.len() >= REPLAY_STASH_CAP {
+                            stash.remove(0);
+                        }
+                        stash.push(msg.clone());
+                    }
                     self.queue.push(
                         self.now + delay,
                         Event::Deliver {
@@ -427,7 +484,7 @@ enum Dispatch<M> {
 mod tests {
     use super::*;
     use crate::latency::LatencyModel;
-    use crate::net::LinkConfig;
+    use crate::net::{LinkConfig, LinkFaults};
 
     /// Counts messages; replies until a budget is exhausted.
     struct Echo {
@@ -582,12 +639,134 @@ mod tests {
         sim.run_to_quiescence();
     }
 
+    /// One-shot sender: n0 fires `count` distinct messages at n1, which
+    /// only tallies what it sees (no replies — so every extra delivery
+    /// is fault-injected, not protocol echo).
+    struct Tally {
+        to_send: u32,
+        seen: Vec<u32>,
+    }
+
+    impl Process for Tally {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut ProcessCtx<'_, u32>) {
+            if ctx.id() == NodeId(0) {
+                for i in 0..self.to_send {
+                    ctx.send(NodeId(1), i, 16);
+                }
+            }
+        }
+
+        fn on_message(&mut self, _: &mut ProcessCtx<'_, u32>, _: NodeId, msg: u32) {
+            self.seen.push(msg);
+        }
+    }
+
+    fn tally_sim(seed: u64, count: u32, faults: LinkFaults) -> Simulation<Tally> {
+        let link = LinkConfig {
+            faults,
+            ..LinkConfig::default()
+        };
+        Simulation::new(
+            seed,
+            NetworkConfig::uniform(link),
+            vec![
+                Tally {
+                    to_send: count,
+                    seen: vec![],
+                },
+                Tally {
+                    to_send: 0,
+                    seen: vec![],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn duplication_inflates_deliveries() {
+        let mut sim = tally_sim(
+            11,
+            200,
+            LinkFaults {
+                duplicate_probability: 0.5,
+                ..LinkFaults::default()
+            },
+        );
+        sim.run_to_quiescence();
+        let seen = &sim.process(1).seen;
+        assert!(
+            seen.len() > 200,
+            "0.5 duplication over 200 sends must inject copies, saw {}",
+            seen.len()
+        );
+        assert_eq!(sim.network().stats().duplicated, (seen.len() - 200) as u64);
+        // every original still arrives exactly once-or-more, none invented
+        let mut uniq = seen.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stale_replay_redelivers_old_frames() {
+        let mut sim = tally_sim(
+            3,
+            400,
+            LinkFaults {
+                replay_probability: 0.2,
+                replay_delay: Duration::from_millis(8),
+                ..LinkFaults::default()
+            },
+        );
+        sim.run_to_quiescence();
+        let stats = sim.network().stats();
+        assert!(stats.replayed > 0, "0.2 replay over 400 sends must fire");
+        assert_eq!(
+            sim.process(1).seen.len() as u64,
+            400 + stats.replayed,
+            "each replay is one extra delivery of an already-sent frame"
+        );
+    }
+
+    #[test]
+    fn hostile_runs_stay_seed_deterministic() {
+        let run = |seed| {
+            let mut sim = tally_sim(seed, 300, LinkFaults::hostile());
+            sim.run_to_quiescence();
+            (sim.process(1).seen.clone(), sim.network().stats())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0, "different seeds, different traces");
+    }
+
+    #[test]
+    fn reordering_breaks_fifo_delivery() {
+        let mut sim = tally_sim(
+            5,
+            100,
+            LinkFaults {
+                reorder_probability: 0.5,
+                reorder_window: Duration::from_millis(4),
+                ..LinkFaults::default()
+            },
+        );
+        sim.run_to_quiescence();
+        let seen = &sim.process(1).seen;
+        assert_eq!(seen.len(), 100, "reorder never loses or copies");
+        assert!(
+            seen.windows(2).any(|w| w[0] > w[1]),
+            "a 4ms window over same-instant sends must break order"
+        );
+    }
+
     #[test]
     fn bandwidth_affects_completion_time() {
         let link = LinkConfig {
             latency: LatencyModel::Constant(Duration::from_micros(100)),
             bandwidth: Some(1_000_000),
-            drop_probability: 0.0,
+            ..LinkConfig::default()
         };
         struct Big;
         impl Process for Big {

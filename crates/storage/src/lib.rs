@@ -29,7 +29,7 @@
 pub mod log;
 pub mod mem;
 
-pub use log::{LogConfig, LogEngine, LogStats};
+pub use log::{scan_history, LogConfig, LogEngine, LogStats};
 pub use mem::MemEngine;
 
 use std::fmt;
@@ -91,6 +91,28 @@ pub trait StorageEngine<S>: fmt::Debug + Send {
     /// Forces any buffered writes to durable storage. No-op for purely
     /// in-memory engines.
     fn sync(&mut self);
+
+    /// The dot-mint reservation `(incarnation_epoch, counter_ceiling)`
+    /// this engine recovered or last stored, if any.
+    ///
+    /// The reservation is the storage half of the store's dot-reuse
+    /// epoch guard: before minting a dot past its last reservation, a
+    /// replica durably records a new counter ceiling, so a crash that
+    /// loses the unsynced data tail can never roll the mint counter back
+    /// below dots that already escaped to peers.
+    fn load_reservation(&self) -> Option<(u64, u64)> {
+        None
+    }
+
+    /// Durably records the dot-mint reservation. Unlike data appends,
+    /// this **must** reach stable storage before returning regardless of
+    /// the engine's group-sync cadence — the caller is about to mint
+    /// dots up to `ceiling` and let them escape to peers. No-op for
+    /// purely in-memory engines (which lose everything on crash anyway,
+    /// and with it every escaped dot's minting replica state).
+    fn store_reservation(&mut self, epoch: u64, ceiling: u64) {
+        let _ = (epoch, ceiling);
+    }
 
     /// Short stable engine name for reports ("mem", "log").
     fn kind(&self) -> &'static str;

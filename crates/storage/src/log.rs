@@ -15,7 +15,10 @@
 //! ```
 //!
 //! where `state` (puts only) is the per-key state in the crate-standard
-//! [`dvv::encode`] format. Varint framing and the trailing checksum make
+//! [`dvv::encode`] format. A fourth record kind carries the dot-mint
+//! reservation (tag 4: `varint(epoch) · varint(ceiling)`, no key);
+//! replay folds the component-wise maximum over every meta record seen,
+//! so the recovered reservation is monotone in what was durably stored. Varint framing and the trailing checksum make
 //! a torn final record — the expected artefact of dying mid-append —
 //! self-announcing: replay stops at the first frame that is short,
 //! fails its checksum, or fails to decode, and truncates the file back
@@ -55,8 +58,20 @@ use crate::{fnv1a64, Key, MemEngine, StorageEngine};
 const TAG_PUT: u8 = 1;
 const TAG_REMOVE: u8 = 2;
 const TAG_CLEAR: u8 = 3;
+const TAG_META: u8 = 4;
 
 /// Durability and compaction knobs for a [`LogEngine`].
+///
+/// **Reservation fsync cadence.** Dot-mint reservations
+/// ([`StorageEngine::store_reservation`]) deliberately ignore the
+/// group-sync interval: each one syncs immediately (flushing any
+/// buffered data records with it), because the caller is about to mint
+/// dots up to the new ceiling and let them escape to peers — a
+/// reservation lost to a crash would defeat the epoch guard entirely.
+/// The store amortises that cost by reserving counter *headroom*
+/// (`StoreConfig::dot_headroom` upstream), so one reservation fsync
+/// covers many mints and the group-sync write path stays within a few
+/// percent of its unguarded cost (see `bench-baselines/BENCH_storage.json`).
 #[derive(Clone, Copy, Debug)]
 pub struct LogConfig {
     /// Group-sync after this many buffered records (1 = write-through:
@@ -121,9 +136,21 @@ struct RecordSpan {
 /// What a buffered (not yet durable) record will do to the index once
 /// its group sync lands.
 enum PendingOp {
-    Put { key: Key, len: u64 },
-    Remove { key: Key, len: u64 },
-    Clear { len: u64 },
+    Put {
+        key: Key,
+        len: u64,
+    },
+    Remove {
+        key: Key,
+        len: u64,
+    },
+    Clear {
+        len: u64,
+    },
+    /// A reservation record: affects no key, only advances the offset.
+    Meta {
+        len: u64,
+    },
 }
 
 /// Typed record codec: monomorphised `dvv::encode` entry points, taken
@@ -168,6 +195,8 @@ pub struct LogEngine<S> {
     durable_bytes: u64,
     /// Bytes of latest-per-key durable records.
     live_bytes: u64,
+    /// Recovered/stored dot-mint reservation `(epoch, ceiling)`.
+    reservation: Option<(u64, u64)>,
     stats: LogStats,
     scratch: Vec<u8>,
 }
@@ -190,6 +219,7 @@ enum Record<S> {
     Put { key: Key, state: S },
     Remove { key: Key },
     Clear,
+    Meta { epoch: u64, ceiling: u64 },
 }
 
 /// Parses the record framed at `bytes[at..]`. Returns the record and
@@ -223,6 +253,14 @@ fn parse_record<S>(
             }
             Record::Clear
         }
+        TAG_META => {
+            let epoch = b.varint().ok()?;
+            let ceiling = b.varint().ok()?;
+            if b.remaining() != 0 {
+                return None;
+            }
+            Record::Meta { epoch, ceiling }
+        }
         TAG_PUT | TAG_REMOVE => {
             let key_len = usize::try_from(b.varint().ok()?).ok()?;
             let key = b.bytes(key_len).ok()?.to_vec();
@@ -239,6 +277,75 @@ fn parse_record<S>(
         _ => return None,
     };
     Some((record, sum_end))
+}
+
+/// Frames one dot-mint reservation (meta) record onto `out`, returning
+/// its framed length. Public so the proptest suite can exercise the
+/// reservation codec at record granularity.
+pub fn frame_meta(out: &mut Vec<u8>, epoch: u64, ceiling: u64) -> u64 {
+    let body_len = 1 + dvv::encode::varint_len(epoch) + dvv::encode::varint_len(ceiling);
+    let before = out.len();
+    put_varint(out, body_len as u64);
+    let body_start = out.len();
+    out.push(TAG_META);
+    put_varint(out, epoch);
+    put_varint(out, ceiling);
+    debug_assert_eq!(out.len() - body_start, body_len);
+    let sum = fnv1a64(&out[body_start..]);
+    out.extend_from_slice(&sum.to_le_bytes());
+    (out.len() - before) as u64
+}
+
+fn dec_never(_: &[u8]) -> Option<()> {
+    None
+}
+
+/// Parses the record framed at the start of `bytes` as a reservation
+/// record: `Some((epoch, ceiling))` only for a complete, checksummed
+/// meta frame — `None` for anything torn, corrupt, or of another kind.
+/// The proptest counterpart of [`frame_meta`].
+#[must_use]
+pub fn parse_meta(bytes: &[u8]) -> Option<(u64, u64)> {
+    match parse_record::<()>(bytes, 0, dec_never) {
+        Some((Record::Meta { epoch, ceiling }, _)) => Some((epoch, ceiling)),
+        _ => None,
+    }
+}
+
+/// Scans the *full durable history* of the log at `path`: every intact
+/// put record's `(key, state)` in append order, including records whose
+/// key was later overwritten, removed or cleared — the ones the live
+/// replay forgets. Stops at the first torn or corrupt frame, exactly
+/// like recovery replay.
+///
+/// This is the audit surface for oracles over *everything a replica
+/// ever durably applied*, not just what it currently holds — the
+/// dot-uniqueness census runs over it, because a re-minted dot's first
+/// bearer is usually dominated (and gone from the live states) by the
+/// time a fleet can be audited.
+///
+/// # Errors
+///
+/// Propagates I/O errors from opening or reading the file. A missing
+/// file is an empty history.
+pub fn scan_history<S: Encode>(path: impl AsRef<Path>) -> io::Result<Vec<(Key, S)>> {
+    let bytes = match std::fs::read(path.as_ref()) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        let Some((record, next)) = parse_record(&bytes, at, dec_state::<S>) else {
+            break; // torn/corrupt tail
+        };
+        if let Record::Put { key, state } = record {
+            out.push((key, state));
+        }
+        at = next;
+    }
+    Ok(out)
 }
 
 /// Frames one record (body per the module docs) onto `out`.
@@ -300,6 +407,7 @@ where
         let mut map = BTreeMap::new();
         let mut index = BTreeMap::new();
         let mut live_bytes = 0u64;
+        let mut reservation: Option<(u64, u64)> = None;
         let mut stats = LogStats::default();
         let mut at = 0usize;
         while at < bytes.len() {
@@ -332,6 +440,13 @@ where
                     index.clear();
                     map.clear();
                 }
+                Record::Meta { epoch, ceiling } => {
+                    // Component-wise max: the recovered reservation is
+                    // monotone in what was durably stored, whatever order
+                    // (or duplication) compaction left the records in.
+                    let (e0, c0) = reservation.unwrap_or((0, 0));
+                    reservation = Some((e0.max(epoch), c0.max(ceiling)));
+                }
             }
             stats.replayed_records += 1;
             at = next;
@@ -353,6 +468,7 @@ where
             pending_ops: Vec::new(),
             durable_bytes: at as u64,
             live_bytes,
+            reservation,
             stats,
             scratch: Vec::new(),
         })
@@ -433,6 +549,9 @@ where
                     self.live_bytes = 0;
                     offset += len;
                 }
+                PendingOp::Meta { len } => {
+                    offset += len;
+                }
             }
         }
         self.durable_bytes += self.pending.len() as u64;
@@ -453,6 +572,11 @@ where
         }
         let mut buf = Vec::new();
         let mut index = BTreeMap::new();
+        // The reservation must survive compaction: rewrite it first, so
+        // even a crash mid-rename leaves one file carrying it intact.
+        if let Some((epoch, ceiling)) = self.reservation {
+            frame_meta(&mut buf, epoch, ceiling);
+        }
         for (key, state) in &self.map {
             let offset = buf.len() as u64;
             self.scratch.clear();
@@ -545,6 +669,23 @@ where
     }
 
     fn sync(&mut self) {
+        self.group_sync();
+    }
+
+    fn load_reservation(&self) -> Option<(u64, u64)> {
+        self.reservation
+    }
+
+    fn store_reservation(&mut self, epoch: u64, ceiling: u64) {
+        // Monotone in-memory view, matching the replay fold.
+        let (e0, c0) = self.reservation.unwrap_or((0, 0));
+        self.reservation = Some((e0.max(epoch), c0.max(ceiling)));
+        let len = frame_meta(&mut self.pending, epoch, ceiling);
+        self.stats.appends += 1;
+        self.pending_ops.push(PendingOp::Meta { len });
+        // Reservations ignore the group-sync cadence: they must be
+        // durable before the caller mints into the reserved range (see
+        // the `LogConfig` docs). Any buffered data records ride along.
         self.group_sync();
     }
 
@@ -697,6 +838,78 @@ mod tests {
         let back: LogEngine<u64> = LogEngine::open(&path, LogConfig::default()).unwrap();
         assert_eq!(back.len(), 1);
         assert_eq!(back.get(b"c"), Some(&3));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn reservation_survives_reopen_and_is_synced_immediately() {
+        let dir = scratch_dir("resv");
+        let path = dir.join("store.log");
+        let cfg = LogConfig {
+            sync_every_records: 1000, // group sync far away
+            ..LogConfig::default()
+        };
+        let mut log: LogEngine<u64> = LogEngine::open(&path, cfg).unwrap();
+        log.apply(b"a", &mut || 0, &mut |s| *s = 1);
+        assert!(log.pending_bytes() > 0, "data record is buffered only");
+        log.store_reservation(1, 4096);
+        assert_eq!(
+            log.pending_bytes(),
+            0,
+            "a reservation forces everything pending durable"
+        );
+        drop(log); // crash
+        let back: LogEngine<u64> = LogEngine::open(&path, cfg).unwrap();
+        assert_eq!(back.load_reservation(), Some((1, 4096)));
+        assert_eq!(back.get(b"a"), Some(&1), "data rode along with the sync");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn reservation_recovers_monotone_and_survives_compaction() {
+        let dir = scratch_dir("resv-compact");
+        let path = dir.join("store.log");
+        let cfg = LogConfig {
+            sync_every_records: 1,
+            compact_min_bytes: 512,
+            compact_garbage_ratio: 0.5,
+            ..LogConfig::default()
+        };
+        let mut log: LogEngine<u64> = LogEngine::open(&path, cfg).unwrap();
+        log.store_reservation(1, 1024);
+        log.store_reservation(2, 8192);
+        for round in 0..200u64 {
+            for k in 0..4u8 {
+                log.apply(&[k], &mut || 0, &mut |s| *s = round);
+            }
+        }
+        assert!(log.stats().compactions > 0);
+        drop(log);
+        let back: LogEngine<u64> = LogEngine::open(&path, cfg).unwrap();
+        assert_eq!(
+            back.load_reservation(),
+            Some((2, 8192)),
+            "the highest reservation survives compaction"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_mid_meta_record_recovers_prior_reservation() {
+        let dir = scratch_dir("resv-torn");
+        let path = dir.join("store.log");
+        let mut log: LogEngine<u64> = LogEngine::open(&path, LogConfig::write_through()).unwrap();
+        log.store_reservation(1, 100);
+        log.store_reservation(2, 200);
+        drop(log);
+        // tear the file mid-way through the second meta record
+        let bytes = std::fs::read(&path).unwrap();
+        let mut first = Vec::new();
+        let first_len = frame_meta(&mut first, 1, 100) as usize;
+        std::fs::write(&path, &bytes[..first_len + 3]).unwrap();
+        let back: LogEngine<u64> = LogEngine::open(&path, LogConfig::default()).unwrap();
+        assert_eq!(back.load_reservation(), Some((1, 100)));
+        assert!(back.stats().torn_tail_bytes > 0);
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -11,6 +11,7 @@ use crate::{Key, StorageEngine};
 #[derive(Clone, Default)]
 pub struct MemEngine<S> {
     map: BTreeMap<Key, S>,
+    reservation: Option<(u64, u64)>,
 }
 
 impl<S> MemEngine<S> {
@@ -19,13 +20,17 @@ impl<S> MemEngine<S> {
     pub fn new() -> Self {
         MemEngine {
             map: BTreeMap::new(),
+            reservation: None,
         }
     }
 
     /// Builds an engine pre-populated with `map` (snapshot support).
     #[must_use]
     pub fn from_map(map: BTreeMap<Key, S>) -> Self {
-        MemEngine { map }
+        MemEngine {
+            map,
+            reservation: None,
+        }
     }
 }
 
@@ -70,10 +75,20 @@ impl<S: Clone + Send + 'static> StorageEngine<S> for MemEngine<S> {
     }
 
     fn snapshot(&self) -> Box<dyn StorageEngine<S>> {
-        Box::new(self.clone())
+        // Detached audit copy: contents only, no reservation (snapshots
+        // never mint dots) — matching `LogEngine::snapshot`.
+        Box::new(MemEngine::from_map(self.map.clone()))
     }
 
     fn sync(&mut self) {}
+
+    fn load_reservation(&self) -> Option<(u64, u64)> {
+        self.reservation
+    }
+
+    fn store_reservation(&mut self, epoch: u64, ceiling: u64) {
+        self.reservation = Some((epoch, ceiling));
+    }
 
     fn kind(&self) -> &'static str {
         "mem"
@@ -98,6 +113,17 @@ mod tests {
         e.apply(b"b", &mut || 0, &mut |_| {});
         e.clear();
         assert!(e.is_empty());
+    }
+
+    #[test]
+    fn reservation_round_trips_in_process() {
+        let mut e: MemEngine<u64> = MemEngine::new();
+        assert_eq!(e.load_reservation(), None);
+        e.store_reservation(2, 1024);
+        assert_eq!(e.load_reservation(), Some((2, 1024)));
+        // snapshots are detached audit copies; they do not carry the
+        // reservation (they never mint dots)
+        assert_eq!(e.snapshot().load_reservation(), None);
     }
 
     #[test]

@@ -9,10 +9,16 @@
 //! * a bounded outbound queue — a full queue drops the frame, exactly
 //!   the threaded runtime's full-inbox wire-loss semantics, so a slow
 //!   or dead peer can never deadlock a sender;
-//! * a writer thread that dials, introduces itself with a hello frame
-//!   carrying its node id, and reconnects with jittered exponential
-//!   backoff whenever the connection breaks (the frames lost in between
-//!   are wire loss the protocol's retries and anti-entropy absorb).
+//! * a writer thread that dials, introduces itself with an
+//!   *authenticated* hello frame — its node id plus a keyed FNV-1a tag
+//!   over the fleet's shared cluster secret ([`hello_body`]) — and
+//!   reconnects with jittered exponential backoff whenever the
+//!   connection breaks (the frames lost in between are wire loss the
+//!   protocol's retries and anti-entropy absorb). The accept side
+//!   verifies the tag in constant time and terminally rejects the
+//!   connection on any mismatch, so a stray process dialing a
+//!   listener's port cannot inject frames attributed to a cluster
+//!   member.
 //!
 //! Inbound, an accept thread per listener spawns a reader per
 //! connection; a malformed frame (torn, oversized, bad checksum) or an
@@ -41,6 +47,7 @@ use kvstore::messages::Msg;
 use kvstore::value::StampedValue;
 use runtime::Progress;
 use simnet::{NodeId, SimRng};
+use storage::fnv1a64;
 
 use crate::frame::{self, HEADER_BYTES};
 
@@ -50,6 +57,43 @@ const BACKOFF_BASE_MS: u64 = 1;
 const BACKOFF_CAP_MS: u64 = 128;
 /// Writer queue poll interval while idle (bounds shutdown latency).
 const WRITER_POLL: StdDuration = StdDuration::from_millis(25);
+
+/// Bytes in an authenticated hello body: 4-byte node id + 8-byte tag.
+const HELLO_LEN: usize = 12;
+
+/// The authenticated hello body for `node` under `secret`: the node id
+/// plus [`hello_tag`] over it. Public so tests (and any future
+/// out-of-process peer) can speak the handshake.
+#[must_use]
+pub fn hello_body(node: u32, secret: u64) -> [u8; HELLO_LEN] {
+    let mut body = [0u8; HELLO_LEN];
+    body[..4].copy_from_slice(&node.to_le_bytes());
+    body[4..].copy_from_slice(&hello_tag(node, secret).to_le_bytes());
+    body
+}
+
+/// The keyed challenge tag: FNV-1a-64 over `secret || node`. FNV is not
+/// a MAC against a resourceful adversary; the threat here is accidental
+/// cross-talk — a stray process, a mis-configured fleet, a port reused
+/// across runs — dialing a listener and having its frames attributed to
+/// a cluster member. Matching the storage log's hash keeps the
+/// dependency surface at zero.
+fn hello_tag(node: u32, secret: u64) -> u64 {
+    let mut keyed = [0u8; 12];
+    keyed[..8].copy_from_slice(&secret.to_le_bytes());
+    keyed[8..].copy_from_slice(&node.to_le_bytes());
+    fnv1a64(&keyed)
+}
+
+/// Constant-time tag comparison: folds the XOR of every byte pair so
+/// the time taken is independent of which byte (if any) differs.
+fn tags_match(a: u64, b: u64) -> bool {
+    let mut diff = 0u8;
+    for (x, y) in a.to_le_bytes().into_iter().zip(b.to_le_bytes()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
 
 /// A message delivered into a node's inbox: the sending node plus the
 /// decoded message.
@@ -100,6 +144,10 @@ pub struct FabricStats {
     pub frame_errors: u64,
     /// Connections dropped on an undecodable message body.
     pub decode_errors: u64,
+    /// Connections terminally rejected at the hello: malformed body,
+    /// out-of-range node id, or a challenge tag that does not match the
+    /// cluster secret.
+    pub hello_rejects: u64,
     /// Decoded messages dropped because the destination inbox was full.
     pub inbox_drops: u64,
 }
@@ -122,6 +170,7 @@ struct Counters {
     recv_bytes: AtomicU64,
     frame_errors: AtomicU64,
     decode_errors: AtomicU64,
+    hello_rejects: AtomicU64,
     inbox_drops: AtomicU64,
 }
 
@@ -152,6 +201,7 @@ pub struct Fabric<M: WireMechanism<StampedValue>> {
     rng_root: SimRng,
     queue_capacity: usize,
     max_frame: usize,
+    secret: u64,
 }
 
 impl<M> std::fmt::Debug for Fabric<M>
@@ -193,6 +243,7 @@ impl<M: WireMechanism<StampedValue>> Fabric<M> {
             recv_bytes: ld(&c.recv_bytes),
             frame_errors: ld(&c.frame_errors),
             decode_errors: ld(&c.decode_errors),
+            hello_rejects: ld(&c.hello_rejects),
             inbox_drops: ld(&c.inbox_drops),
         }
     }
@@ -207,7 +258,8 @@ where
     /// Binds one loopback listener per node, spawns the accept threads,
     /// and returns the shared fabric. `inboxes[i]` receives decoded
     /// messages addressed to node `i`; `rng_root` seeds the per-link
-    /// backoff jitter streams.
+    /// backoff jitter streams; `secret` keys the hello challenge every
+    /// inbound connection must pass.
     #[allow(clippy::too_many_arguments)] // the fleet's one construction site
     pub fn start(
         mech: M,
@@ -218,6 +270,7 @@ where
         rng_root: SimRng,
         queue_capacity: usize,
         max_frame: usize,
+        secret: u64,
     ) -> std::io::Result<Arc<Self>> {
         assert_eq!(inboxes.len(), nodes, "one inbox per node");
         let mut listeners = Vec::with_capacity(nodes);
@@ -241,6 +294,7 @@ where
             rng_root,
             queue_capacity,
             max_frame,
+            secret,
         });
         for (node, listener) in listeners.into_iter().enumerate() {
             let f = Arc::clone(&fabric);
@@ -404,9 +458,10 @@ where
             let _ = stream.set_nodelay(true);
             let token = self.register_conn((from, to), &stream);
             let mut w = BufWriter::new(stream);
-            // Hello: introduce ourselves so the reader can attribute
-            // every subsequent frame on this connection.
-            let hello = (from as u32).to_le_bytes();
+            // Hello: introduce ourselves — id plus keyed tag — so the
+            // reader can both attribute and *authenticate* every
+            // subsequent frame on this connection.
+            let hello = hello_body(from as u32, self.secret);
             if frame::write_frame(&mut w, &hello).is_err() || std::io::Write::flush(&mut w).is_err()
             {
                 self.unregister_conn(token);
@@ -492,21 +547,47 @@ where
         }
     }
 
-    /// Reads frames off one accepted connection: a hello first, then
-    /// message bodies. Any frame or decode error is terminal for the
-    /// connection.
+    /// Verifies an inbound hello body: well-formed, in-range node id,
+    /// and a challenge tag matching the cluster secret (compared in
+    /// constant time). Returns the authenticated dialer index.
+    fn verify_hello(&self, body: &[u8]) -> Option<usize> {
+        if body.len() != HELLO_LEN {
+            return None;
+        }
+        let id = u32::from_le_bytes(body[..4].try_into().expect("4 bytes"));
+        let tag = u64::from_le_bytes(body[4..].try_into().expect("8 bytes"));
+        if (id as usize) < self.addrs.len() && tags_match(tag, hello_tag(id, self.secret)) {
+            Some(id as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Reads frames off one accepted connection: an authenticated hello
+    /// first, then message bodies. A bad hello — like any frame or
+    /// decode error — is terminal for the connection: no retry
+    /// negotiation, the socket is shut down and the (legitimate)
+    /// dialer's backoff owns recovery.
     fn reader_loop(&self, to: usize, mut stream: TcpStream) {
         let _ = stream.set_nodelay(true);
         // The hello attributes the connection to its dialer.
         let from = match frame::read_frame(&mut stream, self.max_frame) {
-            Ok(Some(body)) if body.len() == 4 => {
-                let id = u32::from_le_bytes(body.try_into().expect("4 bytes")) as usize;
-                if id >= self.addrs.len() {
+            // Closed before introducing itself (e.g. the shutdown
+            // path's throwaway wakeup connection): not a reject.
+            Ok(None) => return,
+            Ok(Some(body)) => match self.verify_hello(&body) {
+                Some(id) => id,
+                None => {
+                    self.counters.hello_rejects.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.shutdown(Shutdown::Both);
                     return;
                 }
-                id
+            },
+            Err(_) => {
+                self.counters.hello_rejects.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
             }
-            _ => return,
         };
         let token = self.register_conn((from, to), &stream);
         loop {

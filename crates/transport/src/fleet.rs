@@ -103,6 +103,11 @@ pub struct SocketConfig {
     pub settle_window: StdDuration,
     /// Scheduled connection faults (see [`ConnKill`]).
     pub conn_kills: Vec<ConnKill>,
+    /// Shared cluster secret keying the hello challenge every inbound
+    /// connection must answer (see [`crate::fabric::hello_body`]). All
+    /// nodes of one fleet must agree on it; a dialer with the wrong
+    /// secret is terminally rejected at the handshake.
+    pub cluster_secret: u64,
 }
 
 impl Default for SocketConfig {
@@ -122,6 +127,7 @@ impl Default for SocketConfig {
             quiesce: StdDuration::from_millis(500),
             settle_window: StdDuration::from_millis(400),
             conn_kills: Vec::new(),
+            cluster_secret: 0xd077_edc1_0057_e2ab, // any agreed-upon value
         }
     }
 }
@@ -287,6 +293,7 @@ where
             self.net_root.fork("fabric"),
             cfg.queue_capacity,
             cfg.max_frame,
+            cfg.cluster_secret,
         )
         .expect("bind loopback listeners");
 

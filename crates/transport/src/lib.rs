@@ -29,6 +29,6 @@ pub mod fabric;
 pub mod fleet;
 pub mod frame;
 
-pub use fabric::{Fabric, FabricStats};
+pub use fabric::{hello_body, Fabric, FabricStats};
 pub use fleet::{ConnKill, SocketConfig, SocketFleet};
 pub use frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME, HEADER_BYTES};

@@ -103,6 +103,7 @@ fn fabric_counts_match_ledger_on_both_ends() {
         SimRng::new(42),
         64,
         1 << 20,
+        0x0073_575E_C2E7,
     )
     .unwrap();
 

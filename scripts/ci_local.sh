@@ -10,8 +10,8 @@
 #                                    #   churn seeds)
 #   scripts/ci_local.sh --lane elastic   # just one lane
 #
-# Lanes: build-test, elastic, examples, runtime, socket, storage, bench,
-# soak.
+# Lanes: build-test, elastic, examples, runtime, socket, storage, faults,
+# bench, soak.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -94,6 +94,23 @@ if runs_lane storage; then
     cargo test -p runtime --test recovery -- --nocapture
 fi
 
+if runs_lane faults; then
+    banner "faults"
+    # Adversarial network faults composed with crashes: the
+    # crash-mid-burst dot-uniqueness suites on both drivers (including
+    # the committed guard-disabled regression), the reservation codec
+    # properties, the hello-authentication lifecycle suite, and the
+    # churn suites re-run with every link duplicating / reordering /
+    # stale-replaying (NET_FAULTS=hostile).
+    cargo test -p kvstore --test crash_burst -- --nocapture
+    cargo test -p runtime --test crash_burst -- --nocapture
+    cargo test -p storage --test meta_record -- --nocapture
+    cargo test -p transport --test lifecycle -- --nocapture
+    NET_FAULTS=hostile cargo test -p kvstore --test elastic -- --nocapture
+    NET_FAULTS=hostile cargo test -p kvstore --test gossip -- --nocapture
+    NET_FAULTS=hostile cargo test -p kvstore --test overlap -- --nocapture
+fi
+
 if runs_lane bench; then
     banner "bench-baseline"
     CRITERION_JSON_OUT="$PWD/BENCH_membership.json" \
@@ -131,6 +148,12 @@ if runs_lane soak; then
         cargo test -p kvstore --test wire -- --nocapture
         cargo test -p kvstore --test recovery -- --nocapture
         cargo test -p storage -- --nocapture
+        cargo test -p kvstore --test crash_burst -- --nocapture
+        cargo test -p runtime --test crash_burst -- --nocapture
+        cargo test -p storage --test meta_record -- --nocapture
+        NET_FAULTS=hostile cargo test -p kvstore --test elastic -- --nocapture
+        NET_FAULTS=hostile cargo test -p kvstore --test gossip -- --nocapture
+        NET_FAULTS=hostile cargo test -p kvstore --test overlap -- --nocapture
     '
     # the same churn suites again with the delta protocols forced on:
     # the equivalence oracle must stay green when every reconciliation
